@@ -1,0 +1,27 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples quick clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+quick:
+	dune exec bench/main.exe -- --quick --no-micro
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/attention_fusion.exe
+	dune exec examples/three_gemm_chain.exe
+	dune exec examples/conv_fusion.exe
+	dune exec examples/bert_end_to_end.exe
+
+clean:
+	dune clean
