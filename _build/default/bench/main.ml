@@ -1,0 +1,160 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (one experiment per artifact, see DESIGN.md), then
+   runs Bechamel micro-benchmarks of the compiler machinery itself.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --list       # available experiments
+     dune exec bench/main.exe -- --only fig8a,fig11
+     dune exec bench/main.exe -- --quick      # reduced Ansor trial budget
+     dune exec bench/main.exe -- --no-micro   # skip the Bechamel suite *)
+
+let hr = String.make 78 '='
+
+let run_experiments ids =
+  List.iter
+    (fun id ->
+      match Mcf_experiments.Registry.find id with
+      | None ->
+        Printf.printf "unknown experiment %S; use --list\n" id;
+        exit 1
+      | Some e ->
+        Printf.printf "%s\n[%s] %s\n%s\n%!" hr e.id e.description hr;
+        let t0 = Unix.gettimeofday () in
+        print_string (e.run ());
+        Printf.printf "(experiment wall time: %.1fs)\n\n%!"
+          (Unix.gettimeofday () -. t0))
+    ids
+
+(* --- Bechamel micro-benchmarks of the compiler itself ------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let spec = Mcf_gpu.Spec.a100 in
+  let chain = Mcf_ir.Chain.gemm_chain ~m:512 ~n:512 ~k:256 ~h:256 () in
+  let ax s = Mcf_ir.Chain.axis chain s in
+  let cand =
+    Mcf_ir.Candidate.make
+      (Mcf_ir.Tiling.Deep [ ax "m"; ax "h"; ax "n"; ax "k" ])
+      [ ("m", 64); ("n", 64); ("k", 32); ("h", 64) ]
+  in
+  let lowered = Mcf_ir.Lower.lower ~elem_bytes:2 chain cand in
+  let entries, _ = Mcf_search.Space.enumerate spec chain in
+  let entry = List.hd entries in
+  let kernel =
+    match Mcf_codegen.Compile.compile spec lowered with
+    | Ok k -> k
+    | Error e -> failwith (Mcf_codegen.Compile.string_of_error e)
+  in
+  let attention =
+    Mcf_ir.Chain.attention ~heads:8 ~m:256 ~n:256 ~k:64 ~h:64 ()
+  in
+  [ Test.make ~name:"lower-candidate"
+      (Staged.stage (fun () ->
+           ignore (Mcf_ir.Lower.lower ~elem_bytes:2 chain cand)));
+    Test.make ~name:"analytical-model-eq2-5"
+      (Staged.stage (fun () ->
+           ignore (Mcf_model.Perf.estimate spec lowered)));
+    Test.make ~name:"shmem-estimate-eq1"
+      (Staged.stage (fun () ->
+           ignore (Mcf_model.Shmem.estimate_bytes lowered)));
+    Test.make ~name:"codegen-alloc"
+      (Staged.stage (fun () ->
+           ignore (Mcf_codegen.Alloc.actual_bytes spec lowered)));
+    Test.make ~name:"simulator-run"
+      (Staged.stage (fun () -> ignore (Mcf_gpu.Sim.run spec kernel)));
+    Test.make ~name:"compile-candidate"
+      (Staged.stage (fun () ->
+           ignore (Mcf_codegen.Compile.compile spec entry.lowered)));
+    Test.make ~name:"space-enumerate-G-mid"
+      (Staged.stage (fun () ->
+           ignore (Mcf_search.Space.enumerate spec chain)));
+    Test.make ~name:"tiling-enumeration-attention"
+      (Staged.stage (fun () -> ignore (Mcf_ir.Tiling.enumerate attention)));
+    (let tiny = Mcf_ir.Chain.gemm_chain ~m:48 ~n:32 ~k:32 ~h:32 () in
+     let tax s = Mcf_ir.Chain.axis tiny s in
+     let tcand =
+       Mcf_ir.Candidate.make
+         (Mcf_ir.Tiling.Deep [ tax "m"; tax "h"; tax "n"; tax "k" ])
+         [ ("m", 16); ("n", 16); ("k", 16); ("h", 16) ]
+     in
+     let tprog = Mcf_ir.Program.build tiny tcand in
+     let rng = Mcf_util.Rng.create 99 in
+     let tinputs =
+       List.map
+         (fun (ts : Mcf_ir.Chain.tensor_spec) ->
+           let shape =
+             Array.of_list
+               (List.map (fun (a : Mcf_ir.Axis.t) -> a.size) ts.taxes)
+           in
+           (ts.tname, Mcf_tensor.Tensor.random rng shape))
+         (Mcf_ir.Chain.input_tensors tiny)
+     in
+     Test.make ~name:"interpreter-48x32x32x32"
+       (Staged.stage (fun () ->
+            ignore (Mcf_interp.Interp.run tprog ~inputs:tinputs)))) ]
+
+let run_micro () =
+  let open Bechamel in
+  Printf.printf
+    "%s\n[micro] Bechamel micro-benchmarks of the compiler machinery\n%s\n%!"
+    hr hr;
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~stabilize:false ()
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let tests = micro_tests () in
+  let tbl = Mcf_util.Table.create ~headers:[ "benchmark"; "time/run"; "r^2" ] in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let ols =
+            Analyze.OLS.ols ~bootstrap:0 ~r_square:true
+              ~responder:"monotonic-clock" ~predictors:[| "run" |]
+              raw.Benchmark.lr
+          in
+          let time_ns =
+            match Analyze.OLS.estimates ols with
+            | Some (t :: _) -> t
+            | Some [] | None -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols with Some r -> r | None -> nan
+          in
+          Mcf_util.Table.add_row tbl
+            [ Test.Elt.name elt;
+              Mcf_util.Table.fmt_time_s (time_ns *. 1e-9);
+              Mcf_util.Table.fmt_float ~digits:3 r2 ])
+        (Test.elements test))
+    tests;
+  print_string (Mcf_util.Table.render tbl)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse only quick micro = function
+    | [] -> (only, quick, micro)
+    | "--list" :: _ ->
+      List.iter
+        (fun (e : Mcf_experiments.Registry.experiment) ->
+          Printf.printf "%-10s %s\n" e.id e.description)
+        Mcf_experiments.Registry.all;
+      exit 0
+    | "--only" :: spec :: rest ->
+      parse (Some (String.split_on_char ',' spec)) quick micro rest
+    | "--quick" :: rest -> parse only true micro rest
+    | "--no-micro" :: rest -> parse only quick false rest
+    | arg :: _ ->
+      Printf.printf "unknown argument %S (try --list)\n" arg;
+      exit 1
+  in
+  let only, quick, micro = parse None false true args in
+  if quick then Mcf_baselines.Ansor.trials := 200;
+  let ids =
+    match only with Some ids -> ids | None -> Mcf_experiments.Registry.ids ()
+  in
+  let t0 = Unix.gettimeofday () in
+  run_experiments ids;
+  if micro && only = None then run_micro ();
+  Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,441 @@
+(* mcfuser — command-line front door.
+
+   Sub-commands:
+     tune        tune one workload and print the winning schedule
+     chain       tune a custom operator chain from dimensions
+     schedule    print pseudo-code + Triton source + TIR for a workload
+     dot         Graphviz rendering of the winning schedule's DAG (Fig. 5)
+     explain     simulator cost breakdown of the winning kernel
+     compare     run every backend on one workload
+     partition   show the SV-B graph partitioner on a BERT layer
+     experiment  run a paper experiment by id (fig2, fig8a, ..., ablation)
+     workloads   list the built-in workloads
+     verify      check a tuned schedule numerically against the reference *)
+
+open Cmdliner
+
+let spec_of_name name =
+  match Mcf_gpu.Spec.by_name name with
+  | Some s -> Ok s
+  | None ->
+    Error
+      (`Msg
+        (Printf.sprintf "unknown device %S (available: %s)" name
+           (String.concat ", "
+              (List.map (fun (s : Mcf_gpu.Spec.t) -> s.name) Mcf_gpu.Spec.all))))
+
+let chain_of_workload name =
+  match Mcf_workloads.Configs.find_gemm name with
+  | Some g -> Ok (Mcf_workloads.Configs.gemm_chain g)
+  | None -> (
+    match Mcf_workloads.Configs.find_attention name with
+    | Some s -> Ok (Mcf_workloads.Configs.attention s)
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown workload %S (G1-G12, S1-S9; see `mcfuser workloads`)"
+             name)))
+
+let verbose_arg =
+  let doc = "Log tuning progress (-v: per-tune summaries, -vv: per-generation)." in
+  Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs verbose =
+  let level =
+    match List.length verbose with
+    | 0 -> None
+    | 1 -> Some Logs.Info
+    | _ -> Some Logs.Debug
+  in
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level level
+
+let device_arg =
+  let doc = "Target device model (A100 or RTX3080)." in
+  Arg.(value & opt string "A100" & info [ "d"; "device" ] ~docv:"DEVICE" ~doc)
+
+let workload_arg =
+  let doc = "Workload name from Tables II/III, e.g. G4 or S2." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let with_setup device workload f =
+  match spec_of_name device with
+  | Error e -> Error e
+  | Ok spec -> (
+    match chain_of_workload workload with
+    | Error e -> Error e
+    | Ok chain -> f spec chain)
+
+(* --- tune ---------------------------------------------------------------- *)
+
+let tune_cmd =
+  let cache_arg =
+    let doc = "Schedule-cache file: reuse a stored schedule, or tune and store." in
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE" ~doc)
+  in
+  let run verbose cache device workload =
+    setup_logs verbose;
+    with_setup device workload (fun spec chain ->
+        (match cache with
+        | Some cache_file -> (
+          match
+            Mcf_search.Schedule_cache.tune_with_cache ~cache_file spec chain
+          with
+          | Ok (fresh, entry) ->
+            Printf.printf "%s: %s at %s (%s)\n" workload
+              (Mcf_ir.Candidate.to_string entry.ecand)
+              (Mcf_util.Table.fmt_time_s entry.etime_s)
+              (if fresh = None then "cache hit" else "tuned and cached");
+            Ok ()
+          | Error Mcf_search.Tuner.No_viable_candidate ->
+            Error (`Msg "no viable candidate"))
+        | None ->
+        match Mcf_search.Tuner.tune spec chain with
+        | Error Mcf_search.Tuner.No_viable_candidate ->
+          Error (`Msg "no viable candidate: the chain cannot be fused here")
+        | Ok o ->
+          Printf.printf "workload  %s on %s\n" workload spec.name;
+          Printf.printf "best      %s\n" (Mcf_ir.Candidate.to_string o.best.cand);
+          Printf.printf "kernel    %s\n"
+            (Mcf_util.Table.fmt_time_s o.kernel_time_s);
+          Printf.printf "tuning    %s virtual (%.2fs wall), %d measured, %d \
+                         generations\n"
+            (Mcf_util.Table.fmt_time_s o.tuning_virtual_s)
+            o.tuning_wall_s o.search_stats.measured o.search_stats.generations;
+          Printf.printf "space     %d candidates after pruning (raw %.3g)\n\n"
+            o.funnel.candidates_valid o.funnel.candidates_raw;
+          print_string (Mcf_search.Tuner.pseudo_code o);
+          Ok ()))
+  in
+  let term =
+    Term.(term_result (const run $ verbose_arg $ cache_arg $ device_arg
+                       $ workload_arg))
+  in
+  Cmd.v (Cmd.info "tune" ~doc:"Tune one workload and print the schedule") term
+
+(* --- chain ---------------------------------------------------------------- *)
+
+let chain_cmd =
+  let dim name doc = Arg.(required & opt (some int) None & info [ name ] ~doc) in
+  let kind_arg =
+    let doc = "Chain kind: gemm, attention, mlp or gemm3." in
+    Arg.(value & opt string "gemm" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let batch_arg =
+    Arg.(value & opt int 1 & info [ "batch" ] ~doc:"Batch / head count.")
+  in
+  let p_arg =
+    Arg.(value & opt int 64 & info [ "p" ] ~doc:"Third output dim (gemm3 only).")
+  in
+  let run verbose device kind batch m n k h p =
+    setup_logs verbose;
+    match spec_of_name device with
+    | Error e -> Error e
+    | Ok spec -> (
+      let chain =
+        match kind with
+        | "gemm" -> Ok (Mcf_ir.Chain.gemm_chain ~batch ~m ~n ~k ~h ())
+        | "attention" -> Ok (Mcf_ir.Chain.attention ~heads:batch ~m ~n ~k ~h ())
+        | "mlp" -> Ok (Mcf_ir.Chain.mlp_chain ~batch ~m ~n ~k ~h ())
+        | "gemm3" -> Ok (Mcf_ir.Chain.gemm_chain3 ~batch ~m ~n ~k ~h ~p ())
+        | other -> Error (`Msg (Printf.sprintf "unknown chain kind %S" other))
+      in
+      match chain with
+      | Error e -> Error e
+      | Ok chain -> (
+        match Mcf_search.Tuner.tune spec chain with
+        | Error Mcf_search.Tuner.No_viable_candidate ->
+          Error (`Msg "no viable candidate: the chain cannot be fused here")
+        | Ok o ->
+          Printf.printf "best  %s at %s (%d measured, tuning %s virtual)\n\n"
+            (Mcf_ir.Candidate.to_string o.best.cand)
+            (Mcf_util.Table.fmt_time_s o.kernel_time_s)
+            o.search_stats.measured
+            (Mcf_util.Table.fmt_time_s o.tuning_virtual_s);
+          print_string (Mcf_search.Tuner.pseudo_code o);
+          Ok ()))
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ verbose_arg $ device_arg $ kind_arg $ batch_arg
+        $ dim "m" "M dimension." $ dim "n" "N dimension."
+        $ dim "k" "K dimension." $ dim "h" "H dimension." $ p_arg))
+  in
+  Cmd.v
+    (Cmd.info "chain" ~doc:"Tune a custom operator chain from dimensions")
+    term
+
+(* --- dot ------------------------------------------------------------------ *)
+
+let dot_cmd =
+  let run device workload =
+    with_setup device workload (fun spec chain ->
+        match Mcf_search.Tuner.tune spec chain with
+        | Error Mcf_search.Tuner.No_viable_candidate ->
+          Error (`Msg "no viable candidate")
+        | Ok o ->
+          print_string (Mcf_ir.Program.to_dot o.best.lowered.program);
+          Ok ())
+  in
+  let term = Term.(term_result (const run $ device_arg $ workload_arg)) in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Graphviz rendering of the winning schedule's loop/statement DAG")
+    term
+
+(* --- explain ---------------------------------------------------------------- *)
+
+let explain_cmd =
+  let run device workload =
+    with_setup device workload (fun spec chain ->
+        match Mcf_search.Tuner.tune spec chain with
+        | Error Mcf_search.Tuner.No_viable_candidate ->
+          Error (`Msg "no viable candidate")
+        | Ok o ->
+          print_string (Mcf_gpu.Sim.explain spec o.kernel);
+          let b = Mcf_model.Perf.breakdown spec o.best.lowered in
+          Printf.printf
+            "\nanalytical model (eqs. 2-5): %.2f us = (mem %.2f + comp %.2f) \
+             x alpha %.3f\n"
+            (b.t_total *. 1e6) (b.t_mem *. 1e6) (b.t_comp *. 1e6) b.alpha;
+          Printf.printf
+            "shared memory: eq. (1) estimate %d B, actual allocation %d B\n"
+            (Mcf_model.Shmem.estimate_bytes o.best.lowered)
+            o.kernel.smem_bytes;
+          Ok ())
+  in
+  let term = Term.(term_result (const run $ device_arg $ workload_arg)) in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Simulator cost breakdown of the tuned kernel")
+    term
+
+(* --- partition --------------------------------------------------------------- *)
+
+let partition_cmd =
+  let model_arg =
+    let doc = "Model whose encoder layer to partition (bert-small/base/large, vit-base/large)." in
+    Arg.(value & opt string "bert-base" & info [ "model" ] ~docv:"MODEL" ~doc)
+  in
+  let run device model =
+    match spec_of_name device with
+    | Error e -> Error e
+    | Ok spec -> (
+      let cfg =
+        match String.lowercase_ascii model with
+        | "bert-small" -> Ok Mcf_workloads.Configs.bert_small
+        | "bert-base" -> Ok Mcf_workloads.Configs.bert_base
+        | "bert-large" -> Ok Mcf_workloads.Configs.bert_large
+        | "vit-base" -> Ok Mcf_workloads.Configs.vit_base
+        | "vit-large" -> Ok Mcf_workloads.Configs.vit_large
+        | other -> Error (`Msg (Printf.sprintf "unknown model %S" other))
+      in
+      match cfg with
+      | Error e -> Error e
+      | Ok cfg ->
+        let g = Mcf_frontend.Opgraph.bert_layer cfg in
+        Printf.printf "# imported operator graph (one encoder layer)\n";
+        print_string (Mcf_frontend.Opgraph.to_string g);
+        let g', r = Mcf_frontend.Opgraph.partition spec g in
+        Printf.printf "\n# after MBCI partitioning\n";
+        print_string (Mcf_frontend.Opgraph.to_string g');
+        Printf.printf
+          "\nfused %d attention pattern(s), %d plain chain(s); rejected %d \
+           compute-bound candidate chain(s)\n"
+          r.fused_attention r.fused_chains r.rejected_compute_bound;
+        Ok ())
+  in
+  let term = Term.(term_result (const run $ device_arg $ model_arg)) in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:"Show the graph partitioner segmenting a model into MBCI \
+             sub-graphs")
+    term
+
+(* --- schedule ------------------------------------------------------------ *)
+
+let schedule_cmd =
+  let run device workload =
+    with_setup device workload (fun spec chain ->
+        match Mcf_search.Tuner.tune spec chain with
+        | Error Mcf_search.Tuner.No_viable_candidate ->
+          Error (`Msg "no viable candidate")
+        | Ok o ->
+          Printf.printf "# tiling expression pseudo-code (Fig. 4 style)\n";
+          print_string (Mcf_search.Tuner.pseudo_code o);
+          Printf.printf "\n# generated Triton kernel\n";
+          print_string (Mcf_search.Tuner.triton_source o);
+          Printf.printf "\n# launch stub\n";
+          print_string (Mcf_codegen.Emit.launch_stub o.best.lowered.program);
+          Printf.printf "\n# TIR view (SV-B round trip)\n";
+          print_string
+            (Mcf_ir.Tir.pretty
+               (Mcf_ir.Tir.of_candidate chain o.best.cand));
+          Ok ())
+  in
+  let term = Term.(term_result (const run $ device_arg $ workload_arg)) in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Print pseudo-code and Triton source")
+    term
+
+(* --- compare ------------------------------------------------------------- *)
+
+let compare_cmd =
+  let run device workload =
+    with_setup device workload (fun spec chain ->
+        let backends =
+          [ Mcf_baselines.Pytorch.backend;
+            Mcf_baselines.Relay.backend;
+            Mcf_baselines.Ansor.backend;
+            Mcf_baselines.Bolt.backend;
+            Mcf_baselines.Flash_attention.backend;
+            Mcf_baselines.Chimera.backend;
+            Mcf_baselines.Mcfuser_backend.backend ]
+        in
+        let tbl =
+          Mcf_util.Table.create
+            ~headers:[ "backend"; "time"; "tuning (virtual)"; "note" ]
+        in
+        List.iter
+          (fun (b : Mcf_baselines.Backend.t) ->
+            match b.tune spec chain with
+            | Error (Mcf_baselines.Backend.Unsupported msg) ->
+              Mcf_util.Table.add_row tbl [ b.name; "-"; "-"; msg ]
+            | Ok o ->
+              Mcf_util.Table.add_row tbl
+                [ b.name;
+                  Mcf_util.Table.fmt_time_s o.time_s;
+                  Mcf_util.Table.fmt_time_s o.tuning_virtual_s;
+                  (match o.note with
+                  | Some n -> n
+                  | None -> if o.fused then "fused" else "unfused") ])
+          backends;
+        print_string (Mcf_util.Table.render tbl);
+        Ok ())
+  in
+  let term = Term.(term_result (const run $ device_arg $ workload_arg)) in
+  Cmd.v (Cmd.info "compare" ~doc:"Run every backend on one workload") term
+
+(* --- experiment ---------------------------------------------------------- *)
+
+let experiment_cmd =
+  let id_arg =
+    let doc = "Experiment id (fig2, fig7, fig8a-d, fig9, fig10, fig11, tab4, ablation)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run id =
+    match Mcf_experiments.Registry.find id with
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown experiment %S (available: %s)" id
+             (String.concat ", " (Mcf_experiments.Registry.ids ()))))
+    | Some e ->
+      print_string (e.run ());
+      Ok ()
+  in
+  let term = Term.(term_result (const run $ id_arg)) in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one paper table/figure")
+    term
+
+(* --- workloads ----------------------------------------------------------- *)
+
+let workloads_cmd =
+  let run () =
+    let tbl =
+      Mcf_util.Table.create
+        ~headers:[ "name"; "kind"; "batch/heads"; "M"; "N"; "K"; "H"; "network" ]
+    in
+    List.iter
+      (fun (g : Mcf_workloads.Configs.gemm_config) ->
+        Mcf_util.Table.add_row tbl
+          [ g.gname; "GEMM chain"; string_of_int g.gbatch; string_of_int g.gm;
+            string_of_int g.gn; string_of_int g.gk; string_of_int g.gh; "-" ])
+      Mcf_workloads.Configs.gemm_chains;
+    Mcf_util.Table.add_rule tbl;
+    List.iter
+      (fun (s : Mcf_workloads.Configs.attention_config) ->
+        Mcf_util.Table.add_row tbl
+          [ s.sname; "self-attention"; string_of_int s.heads;
+            string_of_int s.sm; string_of_int s.sn; string_of_int s.sk;
+            string_of_int s.sh; s.network ])
+      Mcf_workloads.Configs.attentions;
+    print_string (Mcf_util.Table.render tbl)
+  in
+  Cmd.v
+    (Cmd.info "workloads" ~doc:"List the built-in workloads")
+    Term.(const run $ const ())
+
+(* --- verify -------------------------------------------------------------- *)
+
+let verify_cmd =
+  let run device workload =
+    with_setup device workload (fun spec chain ->
+        (* Scale the chain down so the reference interpreter stays fast,
+           keeping the structure (same axes, same epilogues). *)
+        let small (a : Mcf_ir.Axis.t) = min a.size 96 in
+        let chain =
+          match chain.Mcf_ir.Chain.blocks with
+          | [ _; b2 ] when b2.Mcf_ir.Chain.epilogue = Mcf_ir.Chain.No_epilogue
+            ->
+            Mcf_ir.Chain.gemm_chain
+              ~m:(small (Mcf_ir.Chain.axis chain "m"))
+              ~n:(small (Mcf_ir.Chain.axis chain "n"))
+              ~k:(small (Mcf_ir.Chain.axis chain "k"))
+              ~h:(small (Mcf_ir.Chain.axis chain "h"))
+              ()
+          | _ ->
+            Mcf_ir.Chain.attention
+              ~m:(small (Mcf_ir.Chain.axis chain "m"))
+              ~n:(small (Mcf_ir.Chain.axis chain "n"))
+              ~k:(small (Mcf_ir.Chain.axis chain "k"))
+              ~h:(small (Mcf_ir.Chain.axis chain "h"))
+              ()
+        in
+        match Mcf_search.Tuner.tune spec chain with
+        | Error Mcf_search.Tuner.No_viable_candidate ->
+          Error (`Msg "no viable candidate")
+        | Ok o ->
+          let rng = Mcf_util.Rng.create 7 in
+          let inputs =
+            List.map
+              (fun (ts : Mcf_ir.Chain.tensor_spec) ->
+                let shape =
+                  Array.of_list
+                    (List.map (fun (a : Mcf_ir.Axis.t) -> a.size) ts.taxes)
+                in
+                (ts.tname, Mcf_tensor.Tensor.random rng shape))
+              (Mcf_ir.Chain.input_tensors chain)
+          in
+          let got = Mcf_interp.Interp.run o.best.lowered.program ~inputs in
+          let want = Mcf_interp.Interp.reference chain ~inputs in
+          let diff = Mcf_tensor.Tensor.max_abs_diff got want in
+          Printf.printf
+            "schedule %s\nmax |fused - reference| = %.3g  ->  %s\n"
+            (Mcf_ir.Candidate.to_string o.best.cand)
+            diff
+            (if Mcf_tensor.Tensor.approx_equal ~tol:1e-3 got want then
+               "PASS"
+             else "FAIL");
+          Ok ())
+  in
+  let term = Term.(term_result (const run $ device_arg $ workload_arg)) in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Numerically verify a tuned schedule on a scaled-down instance")
+    term
+
+let () =
+  let info =
+    Cmd.info "mcfuser" ~version:"1.0.0"
+      ~doc:"MCFuser reproduction: fusion of memory-bound compute-intensive \
+            operator chains"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ tune_cmd; chain_cmd; schedule_cmd; dot_cmd; explain_cmd;
+            compare_cmd; partition_cmd; experiment_cmd; workloads_cmd;
+            verify_cmd ]))

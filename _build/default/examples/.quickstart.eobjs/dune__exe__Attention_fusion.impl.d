@@ -1,0 +1,1 @@
+examples/attention_fusion.ml: List Mcf_baselines Mcf_codegen Mcf_gpu Mcf_ir Mcf_search Mcf_util Mcf_workloads Option Printf

@@ -1,0 +1,1 @@
+examples/attention_fusion.mli:

@@ -1,0 +1,1 @@
+examples/bert_end_to_end.ml: Engine Graph List Mcf_frontend Mcf_gpu Mcf_ir Mcf_util Mcf_workloads Opgraph Printf

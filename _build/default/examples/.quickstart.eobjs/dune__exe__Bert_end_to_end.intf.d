@@ -1,0 +1,1 @@
+examples/bert_end_to_end.mli:

@@ -1,0 +1,1 @@
+examples/conv_fusion.ml: Array Format Mcf_baselines Mcf_gpu Mcf_interp Mcf_ir Mcf_search Mcf_tensor Mcf_util Printf

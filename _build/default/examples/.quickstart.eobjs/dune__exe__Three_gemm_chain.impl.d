@@ -1,0 +1,1 @@
+examples/three_gemm_chain.ml: Array Format List Mcf_baselines Mcf_gpu Mcf_interp Mcf_ir Mcf_search Mcf_tensor Mcf_util Printf

@@ -1,0 +1,1 @@
+lib/baselines/ansor.ml: Array Backend Candidate Chain Float Hashtbl Int64 List Mcf_codegen Mcf_gpu Mcf_ir Mcf_search Mcf_util Pytorch Result Xgb

@@ -1,0 +1,1 @@
+lib/baselines/backend.ml: List Mcf_gpu Mcf_ir String

@@ -1,0 +1,1 @@
+lib/baselines/backend.mli: Mcf_gpu Mcf_ir

@@ -1,0 +1,1 @@
+lib/baselines/bolt.ml: Axis Backend Candidate Chain List Mcf_codegen Mcf_gpu Mcf_ir Mcf_util Pytorch Result Tiling

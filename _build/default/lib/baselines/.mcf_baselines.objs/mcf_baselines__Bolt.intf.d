@@ -1,0 +1,1 @@
+lib/baselines/bolt.mli: Backend

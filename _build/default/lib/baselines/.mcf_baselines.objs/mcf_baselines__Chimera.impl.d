@@ -1,0 +1,1 @@
+lib/baselines/chimera.ml: Backend Int64 Mcf_codegen Mcf_gpu Mcf_ir Mcf_search Mcf_util Result

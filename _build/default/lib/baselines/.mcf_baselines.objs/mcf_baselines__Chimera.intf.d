@@ -1,0 +1,1 @@
+lib/baselines/chimera.mli: Backend

@@ -1,0 +1,1 @@
+lib/baselines/flash_attention.ml: Backend Candidate Chain Mcf_codegen Mcf_gpu Mcf_ir Tiling

@@ -1,0 +1,1 @@
+lib/baselines/flash_attention.mli: Backend

@@ -1,0 +1,1 @@
+lib/baselines/mcfuser_backend.ml: Backend Mcf_search

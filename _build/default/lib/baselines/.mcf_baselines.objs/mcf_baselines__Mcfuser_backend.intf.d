@@ -1,0 +1,1 @@
+lib/baselines/mcfuser_backend.mli: Backend Mcf_search

@@ -1,0 +1,1 @@
+lib/baselines/op_kernels.ml: Axis Candidate Chain Float List Mcf_codegen Mcf_gpu Mcf_ir Mcf_util Printf Tiling

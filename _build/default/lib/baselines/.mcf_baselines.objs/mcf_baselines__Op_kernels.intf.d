@@ -1,0 +1,1 @@
+lib/baselines/op_kernels.mli: Mcf_gpu

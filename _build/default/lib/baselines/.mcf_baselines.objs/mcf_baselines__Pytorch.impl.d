@@ -1,0 +1,1 @@
+lib/baselines/pytorch.ml: Axis Backend Chain List Mcf_ir Op_kernels

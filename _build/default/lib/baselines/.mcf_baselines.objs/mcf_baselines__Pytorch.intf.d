@@ -1,0 +1,1 @@
+lib/baselines/pytorch.mli: Backend Mcf_gpu Mcf_ir

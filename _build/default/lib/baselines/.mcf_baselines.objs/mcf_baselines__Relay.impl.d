@@ -1,0 +1,1 @@
+lib/baselines/relay.ml: Backend Mcf_ir Pytorch

@@ -1,0 +1,1 @@
+lib/baselines/relay.mli: Backend

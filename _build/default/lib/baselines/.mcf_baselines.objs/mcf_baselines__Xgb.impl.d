@@ -1,0 +1,1 @@
+lib/baselines/xgb.ml: Array Float List Mcf_ir Mcf_model

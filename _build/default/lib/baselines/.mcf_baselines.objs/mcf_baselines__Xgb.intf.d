@@ -1,0 +1,1 @@
+lib/baselines/xgb.mli: Mcf_ir

@@ -1,0 +1,161 @@
+open Mcf_ir
+
+let math_penalty = 3.0
+let max_fusable_batch = 4
+let trials = ref 1000
+let trials_per_round = 64
+let tvm_compile_s = 4.5
+let model_train_s = 2.0
+let measure_repeats = 10
+
+(* Ansor's generated code runs the contractions off the MMA pipes. *)
+let derate k = Backend.derate_math math_penalty k
+
+let space_options =
+  { Mcf_search.Space.default_options with
+    include_flat = false;
+    dead_loop_elim = false }
+
+let measure ~clock spec (entry : Mcf_search.Space.entry) =
+  Mcf_gpu.Clock.charge_compile clock ~toolchain_s:tvm_compile_s;
+  match Mcf_codegen.Compile.compile spec entry.lowered with
+  | Error _ -> None
+  | Ok kernel -> (
+    match Mcf_gpu.Sim.run spec (derate kernel) with
+    | Error _ -> None
+    | Ok v ->
+      Mcf_gpu.Clock.charge_measure clock ~kernel_time_s:v.time_s
+        ~repeats:measure_repeats;
+      Some (derate kernel, v.time_s))
+
+let tune_fused ~rng ~clock spec chain =
+  let entries, _ = Mcf_search.Space.enumerate ~options:space_options spec chain in
+  match entries with
+  | [] -> None
+  | _ ->
+    let pool = Array.of_list entries in
+    let results = Hashtbl.create 256 in
+    let model = ref None in
+    let budget = ref !trials in
+    let predict (e : Mcf_search.Space.entry) =
+      match !model with
+      | None -> Mcf_util.Rng.float rng 1.0
+      | Some m -> Xgb.predict m (Xgb.feature_vector e.lowered)
+    in
+    while !budget > 0 do
+      let round = min trials_per_round !budget in
+      budget := !budget - round;
+      (* rank the whole space with the learned model, explore 20% randomly *)
+      let scored =
+        Array.map (fun e -> (e, predict e)) pool
+      in
+      Array.sort (fun (_, a) (_, b) -> Float.compare a b) scored;
+      let picks = ref [] in
+      let n_guided = round * 4 / 5 in
+      let unmeasured =
+        Array.to_list scored
+        |> List.map fst
+        |> List.filter (fun (e : Mcf_search.Space.entry) ->
+               not (Hashtbl.mem results (Candidate.key e.cand)))
+      in
+      picks := Mcf_util.Listx.take n_guided unmeasured;
+      for _ = List.length !picks + 1 to round do
+        picks := Mcf_util.Rng.pick rng pool :: !picks
+      done;
+      List.iter
+        (fun (e : Mcf_search.Space.entry) ->
+          let key = Candidate.key e.cand in
+          match Hashtbl.find_opt results key with
+          | Some _ ->
+            (* Ansor re-measures revisited states; the cost is real even
+               when the result is known. *)
+            Mcf_gpu.Clock.charge_compile clock ~toolchain_s:tvm_compile_s
+          | None -> Hashtbl.replace results key (e, measure ~clock spec e))
+        !picks;
+      (* retrain the cost model on everything measured so far *)
+      let samples =
+        Hashtbl.fold
+          (fun _ (e, r) acc ->
+            match r with
+            | Some (_, t) ->
+              ((Xgb.feature_vector e.Mcf_search.Space.lowered, log t) :: acc)
+            | None -> acc)
+          results []
+      in
+      if List.length samples >= 8 then begin
+        Mcf_gpu.Clock.charge clock model_train_s;
+        model := Some (Xgb.train samples)
+      end
+    done;
+    let best =
+      Hashtbl.fold
+        (fun _ (_, r) acc ->
+          match (r, acc) with
+          | Some (k, t), Some (_, bt) when t < bt -> Some (k, t)
+          | Some (k, t), None -> Some (k, t)
+          | _, acc -> acc)
+        results None
+    in
+    best
+
+let tune_unfused ~clock spec chain =
+  (* Per-operator tuning: Ansor still runs its trial budget, spread over
+     the chain's operator tasks. *)
+  Mcf_gpu.Clock.charge clock (float_of_int !trials *. tvm_compile_s);
+  let kernels =
+    List.map derate (Pytorch.chain_kernels ~fused_softmax:true spec chain)
+  in
+  match Backend.run_kernels ~dispatch_s:Backend.graph_dispatch_s spec kernels with
+  | Error _ -> None
+  | Ok t -> Some (kernels, t)
+
+let tune spec (chain : Chain.t) =
+  let seed =
+    Int64.to_int
+      (Int64.logand
+         (Mcf_util.Hashing.fnv1a64 ("ansor|" ^ chain.cname ^ spec.Mcf_gpu.Spec.name))
+         0x3FFFFFFFFFFFFFFFL)
+  in
+  let rng = Mcf_util.Rng.create seed in
+  let clock = Mcf_gpu.Clock.create () in
+  let run () =
+    if chain.batch <= max_fusable_batch then
+      match tune_fused ~rng ~clock spec chain with
+      | Some (kernel, time_s) ->
+        Ok
+          { Backend.backend = "Ansor";
+            kernels = [ kernel ];
+            time_s;
+            tuning_virtual_s = Mcf_gpu.Clock.elapsed_s clock;
+            tuning_wall_s = 0.0;
+            fused = true;
+            note = None }
+      | None -> (
+        match tune_unfused ~clock spec chain with
+        | Some (kernels, time_s) ->
+          Ok
+            { Backend.backend = "Ansor";
+              kernels;
+              time_s;
+              tuning_virtual_s = Mcf_gpu.Clock.elapsed_s clock;
+              tuning_wall_s = 0.0;
+              fused = false;
+              note = Some "fallback: unfused (no viable fused schedule)" }
+        | None -> Error (Backend.Unsupported "no viable schedule"))
+    else
+      match tune_unfused ~clock spec chain with
+      | Some (kernels, time_s) ->
+        Ok
+          { Backend.backend = "Ansor";
+            kernels;
+            time_s;
+            tuning_virtual_s = Mcf_gpu.Clock.elapsed_s clock;
+            tuning_wall_s = 0.0;
+            fused = false;
+            note = Some "fallback: batch too large for fusion sketches" }
+      | None -> Error (Backend.Unsupported "no viable schedule")
+  in
+  let result, wall = Mcf_gpu.Clock.with_wall_clock run in
+  Result.map (fun (o : Backend.outcome) -> { o with tuning_wall_s = wall }) result
+
+let backend = { Backend.name = "Ansor"; tune }

@@ -1,0 +1,27 @@
+(** The Ansor baseline (§VI-A: 1000 tuning trials per sub-graph).
+
+    Modeled with its documented characteristics relative to MCFuser:
+
+    - search space: loop-transformation sketches = deep tiling only, with
+      the Ansor/Chimera hoisting rule (no dead-loop elimination — the
+      [GetLastReduceIteratorInOutermostReduceTile] limitation of §II-B);
+    - exploration: an evolutionary loop guided by a gradient-boosted cost
+      model ({!Xgb}) retrained on every measured batch — each of the 1000
+      trials pays TVM + nvcc compilation on the virtual clock, which is
+      where Table IV's hours come from;
+    - code quality: Ansor's generated kernels do not reach tensor-core
+      peak (its auto-scheduling targets CUDA cores); math throughput is
+      derated by {!math_penalty};
+    - fusion coverage: chains with batch > {!max_fusable_batch} fall back
+      to unfused per-operator execution (the G12 failure of §VI-B). *)
+
+val math_penalty : float
+(** Ansor kernels reach ~1/3 of MMA peak. *)
+
+val max_fusable_batch : int
+
+val trials : int ref
+(** Measurement budget per sub-graph (paper setting: 1000).  Mutable so
+    experiments can shrink it for quick runs. *)
+
+val backend : Backend.t

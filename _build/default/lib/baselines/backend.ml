@@ -1,0 +1,37 @@
+type outcome = {
+  backend : string;
+  kernels : Mcf_gpu.Kernel.t list;
+  time_s : float;
+  tuning_virtual_s : float;
+  tuning_wall_s : float;
+  fused : bool;
+  note : string option;
+}
+
+type failure = Unsupported of string
+
+type t = {
+  name : string;
+  tune : Mcf_gpu.Spec.t -> Mcf_ir.Chain.t -> (outcome, failure) result;
+}
+
+let eager_dispatch_s = 8.0e-6
+let graph_dispatch_s = 2.0e-6
+
+let run_kernels ?(dispatch_s = 0.0) spec kernels =
+  match Mcf_gpu.Sim.run_sequence spec kernels with
+  | Ok t -> Ok (t +. (dispatch_s *. float_of_int (List.length kernels)))
+  | Error e -> Error (Mcf_gpu.Sim.string_of_error e)
+
+let derate_math factor (k : Mcf_gpu.Kernel.t) =
+  { k with
+    Mcf_gpu.Kernel.computes =
+      List.map
+        (fun (c : Mcf_gpu.Kernel.compute) ->
+          let is_epilogue =
+            String.length c.clabel >= 4
+            && String.sub c.clabel (String.length c.clabel - 4) 4 = "!epi"
+          in
+          if is_epilogue then c
+          else { c with flops_per_block = c.flops_per_block *. factor })
+        k.computes }

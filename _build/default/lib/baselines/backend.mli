@@ -1,0 +1,48 @@
+(** Common interface of the comparison systems (§VI-A).
+
+    Every baseline maps an MBCI operator chain to a sequence of simulator
+    kernels plus a tuning-cost account, so Fig. 8's normalized comparison
+    and Table IV's tuning times come from one code path. *)
+
+type outcome = {
+  backend : string;
+  kernels : Mcf_gpu.Kernel.t list;  (** Launched back-to-back. *)
+  time_s : float;  (** Total simulated execution time. *)
+  tuning_virtual_s : float;
+  tuning_wall_s : float;
+  fused : bool;  (** Did the system emit one fused kernel? *)
+  note : string option;  (** e.g. "fallback: unfused cutlass ops". *)
+}
+
+type failure =
+  | Unsupported of string
+      (** The system cannot handle this chain/device at all (e.g. BOLT on
+          sm86, FlashAttention on a non-attention chain). *)
+
+type t = {
+  name : string;
+  tune : Mcf_gpu.Spec.t -> Mcf_ir.Chain.t -> (outcome, failure) result;
+}
+
+val run_kernels :
+  ?dispatch_s:float ->
+  Mcf_gpu.Spec.t ->
+  Mcf_gpu.Kernel.t list ->
+  (float, string) result
+(** Simulate a launch sequence (measurement noise on), failing when any
+    kernel cannot launch.  [dispatch_s] is the framework's per-operator
+    dispatch cost on top of the raw kernel launch: eager PyTorch pays
+    several microseconds of Python/dispatcher work per operator, compiled
+    graph executors much less. *)
+
+val eager_dispatch_s : float
+(** Eager-framework per-operator overhead (PyTorch). *)
+
+val graph_dispatch_s : float
+(** Compiled graph-executor per-operator overhead (Relay/TVM/BOLT). *)
+
+val derate_math : float -> Mcf_gpu.Kernel.t -> Mcf_gpu.Kernel.t
+(** Scale the contraction FLOP cost of a kernel by a factor — used to
+    model code generators that do not reach tensor-core peak (Ansor) or
+    kernels predating the device generation (FlashAttention on Ampere).
+    Epilogue compute entries (label suffix "!epi") are left alone. *)

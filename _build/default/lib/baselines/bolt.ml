@@ -1,0 +1,98 @@
+open Mcf_ir
+
+let template_menu =
+  [ (64, 32, 64); (64, 32, 128); (64, 64, 64); (64, 64, 128);
+    (128, 32, 64); (128, 32, 128); (128, 64, 64); (128, 64, 128);
+    (64, 128, 64); (64, 128, 128); (128, 128, 64); (128, 128, 128);
+    (256, 32, 64); (256, 32, 128); (256, 64, 64); (256, 64, 128) ]
+
+let cutlass_compile_s = 1.7
+let library_scan_s = 45.0
+let measure_repeats = 10
+
+let is_dual_gemm (chain : Chain.t) =
+  List.length chain.blocks = 2
+  && List.for_all
+       (fun (b : Chain.block) ->
+         match b.epilogue with
+         | Chain.No_epilogue | Chain.Scale _ -> true
+         | Chain.Softmax _ | Chain.Unary _ -> false)
+       chain.blocks
+
+let fused_candidates (chain : Chain.t) =
+  let m = Chain.axis chain "m" in
+  let n = Chain.axis chain "n" in
+  let k = Chain.axis chain "k" in
+  let h = Chain.axis chain "h" in
+  let clamp (a : Axis.t) t = min t a.size in
+  List.map
+    (fun (tm, tk, th) ->
+      Candidate.make
+        (Tiling.Deep [ m; h; n; k ])
+        [ ("m", clamp m tm);
+          ("n", n.size);  (* the B2B constraint: full N per block *)
+          ("k", clamp k tk);
+          ("h", clamp h th) ])
+    template_menu
+
+let tune spec (chain : Chain.t) =
+  if spec.Mcf_gpu.Spec.compute_capability = "sm86" then
+    Error (Backend.Unsupported "BOLT does not support sm86 devices")
+  else if not (is_dual_gemm chain) then
+    Error
+      (Backend.Unsupported
+         "no fusion pattern (BOLT cannot fuse self-attention)")
+  else begin
+    let clock = Mcf_gpu.Clock.create () in
+    let run () =
+      Mcf_gpu.Clock.charge clock library_scan_s;
+      let measured =
+        List.filter_map
+          (fun cand ->
+            Mcf_gpu.Clock.charge_compile clock ~toolchain_s:cutlass_compile_s;
+            match Mcf_codegen.Compile.compile_candidate spec chain cand with
+            | Error _ -> None
+            | Ok kernel -> (
+              match Mcf_gpu.Sim.run spec kernel with
+              | Error _ -> None
+              | Ok v ->
+                Mcf_gpu.Clock.charge_measure clock ~kernel_time_s:v.time_s
+                  ~repeats:measure_repeats;
+                Some (kernel, v.time_s)))
+          (fused_candidates chain)
+      in
+      match Mcf_util.Listx.min_by snd measured with
+      | Some (kernel, time_s) ->
+        Ok
+          { Backend.backend = "BOLT";
+            kernels = [ kernel ];
+            time_s;
+            tuning_virtual_s = Mcf_gpu.Clock.elapsed_s clock;
+            tuning_wall_s = 0.0;
+            fused = true;
+            note = None }
+      | None -> (
+        (* No template fits (tensors too large for full-N residency):
+           run the chain as separate CUTLASS GEMMs. *)
+        let kernels = Pytorch.chain_kernels ~fused_softmax:true spec chain in
+        match
+          Backend.run_kernels ~dispatch_s:Backend.graph_dispatch_s spec kernels
+        with
+        | Error msg -> Error (Backend.Unsupported msg)
+        | Ok time_s ->
+          Ok
+            { Backend.backend = "BOLT";
+              kernels;
+              time_s;
+              tuning_virtual_s = Mcf_gpu.Clock.elapsed_s clock;
+              tuning_wall_s = 0.0;
+              fused = false;
+              note = Some "fallback: no template fits, unfused CUTLASS ops" })
+    in
+    let result, wall = Mcf_gpu.Clock.with_wall_clock run in
+    Result.map
+      (fun (o : Backend.outcome) -> { o with tuning_wall_s = wall })
+      result
+  end
+
+let backend = { Backend.name = "BOLT"; tune }

@@ -1,0 +1,15 @@
+(** The BOLT baseline: CUTLASS-templated fusion (§II-B, §VI).
+
+    BOLT fuses back-to-back GEMM pairs through a fixed template menu whose
+    defining constraint is that each thread block covers the entire N
+    dimension of the first GEMM (the intermediate never leaves the block).
+    Every instantiated template is compiled and measured — that is its
+    "mid" tuning cost in Table I/IV.  It cannot fuse self-attention (no
+    pattern for softmax between the GEMMs) and does not support sm86
+    devices at all (§VI-B); oversized shapes for which no template fits
+    fall back to unfused CUTLASS operators (the G10-G12 behaviour). *)
+
+val template_menu : (int * int * int) list
+(** (T_m, T_k, T_h) choices; T_n is pinned to N. *)
+
+val backend : Backend.t

@@ -1,0 +1,13 @@
+(** MCFuser-Chimera (§VI-A): Chimera's search strategy transplanted into
+    the MCFuser framework for a controlled comparison.
+
+    Differences from the full MCFuser tuner, per §II-B/§III:
+
+    - deep tiling expressions only (nested block execution orders; no flat
+      tiling);
+    - memory statements hoisted to the outermost relevant loop but without
+      dead-loop elimination;
+    - candidates ranked by Chimera's analytical objective — minimize data
+      movement — which ignores redundant computation and parallelism. *)
+
+val backend : Backend.t

@@ -1,0 +1,62 @@
+open Mcf_ir
+
+let tile_m = 128
+let tile_n = 64
+let max_head_dim = 128
+
+(* The evaluated commit (57ee618, mid-2022) predates Ampere-specific
+   pipelining (cp.async staging, warp specialization); its math pipes run
+   well below the device peak on A100/RTX30. *)
+let pre_ampere_penalty = 1.8
+
+let is_attention (chain : Chain.t) =
+  match chain.blocks with
+  | [ b1; b2 ] -> (
+    match (b1.epilogue, b2.epilogue) with
+    | Chain.Softmax _, Chain.No_epilogue -> true
+    | _ -> false)
+  | _ -> false
+
+let tune spec (chain : Chain.t) =
+  if not (is_attention chain) then
+    Error (Backend.Unsupported "FlashAttention only implements self-attention")
+  else begin
+    let k = Chain.axis chain "k" in
+    let h = Chain.axis chain "h" in
+    if k.size <> h.size then
+      Error
+        (Backend.Unsupported
+           "FlashAttention requires K = H (rigid kernel constraint)")
+    else if k.size > max_head_dim then
+      Error (Backend.Unsupported "head dimension exceeds the handwritten menu")
+    else begin
+      let m = Chain.axis chain "m" in
+      let n = Chain.axis chain "n" in
+      let cand =
+        Candidate.make
+          (Tiling.Deep [ m; h; n; k ])
+          [ ("m", min tile_m m.size);
+            ("n", min tile_n n.size);
+            ("k", k.size);
+            ("h", h.size) ]
+      in
+      match Mcf_codegen.Compile.compile_candidate spec chain cand with
+      | Error e ->
+        Error (Backend.Unsupported (Mcf_codegen.Compile.string_of_error e))
+      | Ok kernel -> (
+        let kernel = Backend.derate_math pre_ampere_penalty kernel in
+        match Mcf_gpu.Sim.run spec kernel with
+        | Error e -> Error (Backend.Unsupported (Mcf_gpu.Sim.string_of_error e))
+        | Ok v ->
+          Ok
+            { Backend.backend = "FlashAttention";
+              kernels = [ kernel ];
+              time_s = v.time_s;
+              tuning_virtual_s = 0.0;
+              tuning_wall_s = 0.0;
+              fused = true;
+              note = Some "handcrafted schedule, no tuning" })
+    end
+  end
+
+let backend = { Backend.name = "FlashAttention"; tune }

@@ -1,0 +1,63 @@
+open Mcf_ir
+
+(* One kernel per operator: a batched GEMM per contraction block, plus the
+   eager softmax sequence for softmax epilogues. *)
+let chain_kernels ?(gemm_quality = `Cublas) ?(fused_softmax = false) spec
+    (chain : Chain.t) =
+  List.concat_map
+    (fun (b : Chain.block) ->
+      let m, n =
+        match b.out.taxes with
+        | [ a1; a2 ] -> (a1.Axis.size, a2.Axis.size)
+        | _ -> invalid_arg "baseline: rank-2 block outputs expected"
+      in
+      let k =
+        match b.reduce_axes with
+        | [ a ] -> a.Axis.size
+        | _ -> invalid_arg "baseline: single reduction axis expected"
+      in
+      let gemm =
+        Op_kernels.gemm ~quality:gemm_quality spec ~batch:chain.batch ~m ~n ~k
+      in
+      let epilogue =
+        match b.epilogue with
+        | Chain.No_epilogue -> []
+        | Chain.Scale _ ->
+          if fused_softmax then [] (* folded into the producing kernel *)
+          else begin
+            let elems =
+              float_of_int (chain.batch * m * n)
+            in
+            [ Op_kernels.memory_op spec ~name:(b.bname ^ ".scale")
+                ~read_elems:elems ~write_elems:elems ~flops_per_elem:1.0 ]
+          end
+        | Chain.Unary { uflops; _ } ->
+          (* a separate activation kernel over the intermediate *)
+          let elems = float_of_int (chain.batch * m * n) in
+          [ Op_kernels.memory_op spec ~name:(b.bname ^ ".act")
+              ~read_elems:elems ~write_elems:elems ~flops_per_elem:uflops ]
+        | Chain.Softmax _ ->
+          Op_kernels.softmax_kernels ~fused:fused_softmax spec
+            ~rows:(float_of_int (chain.batch * m))
+            ~cols:n
+      in
+      gemm :: epilogue)
+    chain.blocks
+
+let tune spec (chain : Chain.t) =
+  match
+    Backend.run_kernels ~dispatch_s:Backend.eager_dispatch_s spec
+      (chain_kernels spec chain)
+  with
+  | Error msg -> Error (Backend.Unsupported msg)
+  | Ok time_s ->
+    Ok
+      { Backend.backend = "PyTorch";
+        kernels = chain_kernels spec chain;
+        time_s;
+        tuning_virtual_s = 0.0;
+        tuning_wall_s = 0.0;
+        fused = false;
+        note = None }
+
+let backend = { Backend.name = "PyTorch"; tune }

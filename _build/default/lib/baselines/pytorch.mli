@@ -1,0 +1,15 @@
+(** The PyTorch baseline: eager per-operator execution through vendor
+    libraries (cuBLAS batched GEMMs, elementwise/softmax kernels), every
+    intermediate round-tripping through global memory.  No tuning cost —
+    and no fusion, which is exactly what Fig. 8 normalizes against. *)
+
+val backend : Backend.t
+
+val chain_kernels :
+  ?gemm_quality:[ `Cublas | `Fixed of int * int * int ] ->
+  ?fused_softmax:bool ->
+  Mcf_gpu.Spec.t ->
+  Mcf_ir.Chain.t ->
+  Mcf_gpu.Kernel.t list
+(** The unfused launch sequence for a chain, reused by Relay (fused
+    softmax, fixed templates) and by the fallback paths of Ansor/BOLT. *)

@@ -1,0 +1,20 @@
+let relay_template = `Fixed (64, 64, 32)
+
+let tune spec (chain : Mcf_ir.Chain.t) =
+  let kernels =
+    Pytorch.chain_kernels ~gemm_quality:relay_template ~fused_softmax:true spec
+      chain
+  in
+  match Backend.run_kernels ~dispatch_s:Backend.graph_dispatch_s spec kernels with
+  | Error msg -> Error (Backend.Unsupported msg)
+  | Ok time_s ->
+    Ok
+      { Backend.backend = "Relay";
+        kernels;
+        time_s;
+        tuning_virtual_s = 0.0;
+        tuning_wall_s = 0.0;
+        fused = false;
+        note = Some "pre-defined templates, no tuning" }
+
+let backend = { Backend.name = "Relay"; tune }

@@ -1,0 +1,7 @@
+(** The Relay (TVM default-schedule) baseline: per-operator execution from
+    pre-defined TOPI templates without auto-tuning.  Relative to eager
+    PyTorch it fuses elementwise epilogues into one softmax kernel but its
+    GEMM templates are not shape-dispatched, so kernel quality trails
+    cuBLAS (§VI-C). *)
+
+val backend : Backend.t

@@ -1,0 +1,1 @@
+lib/codegen/alloc.ml: Axis Candidate Chain List Lower Mcf_gpu Mcf_ir Mcf_util Program

@@ -1,0 +1,1 @@
+lib/codegen/alloc.mli: Mcf_gpu Mcf_ir

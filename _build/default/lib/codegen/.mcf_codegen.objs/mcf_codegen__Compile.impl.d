@@ -1,0 +1,1 @@
+lib/codegen/compile.ml: Alloc Mcf_gpu Mcf_ir Printf

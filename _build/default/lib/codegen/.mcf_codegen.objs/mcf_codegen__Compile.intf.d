@@ -1,0 +1,1 @@
+lib/codegen/compile.mli: Mcf_gpu Mcf_ir

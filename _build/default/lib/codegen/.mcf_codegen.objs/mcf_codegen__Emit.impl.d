@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Axis Buffer Candidate Chain List Mcf_ir Mcf_util Printf Program String

@@ -1,0 +1,25 @@
+type error =
+  | Invalid_schedule of Mcf_ir.Program.invalid
+  | Launch_impossible of { smem : int; limit : int }
+
+let string_of_error = function
+  | Invalid_schedule i -> Mcf_ir.Program.string_of_invalid i
+  | Launch_impossible { smem; limit } ->
+    Printf.sprintf "kernel needs %d B shared memory, device block limit is %d B"
+      smem limit
+
+let compile (spec : Mcf_gpu.Spec.t) (l : Mcf_ir.Lower.t) =
+  match l.validity with
+  | Error i -> Error (Invalid_schedule i)
+  | Ok () ->
+    let smem = Alloc.actual_bytes spec l in
+    if smem > spec.smem_per_block then
+      Error (Launch_impossible { smem; limit = spec.smem_per_block })
+    else Ok (Mcf_ir.Lower.to_kernel l ~smem_bytes:smem)
+
+let compile_candidate ?rule1 ?dead_loop_elim ?hoisting spec chain cand =
+  let l =
+    Mcf_ir.Lower.lower ?rule1 ?dead_loop_elim ?hoisting
+      ~elem_bytes:spec.Mcf_gpu.Spec.elem_bytes chain cand
+  in
+  compile spec l

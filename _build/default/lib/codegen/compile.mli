@@ -1,0 +1,26 @@
+(** Candidate compilation: validity check + allocation + kernel packaging.
+
+    This is the stand-in for MCFuser's Triton -> PTX -> TVM runtime path:
+    a candidate either compiles to a simulator kernel or is rejected the
+    way the real toolchain would reject it. *)
+
+type error =
+  | Invalid_schedule of Mcf_ir.Program.invalid
+  | Launch_impossible of { smem : int; limit : int }
+      (** Actual allocation exceeds the per-block shared-memory maximum —
+          the kernel cannot launch on this device. *)
+
+val compile :
+  Mcf_gpu.Spec.t -> Mcf_ir.Lower.t -> (Mcf_gpu.Kernel.t, error) result
+
+val compile_candidate :
+  ?rule1:bool ->
+  ?dead_loop_elim:bool ->
+  ?hoisting:bool ->
+  Mcf_gpu.Spec.t ->
+  Mcf_ir.Chain.t ->
+  Mcf_ir.Candidate.t ->
+  (Mcf_gpu.Kernel.t, error) result
+(** Lower (with the device's element size) then [compile]. *)
+
+val string_of_error : error -> string

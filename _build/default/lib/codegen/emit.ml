@@ -1,0 +1,211 @@
+open Mcf_ir
+
+let buf_add = Buffer.add_string
+
+let tile_const (a : Axis.t) = Printf.sprintf "T%s" (String.uppercase_ascii a.name)
+
+let offs_expr (ts : Chain.tensor_spec) =
+  (* Row-major offsets from the per-axis tile bases, e.g.
+     (m0 + tl.arange(0, TM))[:, None] * K + (k0 + tl.arange(0, TK))[None, :] *)
+  let rank = List.length ts.taxes in
+  String.concat " + "
+    (List.mapi
+       (fun i (a : Axis.t) ->
+         let arange =
+           Printf.sprintf "(%s0 + tl.arange(0, %s))" a.name (tile_const a)
+         in
+         let bcast =
+           if rank = 1 then arange
+           else if i = 0 then arange ^ "[:, None]"
+           else arange ^ "[None, :]"
+         in
+         let stride =
+           if i = rank - 1 then "" else Printf.sprintf " * stride_%s_%s" ts.tname a.name
+         in
+         bcast ^ stride)
+       ts.taxes)
+
+let acc_name (ts : Chain.tensor_spec) = String.lowercase_ascii ts.tname ^ "_acc"
+let reg_name (ts : Chain.tensor_spec) = String.lowercase_ascii ts.tname ^ "_tile"
+
+let emit_stmt program buf indent stmt =
+  let pad = String.make indent ' ' in
+  let chain = program.Program.chain in
+  match stmt with
+  | Program.Load (ts, _) ->
+    buf_add buf
+      (Printf.sprintf "%s%s = tl.load(%s_ptr + %s, mask=%s_mask, other=0.0)\n"
+         pad (reg_name ts) ts.tname (offs_expr ts)
+         (String.lowercase_ascii ts.tname))
+  | Program.Compute b ->
+    let ins = List.map (fun (ts : Chain.tensor_spec) ->
+        match ts.storage with
+        | Chain.Input -> reg_name ts
+        | Chain.Intermediate | Chain.Output -> acc_name ts)
+        b.ins
+    in
+    (* A compute whose reduction loops all collapsed (trip 1) produces its
+       tile in one shot; otherwise it accumulates across the live loop. *)
+    let accumulates =
+      List.exists
+        (fun (a : Axis.t) -> Candidate.trip program.Program.cand a > 1)
+        b.reduce_axes
+    in
+    buf_add buf
+      (Printf.sprintf "%s%s %s tl.dot(%s)\n" pad (acc_name b.out)
+         (if accumulates then "+=" else "=")
+         (String.concat ", " ins))
+  | Program.Epilogue b -> (
+    match b.Chain.epilogue with
+    | Chain.Softmax { sscale; _ } ->
+      let acc = acc_name b.out in
+      buf_add buf (Printf.sprintf "%s# online softmax update\n" pad);
+      buf_add buf
+        (Printf.sprintf "%sm_new = tl.maximum(m_i, tl.max(%s * %g, 1))\n" pad
+           acc sscale);
+      buf_add buf (Printf.sprintf "%scorr = tl.exp(m_i - m_new)\n" pad);
+      buf_add buf
+        (Printf.sprintf "%s%s = tl.exp(%s * %g - m_new[:, None])\n" pad acc acc
+           sscale);
+      buf_add buf (Printf.sprintf "%sl_i = l_i * corr + tl.sum(%s, 1)\n" pad acc);
+      List.iter
+        (fun (q : Chain.block) ->
+          buf_add buf
+            (Printf.sprintf "%s%s *= corr[:, None]\n" pad (acc_name q.out)))
+        (Chain.consumers_of chain b.out);
+      buf_add buf (Printf.sprintf "%sm_i = m_new\n" pad)
+    | Chain.Scale c ->
+      buf_add buf (Printf.sprintf "%s%s *= %g\n" pad (acc_name b.out) c)
+    | Chain.Unary { uname; _ } ->
+      buf_add buf
+        (Printf.sprintf "%s%s = %s(%s)\n" pad (acc_name b.out) uname
+           (acc_name b.out))
+    | Chain.No_epilogue -> ())
+  | Program.Store (ts, p) ->
+    let chain_softmax =
+      List.exists
+        (fun (inp : Chain.tensor_spec) ->
+          match inp.storage with
+          | Chain.Intermediate -> true
+          | Chain.Input | Chain.Output -> false)
+        p.Chain.ins
+    in
+    ignore chain_softmax;
+    buf_add buf
+      (Printf.sprintf "%stl.store(%s_ptr + %s, %s, mask=%s_mask)\n" pad
+         ts.tname (offs_expr ts) (acc_name ts)
+         (String.lowercase_ascii ts.tname))
+
+let triton_kernel (p : Program.t) =
+  let chain = p.Program.chain in
+  let buf = Buffer.create 1024 in
+  let tensors = chain.tensors in
+  let ptr_args =
+    tensors
+    |> List.filter (fun (ts : Chain.tensor_spec) ->
+           ts.storage <> Chain.Intermediate)
+    |> List.map (fun (ts : Chain.tensor_spec) -> ts.tname ^ "_ptr")
+  in
+  let const_args =
+    List.map (fun a -> tile_const a ^ ": tl.constexpr") chain.axes
+  in
+  buf_add buf "@triton.jit\n";
+  buf_add buf
+    (Printf.sprintf "def %s_fused(%s,\n                %s):\n" chain.cname
+       (String.concat ", " ptr_args)
+       (String.concat ", " const_args));
+  buf_add buf (Printf.sprintf "    # tiling expression: %s\n"
+                 (Candidate.to_string p.Program.cand));
+  (match p.grid_axes with
+  | [] -> buf_add buf "    pid = tl.program_id(0)  # single-block kernel\n"
+  | axes ->
+    buf_add buf "    pid = tl.program_id(0)\n";
+    List.iteri
+      (fun i (a : Axis.t) ->
+        let trips = Candidate.trip p.Program.cand a in
+        if i = List.length axes - 1 then
+          buf_add buf
+            (Printf.sprintf "    %s0 = (pid %% %d) * %s\n" a.name trips
+               (tile_const a))
+        else begin
+          buf_add buf
+            (Printf.sprintf "    %s0 = (pid // %d) %% %d * %s\n" a.name
+               (List.fold_left
+                  (fun acc x -> acc * Candidate.trip p.Program.cand x)
+                  1
+                  (Mcf_util.Listx.drop (i + 1) axes))
+               trips (tile_const a));
+          ()
+        end)
+      axes);
+  (* accumulators *)
+  List.iter
+    (fun (b : Chain.block) ->
+      let m, n =
+        match b.out.taxes with
+        | [ a1; a2 ] -> (tile_const a1, tile_const a2)
+        | [ a1 ] -> (tile_const a1, "1")
+        | _ -> ("TM", "TN")
+      in
+      buf_add buf
+        (Printf.sprintf "    %s = tl.zeros((%s, %s), dtype=tl.float32)\n"
+           (acc_name b.out) m n);
+      match b.Chain.epilogue with
+      | Chain.Softmax _ ->
+        buf_add buf
+          (Printf.sprintf
+             "    m_i = tl.full((%s,), float('-inf'), dtype=tl.float32)\n" m);
+        buf_add buf
+          (Printf.sprintf "    l_i = tl.zeros((%s,), dtype=tl.float32)\n" m)
+      | Chain.No_epilogue | Chain.Scale _ | Chain.Unary _ -> ())
+    chain.blocks;
+  let rec emit indent nodes =
+    List.iter
+      (function
+        | Program.Stmt s -> emit_stmt p buf indent s
+        | Program.Loop l ->
+          buf_add buf
+            (Printf.sprintf "%sfor %s_i in range(%d):\n"
+               (String.make indent ' ') l.Program.laxis.Axis.name
+               l.Program.extent);
+          buf_add buf
+            (Printf.sprintf "%s%s0 = %s_i * %s\n"
+               (String.make (indent + 4) ' ')
+               l.Program.laxis.Axis.name l.Program.laxis.Axis.name
+               (tile_const l.Program.laxis));
+          emit (indent + 4) l.Program.body)
+      nodes
+  in
+  emit 4 p.Program.roots;
+  if Program.online_softmax p then
+    buf_add buf "    # final normalization folded into the store above\n";
+  Buffer.contents buf
+
+let launch_stub (p : Program.t) =
+  let chain = p.Program.chain in
+  let blocks = Program.grid_blocks p in
+  let buf = Buffer.create 256 in
+  buf_add buf (Printf.sprintf "def launch_%s(%s):\n" chain.cname
+                 (String.concat ", "
+                    (List.map
+                       (fun (ts : Chain.tensor_spec) ->
+                         String.lowercase_ascii ts.tname)
+                       (Chain.input_tensors chain))));
+  buf_add buf (Printf.sprintf "    grid = (%d,)  # %s x batch %d\n" blocks
+                 (String.concat " * "
+                    (List.map
+                       (fun (a : Axis.t) ->
+                         Printf.sprintf "%s/%d" a.name
+                           (Candidate.tile p.Program.cand a))
+                       p.grid_axes))
+                 chain.batch);
+  List.iter
+    (fun (a : Axis.t) ->
+      buf_add buf
+        (Printf.sprintf "    %s = %d\n" (tile_const a)
+           (Candidate.tile p.Program.cand a)))
+    chain.axes;
+  buf_add buf
+    (Printf.sprintf "    %s_fused[grid](..., %s)\n" chain.cname
+       (String.concat ", " (List.map tile_const chain.axes)));
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Triton-style kernel source rendering.
+
+    MCFuser hands inter-tile structure to Triton and lets it handle
+    intra-tile optimization (§V-A); this module renders the equivalent
+    Triton kernel for a placed program so users can inspect — and, on a
+    machine with a GPU, actually run — what the schedule means.  The
+    emitted text is illustrative source, not executed here. *)
+
+val triton_kernel : Mcf_ir.Program.t -> string
+(** A `@triton.jit` kernel: pointer arguments, grid decomposition,
+    `tl.load`/`tl.dot`/`tl.store` statements following the placed program,
+    online-softmax updates where the schedule requires them. *)
+
+val launch_stub : Mcf_ir.Program.t -> string
+(** The Python-side launch wrapper (grid computation, strides). *)

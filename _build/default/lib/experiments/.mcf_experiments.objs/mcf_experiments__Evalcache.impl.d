@@ -1,0 +1,1 @@
+lib/experiments/evalcache.ml: Hashtbl Mcf_baselines Mcf_gpu Mcf_ir Printf

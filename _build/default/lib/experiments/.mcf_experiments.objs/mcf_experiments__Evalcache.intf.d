@@ -1,0 +1,1 @@
+lib/experiments/evalcache.mli: Mcf_baselines Mcf_gpu Mcf_ir

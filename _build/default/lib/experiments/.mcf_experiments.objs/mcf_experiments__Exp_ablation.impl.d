@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Buffer List Mcf_codegen Mcf_gpu Mcf_ir Mcf_model Mcf_search Mcf_util Mcf_workloads Option Printf String

@@ -1,0 +1,1 @@
+lib/experiments/exp_extension.mli: Mcf_gpu Mcf_ir

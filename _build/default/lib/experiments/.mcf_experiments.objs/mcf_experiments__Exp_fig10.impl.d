@@ -1,0 +1,1 @@
+lib/experiments/exp_fig10.ml: Array Buffer Float List Mcf_codegen Mcf_gpu Mcf_model Mcf_search Mcf_util Mcf_workloads Printf

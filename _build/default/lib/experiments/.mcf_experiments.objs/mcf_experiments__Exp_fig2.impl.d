@@ -1,0 +1,1 @@
+lib/experiments/exp_fig2.ml: Buffer List Mcf_baselines Mcf_gpu Mcf_util Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Buffer Float Mcf_ir Mcf_search Mcf_util Printf

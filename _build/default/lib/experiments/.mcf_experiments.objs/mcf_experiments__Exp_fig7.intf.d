@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.mli: Mcf_gpu Mcf_search

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig8.ml: Buffer Evalcache List Mcf_baselines Mcf_gpu Mcf_util Mcf_workloads Printf

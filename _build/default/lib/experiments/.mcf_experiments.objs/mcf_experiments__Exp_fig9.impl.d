@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: Buffer Engine Graph List Mcf_frontend Mcf_gpu Mcf_util Mcf_workloads Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.mli: Mcf_frontend Mcf_gpu Mcf_workloads

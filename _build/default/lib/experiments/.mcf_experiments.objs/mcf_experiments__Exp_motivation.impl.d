@@ -1,0 +1,1 @@
+lib/experiments/exp_motivation.ml: Buffer List Mcf_frontend Mcf_gpu Mcf_ir Mcf_util Mcf_workloads Printf

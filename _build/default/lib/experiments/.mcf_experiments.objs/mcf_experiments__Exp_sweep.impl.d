@@ -1,0 +1,1 @@
+lib/experiments/exp_sweep.ml: Buffer Evalcache List Mcf_baselines Mcf_gpu Mcf_ir Mcf_util Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_tab4.ml: Buffer Engine Evalcache Graph List Mcf_baselines Mcf_frontend Mcf_util Mcf_workloads Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_verify.ml: Array Buffer Float List Mcf_gpu Mcf_interp Mcf_ir Mcf_search Mcf_tensor Mcf_util Mcf_workloads Printf

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp_ablation Exp_extension Exp_fig10 Exp_fig11 Exp_fig2 Exp_fig7 Exp_fig8 Exp_fig9 Exp_motivation Exp_sweep Exp_tab4 Exp_verify List Mcf_gpu

@@ -1,0 +1,105 @@
+type stats = {
+  total : int;
+  q1 : int;
+  q2 : int;
+  q3 : int;
+  q4 : int;
+  rule4_prune_fraction : float;
+}
+
+let title = "Fig. 10: model-predicted vs actual shared memory usage"
+
+let sample_chains () =
+  List.map Mcf_workloads.Configs.gemm_chain Mcf_workloads.Configs.gemm_chains
+  @ List.map Mcf_workloads.Configs.attention Mcf_workloads.Configs.attentions
+
+let compute ?(per_workload = 300) (spec : Mcf_gpu.Spec.t) =
+  let options =
+    { Mcf_search.Space.default_options with rule4 = false }
+  in
+  let rng = Mcf_util.Rng.create 20240614 in
+  let points = ref [] in
+  List.iter
+    (fun chain ->
+      let entries, _ = Mcf_search.Space.enumerate ~options spec chain in
+      let arr = Array.of_list entries in
+      Mcf_util.Rng.shuffle rng arr;
+      let n = min per_workload (Array.length arr) in
+      for i = 0 to n - 1 do
+        let e = arr.(i) in
+        let est = Mcf_model.Shmem.estimate_bytes e.lowered in
+        let actual = Mcf_codegen.Alloc.actual_bytes spec e.lowered in
+        points := (est, actual) :: !points
+      done)
+    (sample_chains ());
+  let limit = float_of_int spec.smem_per_block in
+  let threshold = 1.2 *. limit in
+  let q1 = ref 0 and q2 = ref 0 and q3 = ref 0 and q4 = ref 0 in
+  List.iter
+    (fun (est, actual) ->
+      let kept = float_of_int est <= threshold in
+      let launchable = float_of_int actual <= limit in
+      match (kept, launchable) with
+      | true, true -> incr q1
+      | true, false -> incr q2
+      | false, false -> incr q3
+      | false, true -> incr q4)
+    !points;
+  let total = List.length !points in
+  let stats =
+    { total;
+      q1 = !q1;
+      q2 = !q2;
+      q3 = !q3;
+      q4 = !q4;
+      rule4_prune_fraction =
+        float_of_int (!q3 + !q4) /. float_of_int (max 1 total) }
+  in
+  let scatter =
+    List.map
+      (fun (est, actual) ->
+        (float_of_int est /. limit, float_of_int actual /. limit))
+      !points
+  in
+  (stats, scatter)
+
+let render spec =
+  let stats, scatter = compute spec in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s (%s, Shm_max = %d KiB/block)\n\n" title
+       spec.Mcf_gpu.Spec.name
+       (spec.smem_per_block / 1024));
+  let pct n = 100.0 *. float_of_int n /. float_of_int (max 1 stats.total) in
+  let tbl =
+    Mcf_util.Table.create ~headers:[ "quadrant"; "count"; "share"; "paper" ]
+  in
+  Mcf_util.Table.add_row tbl
+    [ "I   kept & launchable"; string_of_int stats.q1;
+      Printf.sprintf "%.1f%%" (pct stats.q1); "" ];
+  Mcf_util.Table.add_row tbl
+    [ "II  kept, not launchable"; string_of_int stats.q2;
+      Printf.sprintf "%.1f%%" (pct stats.q2); "8.2%" ];
+  Mcf_util.Table.add_row tbl
+    [ "III pruned & not launchable"; string_of_int stats.q3;
+      Printf.sprintf "%.1f%%" (pct stats.q3); "" ];
+  Mcf_util.Table.add_row tbl
+    [ "IV  pruned but launchable"; string_of_int stats.q4;
+      Printf.sprintf "%.1f%%" (pct stats.q4); "1.2%" ];
+  Mcf_util.Table.add_rule tbl;
+  Mcf_util.Table.add_row tbl
+    [ "I+III (correct)"; string_of_int (stats.q1 + stats.q3);
+      Printf.sprintf "%.1f%%" (pct (stats.q1 + stats.q3)); ">90%" ];
+  Buffer.add_string buf (Mcf_util.Table.render tbl);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Rule 4 prunes %.0f%% of Rule-3 survivors (paper: ~40%%)\n\n"
+       (100.0 *. stats.rule4_prune_fraction));
+  (* clip the scatter for readability *)
+  let clipped =
+    List.map (fun (x, y) -> (Float.min x 3.0, Float.min y 3.0)) scatter
+  in
+  Buffer.add_string buf
+    (Mcf_util.Chart.scatter ~title:"estimated vs actual (units of Shm_max, clipped at 3)"
+       ~x_label:"estimated / Shm_max" ~y_label:"actual / Shm_max" clipped);
+  Buffer.contents buf

@@ -1,0 +1,73 @@
+type point = {
+  m : int;
+  k : int;
+  ratio : float;
+  phi : float;
+  achieved_tflops : float;
+}
+
+let title = "Fig. 2: MatMul performance across K/M ratios (M*N*K = 1024^3)"
+
+(* Theoretical compute/traffic ratio of a T x T x K tile (elements):
+   2*T*T*K / (2*T*T + 2*T*K). *)
+let phi_tile ~tile ~k =
+  let t = float_of_int tile and k = float_of_int k in
+  2.0 *. t *. t *. k /. ((2.0 *. t *. t) +. (2.0 *. t *. k))
+
+let sweep = [ 8192; 4096; 2048; 1024; 512; 256 ]
+
+let compute (spec : Mcf_gpu.Spec.t) =
+  List.map
+    (fun m ->
+      let k = 1 lsl 30 / (m * m) in
+      let kernel = Mcf_baselines.Op_kernels.gemm spec ~batch:1 ~m ~n:m ~k in
+      let time =
+        match Mcf_gpu.Sim.run ~noise:false spec kernel with
+        | Ok v -> v.time_s
+        | Error e -> failwith (Mcf_gpu.Sim.string_of_error e)
+      in
+      let flops = 2.0 *. float_of_int m *. float_of_int m *. float_of_int k in
+      { m;
+        k;
+        ratio = float_of_int k /. float_of_int m;
+        phi = phi_tile ~tile:256 ~k;
+        achieved_tflops = flops /. time /. 1e12 })
+    sweep
+
+let render spec =
+  let points = compute spec in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "device %s: roofline crossover P/W = %.0f FLOPs/byte\n\n"
+       spec.Mcf_gpu.Spec.name
+       (Mcf_gpu.Spec.roofline_ratio spec));
+  let tbl =
+    Mcf_util.Table.create
+      ~headers:[ "K/M"; "M=N"; "K"; "phi (tile 256)"; "TFLOP/s"; "bound" ]
+  in
+  List.iter
+    (fun p ->
+      let bound =
+        if p.phi < Mcf_gpu.Spec.roofline_ratio spec then "memory" else "compute"
+      in
+      Mcf_util.Table.add_row tbl
+        [ Printf.sprintf "%.4g" p.ratio;
+          string_of_int p.m;
+          string_of_int p.k;
+          Mcf_util.Table.fmt_float ~digits:1 p.phi;
+          Mcf_util.Table.fmt_float ~digits:1 p.achieved_tflops;
+          bound ])
+    points;
+  Buffer.add_string buf (Mcf_util.Table.render tbl);
+  let log2 x = log x /. log 2.0 in
+  Buffer.add_string buf
+    (Mcf_util.Chart.line ~title:"throughput vs log2(K/M)" ~x_label:"log2(K/M)"
+       [ ("TFLOP/s",
+          List.map (fun p -> (log2 p.ratio, p.achieved_tflops)) points);
+         ("phi", List.map (fun p -> (log2 p.ratio, p.phi)) points) ]);
+  Buffer.add_string buf
+    "shape check: throughput collapses as K/M falls below ~1 (paper: same \
+     transition; the operator becomes memory-bound while total FLOPs stay \
+     constant)\n";
+  Buffer.contents buf

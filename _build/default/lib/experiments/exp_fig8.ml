@@ -1,0 +1,155 @@
+type panel = Gemm_chains | Attention
+
+type row = {
+  workload : string;
+  times : (string * float option) list;
+}
+
+type result = {
+  spec : Mcf_gpu.Spec.t;
+  panel : panel;
+  backends : string list;
+  rows : row list;
+}
+
+let title = "Fig. 8: sub-graph performance normalized to PyTorch"
+
+let backends_for = function
+  | Gemm_chains ->
+    [ Mcf_baselines.Pytorch.backend;
+      Mcf_baselines.Ansor.backend;
+      Mcf_baselines.Bolt.backend;
+      Mcf_baselines.Chimera.backend;
+      Mcf_baselines.Mcfuser_backend.backend ]
+  | Attention ->
+    [ Mcf_baselines.Pytorch.backend;
+      Mcf_baselines.Ansor.backend;
+      Mcf_baselines.Bolt.backend;
+      Mcf_baselines.Flash_attention.backend;
+      Mcf_baselines.Chimera.backend;
+      Mcf_baselines.Mcfuser_backend.backend ]
+
+let workloads = function
+  | Gemm_chains ->
+    List.map
+      (fun g -> (g.Mcf_workloads.Configs.gname, Mcf_workloads.Configs.gemm_chain g))
+      Mcf_workloads.Configs.gemm_chains
+  | Attention ->
+    List.map
+      (fun s -> (s.Mcf_workloads.Configs.sname, Mcf_workloads.Configs.attention s))
+      Mcf_workloads.Configs.attentions
+
+let compute spec panel =
+  let backends = backends_for panel in
+  let rows =
+    List.map
+      (fun (wname, chain) ->
+        let times =
+          List.map
+            (fun (b : Mcf_baselines.Backend.t) ->
+              match Evalcache.run b spec chain with
+              | Ok o -> (b.name, Some o.time_s)
+              | Error (Mcf_baselines.Backend.Unsupported _) -> (b.name, None))
+            backends
+        in
+        { workload = wname; times })
+      (workloads panel)
+  in
+  { spec;
+    panel;
+    backends = List.map (fun (b : Mcf_baselines.Backend.t) -> b.name) backends;
+    rows }
+
+let time_of row name =
+  match List.assoc_opt name row.times with Some t -> t | None -> None
+
+let geomean_speedup result ~over ~of_ =
+  let ratios =
+    List.filter_map
+      (fun row ->
+        match (time_of row over, time_of row of_) with
+        | Some slow, Some fast when fast > 0.0 -> Some (slow /. fast)
+        | _ -> None)
+      result.rows
+  in
+  match ratios with [] -> None | _ -> Some (Mcf_util.Stats.geomean ratios)
+
+let panel_name = function
+  | Gemm_chains -> "batch GEMM chains"
+  | Attention -> "self-attention modules"
+
+let render_result result =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s — %s on %s\n\n" title (panel_name result.panel)
+       result.spec.Mcf_gpu.Spec.name);
+  let headers =
+    "workload"
+    :: List.concat_map
+         (fun b -> [ b ^ " (us)"; "x vs PyTorch" ])
+         result.backends
+  in
+  let tbl = Mcf_util.Table.create ~headers in
+  List.iter
+    (fun row ->
+      let pytorch = time_of row "PyTorch" in
+      let cells =
+        List.concat_map
+          (fun b ->
+            match (time_of row b, pytorch) with
+            | Some t, Some p ->
+              [ Mcf_util.Table.fmt_float ~digits:1 (t *. 1e6);
+                Mcf_util.Table.fmt_float (p /. t) ]
+            | Some t, None ->
+              [ Mcf_util.Table.fmt_float ~digits:1 (t *. 1e6); "-" ]
+            | None, _ -> [ "-"; "-" ])
+          result.backends
+      in
+      Mcf_util.Table.add_row tbl (row.workload :: cells))
+    result.rows;
+  Buffer.add_string buf (Mcf_util.Table.render tbl);
+  (* grouped bar chart of the speedups *)
+  let chart_rows =
+    List.map
+      (fun row ->
+        let pytorch = time_of row "PyTorch" in
+        ( row.workload,
+          List.map
+            (fun b ->
+              match (time_of row b, pytorch) with
+              | Some t, Some p -> p /. t
+              | _ -> 0.0)
+            result.backends ))
+      result.rows
+  in
+  Buffer.add_string buf
+    (Mcf_util.Chart.grouped_bar ~title:"speedup over PyTorch" ~unit_label:"x"
+       ~series:result.backends chart_rows);
+  (* headline averages *)
+  let headline slow fast paper =
+    match geomean_speedup result ~over:slow ~of_:fast with
+    | Some s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  geomean %s vs %s: %.2fx   (paper: %s)\n" fast slow s
+           paper)
+    | None ->
+      Buffer.add_string buf
+        (Printf.sprintf "  geomean %s vs %s: n/a      (paper: %s)\n" fast slow
+           paper)
+  in
+  Buffer.add_string buf "summary (geometric means over supported workloads):\n";
+  let is_a100 = result.spec.Mcf_gpu.Spec.name = "A100" in
+  (match result.panel with
+  | Gemm_chains ->
+    headline "PyTorch" "MCFuser" (if is_a100 then "6.6x" else "3.7x");
+    headline "Ansor" "MCFuser" (if is_a100 then "2.7x" else "1.6x");
+    headline "MCFuser-Chimera" "MCFuser" (if is_a100 then "1.06x" else "1.07x");
+    headline "BOLT" "MCFuser" (if is_a100 then "7.1x" else "- (sm86)")
+  | Attention ->
+    headline "PyTorch" "MCFuser" (if is_a100 then "8.1x" else "5.8x");
+    headline "Ansor" "MCFuser" (if is_a100 then "2.8x" else "1.45x");
+    headline "FlashAttention" "MCFuser" (if is_a100 then "3.0x" else "3.3x");
+    headline "MCFuser-Chimera" "MCFuser" (if is_a100 then "1.1x" else "1.01x"));
+  Buffer.contents buf
+
+let render spec panel = render_result (compute spec panel)

@@ -1,0 +1,59 @@
+type experiment = {
+  id : string;
+  description : string;
+  run : unit -> string;
+}
+
+let a100 = Mcf_gpu.Spec.a100
+let rtx3080 = Mcf_gpu.Spec.rtx3080
+
+let all =
+  [ { id = "motivation";
+      description = "SII-A: attention's FLOPs share vs time share across sequence lengths";
+      run = (fun () -> Exp_motivation.render a100) };
+    { id = "fig2";
+      description = "MatMul K/M sweep: the memory-bound transition";
+      run = (fun () -> Exp_fig2.render a100) };
+    { id = "fig7";
+      description = "search-space pruning funnel (running example)";
+      run = (fun () -> Exp_fig7.render a100) };
+    { id = "fig8a";
+      description = "GEMM-chain sub-graphs on A100, normalized to PyTorch";
+      run = (fun () -> Exp_fig8.render a100 Exp_fig8.Gemm_chains) };
+    { id = "fig8b";
+      description = "GEMM-chain sub-graphs on RTX 3080";
+      run = (fun () -> Exp_fig8.render rtx3080 Exp_fig8.Gemm_chains) };
+    { id = "fig8c";
+      description = "self-attention sub-graphs on A100";
+      run = (fun () -> Exp_fig8.render a100 Exp_fig8.Attention) };
+    { id = "fig8d";
+      description = "self-attention sub-graphs on RTX 3080";
+      run = (fun () -> Exp_fig8.render rtx3080 Exp_fig8.Attention) };
+    { id = "fig9";
+      description = "end-to-end BERT on A100";
+      run = (fun () -> Exp_fig9.render a100) };
+    { id = "tab4";
+      description = "tuning times, sub-graph and end-to-end";
+      run = (fun () -> Exp_tab4.render a100) };
+    { id = "fig10";
+      description = "shared-memory estimate vs actual allocation";
+      run = (fun () -> Exp_fig10.render a100) };
+    { id = "fig11";
+      description = "analytical model vs measured performance (G1-G4)";
+      run = (fun () -> Exp_fig11.render a100) };
+    { id = "ablation";
+      description = "MCFuser design choices switched off in isolation";
+      run = (fun () -> Exp_ablation.render a100) };
+    { id = "sweep";
+      description = "extension: attention fusion benefit across sequence lengths";
+      run = (fun () -> Exp_sweep.render a100) };
+    { id = "verify";
+      description = "correctness sweep: tuned schedules vs reference operators";
+      run = (fun () -> Exp_verify.render a100) };
+    { id = "extension";
+      description = "extension workloads: convolution and MLP chains";
+      run = (fun () -> Exp_extension.render a100) } ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,14 @@
+(** The experiment registry: every paper table/figure (plus the ablation)
+    as a named, runnable unit — shared by `bench/main.exe` and the CLI. *)
+
+type experiment = {
+  id : string;  (** e.g. "fig8a". *)
+  description : string;
+  run : unit -> string;  (** Rendered report. *)
+}
+
+val all : experiment list
+
+val find : string -> experiment option
+
+val ids : unit -> string list

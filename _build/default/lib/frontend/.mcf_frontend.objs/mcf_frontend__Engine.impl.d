@@ -1,0 +1,1 @@
+lib/frontend/engine.ml: Array Graph Hashtbl List Mcf_baselines Mcf_gpu Mcf_search Mcf_util Mcf_workloads

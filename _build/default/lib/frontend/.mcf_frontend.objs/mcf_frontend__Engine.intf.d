@@ -1,0 +1,1 @@
+lib/frontend/engine.mli: Graph Mcf_gpu

@@ -1,0 +1,1 @@
+lib/frontend/graph.ml: List Mcf_util Mcf_workloads Printf Stdlib

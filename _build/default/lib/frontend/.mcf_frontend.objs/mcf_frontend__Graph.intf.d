@@ -1,0 +1,1 @@
+lib/frontend/graph.mli: Mcf_workloads

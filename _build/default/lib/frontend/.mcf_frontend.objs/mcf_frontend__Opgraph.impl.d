@@ -1,0 +1,1 @@
+lib/frontend/opgraph.ml: Hashtbl List Mcf_gpu Mcf_ir Mcf_workloads Printf String

@@ -1,0 +1,1 @@
+lib/frontend/opgraph.mli: Mcf_gpu Mcf_ir Mcf_workloads

@@ -1,0 +1,274 @@
+type op_kind =
+  | Input of { shape : int list }
+  | Matmul of { batch : int; m : int; n : int; k : int; transpose_b : bool }
+  | Scale of float
+  | Softmax
+  | Gelu
+  | Bias_add
+  | Layernorm
+  | Residual_add
+  | Transpose_heads
+  | Fused of Mcf_ir.Chain.t
+
+type node = {
+  id : int;
+  name : string;
+  kind : op_kind;
+  inputs : int list;
+}
+
+type t = {
+  nodes : node list;
+}
+
+let node t id = List.find (fun n -> n.id = id) t.nodes
+
+let consumers t id = List.filter (fun n -> List.mem id n.inputs) t.nodes
+
+let validate t =
+  let seen = Hashtbl.create 16 in
+  let rec go = function
+    | [] -> Ok ()
+    | n :: rest ->
+      if Hashtbl.mem seen n.id then
+        Error (Printf.sprintf "duplicate node id %d" n.id)
+      else if List.exists (fun i -> not (Hashtbl.mem seen i)) n.inputs then
+        Error (Printf.sprintf "node %d uses an input defined later" n.id)
+      else begin
+        Hashtbl.add seen n.id ();
+        go rest
+      end
+  in
+  go t.nodes
+
+let kind_to_string = function
+  | Input { shape } ->
+    Printf.sprintf "input[%s]"
+      (String.concat "x" (List.map string_of_int shape))
+  | Matmul { batch; m; n; k; transpose_b } ->
+    Printf.sprintf "matmul[b%d %dx%dx%d%s]" batch m n k
+      (if transpose_b then " B^T" else "")
+  | Scale c -> Printf.sprintf "scale[%g]" c
+  | Softmax -> "softmax"
+  | Gelu -> "gelu"
+  | Bias_add -> "bias_add"
+  | Layernorm -> "layernorm"
+  | Residual_add -> "residual_add"
+  | Transpose_heads -> "transpose_heads"
+  | Fused chain -> Printf.sprintf "FUSED{%s}" chain.Mcf_ir.Chain.cname
+
+let to_string t =
+  t.nodes
+  |> List.map (fun n ->
+         Printf.sprintf "%3d %-18s %-28s <- [%s]" n.id n.name
+           (kind_to_string n.kind)
+           (String.concat ", " (List.map string_of_int n.inputs)))
+  |> String.concat "\n"
+  |> fun s -> s ^ "\n"
+
+(* --- model import ---------------------------------------------------------- *)
+
+let bert_layer (cfg : Mcf_workloads.Configs.bert_config) =
+  let s = cfg.seq and hd = cfg.hidden in
+  let dh = hd / cfg.bheads in
+  let n id name kind inputs = { id; name; kind; inputs } in
+  { nodes =
+      [ n 0 "hidden_states" (Input { shape = [ s; hd ] }) [];
+        n 1 "qkv_proj"
+          (Matmul { batch = 1; m = s; n = 3 * hd; k = hd; transpose_b = false })
+          [ 0 ];
+        n 2 "qkv_bias" Bias_add [ 1 ];
+        n 3 "split_q" Transpose_heads [ 2 ];
+        n 4 "split_k" Transpose_heads [ 2 ];
+        n 5 "split_v" Transpose_heads [ 2 ];
+        n 6 "scores"
+          (Matmul
+             { batch = cfg.bheads; m = s; n = s; k = dh; transpose_b = true })
+          [ 3; 4 ];
+        n 7 "scale" (Scale (1.0 /. sqrt (float_of_int dh))) [ 6 ];
+        n 8 "probs" Softmax [ 7 ];
+        n 9 "context"
+          (Matmul
+             { batch = cfg.bheads; m = s; n = dh; k = s; transpose_b = false })
+          [ 8; 5 ];
+        n 10 "merge_heads" Transpose_heads [ 9 ];
+        n 11 "out_proj"
+          (Matmul { batch = 1; m = s; n = hd; k = hd; transpose_b = false })
+          [ 10 ];
+        n 12 "out_bias" Bias_add [ 11 ];
+        n 13 "residual1" Residual_add [ 12; 0 ];
+        n 14 "ln1" Layernorm [ 13 ];
+        n 15 "ffn_up"
+          (Matmul
+             { batch = 1; m = s; n = cfg.intermediate; k = hd;
+               transpose_b = false })
+          [ 14 ];
+        n 16 "ffn_bias1" Bias_add [ 15 ];
+        n 17 "ffn_gelu" Gelu [ 16 ];
+        n 18 "ffn_down"
+          (Matmul
+             { batch = 1; m = s; n = hd; k = cfg.intermediate;
+               transpose_b = false })
+          [ 17 ];
+        n 19 "ffn_bias2" Bias_add [ 18 ];
+        n 20 "residual2" Residual_add [ 19; 14 ];
+        n 21 "ln2" Layernorm [ 20 ] ] }
+
+(* --- partitioning ----------------------------------------------------------- *)
+
+type match_report = {
+  fused_attention : int;
+  fused_chains : int;
+  rejected_compute_bound : int;
+}
+
+(* A node is absorbable into a chain only when the chain is its sole
+   consumer — otherwise its value escapes and must stay materialized. *)
+let sole_consumer t id =
+  match consumers t id with [ c ] -> Some c | _ -> None
+
+(* Follow an optional single-consumer path of "epilogue-ish" ops from [id],
+   returning (absorbed ids, terminal node of the path). *)
+let rec follow_epilogues t absorbed id ~allowed =
+  match sole_consumer t id with
+  | Some c ->
+    let is_allowed =
+      match c.kind with
+      | Scale _ -> List.mem `Scale allowed
+      | Gelu -> List.mem `Gelu allowed
+      | Bias_add -> List.mem `Bias allowed
+      | Input _ | Matmul _ | Softmax | Layernorm | Residual_add
+      | Transpose_heads | Fused _ ->
+        false
+    in
+    if is_allowed then follow_epilogues t (c.id :: absorbed) c.id ~allowed
+    else (absorbed, node t id)
+  | None -> (absorbed, node t id)
+
+(* Rewrite: replace the pattern's nodes with one Fused node that reuses the
+   terminal node's id, so downstream references stay valid. *)
+let rewrite t ~removed ~fused_node =
+  { nodes =
+      List.filter_map
+        (fun n ->
+          if n.id = fused_node.id then Some fused_node
+          else if List.mem n.id removed then None
+          else Some n)
+        t.nodes }
+
+(* Matmul -> (Scale) -> Softmax -> Matmul, every link single-consumer and
+   the softmax feeding the second matmul's first operand. *)
+let match_attention t (first : node) =
+  match first.kind with
+  | Matmul { batch; m; n; k; _ } -> (
+    let absorbed, last_epi =
+      follow_epilogues t [] first.id ~allowed:[ `Scale ]
+    in
+    match sole_consumer t last_epi.id with
+    | Some ({ kind = Softmax; _ } as sm) -> (
+      match sole_consumer t sm.id with
+      | Some ({ kind = Matmul { n = h; _ }; inputs = i1 :: i2 :: _; _ } as second)
+        when i1 = sm.id ->
+        let chain = Mcf_ir.Chain.attention ~heads:batch ~m ~n ~k ~h () in
+        let fused_node =
+          { id = second.id;
+            name = first.name ^ "..." ^ second.name;
+            kind = Fused chain;
+            inputs = first.inputs @ [ i2 ] }
+        in
+        Some
+          (rewrite t
+             ~removed:(first.id :: sm.id :: absorbed)
+             ~fused_node)
+      | Some _ | None -> None)
+    | Some _ | None -> None)
+  | Input _ | Scale _ | Softmax | Gelu | Bias_add | Layernorm
+  | Residual_add | Transpose_heads | Fused _ ->
+    None
+
+(* Matmul -> (Bias/Gelu/Scale)* -> Matmul: structural match, then the MBCI
+   intensity test decides whether fusing can pay off at all. *)
+let match_chain (spec : Mcf_gpu.Spec.t) t (first : node) =
+  match first.kind with
+  | Matmul { batch; m; n; k; _ } -> (
+    let absorbed, last_epi =
+      follow_epilogues t [] first.id ~allowed:[ `Bias; `Gelu; `Scale ]
+    in
+    let has_gelu =
+      List.exists
+        (fun id -> match (node t id).kind with Gelu -> true | _ -> false)
+        absorbed
+    in
+    match sole_consumer t last_epi.id with
+    | Some ({ kind = Matmul { n = h; batch = b2; _ }; inputs = i1 :: rest; _ }
+            as second)
+      when i1 = last_epi.id && b2 = batch ->
+      let chain =
+        if has_gelu then Mcf_ir.Chain.mlp_chain ~batch ~m ~n ~k ~h ()
+        else Mcf_ir.Chain.gemm_chain ~batch ~m ~n ~k ~h ()
+      in
+      let intensity =
+        Mcf_ir.Chain.total_flops chain
+        /. Mcf_ir.Chain.unfused_traffic_bytes chain
+             ~elem_bytes:spec.elem_bytes
+      in
+      if intensity >= Mcf_gpu.Spec.roofline_ratio spec then Some `Compute_bound
+      else begin
+        let fused_node =
+          { id = second.id;
+            name = first.name ^ "..." ^ second.name;
+            kind = Fused chain;
+            inputs = first.inputs @ rest }
+        in
+        Some (`Fused (rewrite t ~removed:(first.id :: absorbed) ~fused_node))
+      end
+    | Some _ | None -> None)
+  | Input _ | Scale _ | Softmax | Gelu | Bias_add | Layernorm
+  | Residual_add | Transpose_heads | Fused _ ->
+    None
+
+let partition spec t =
+  let report =
+    ref { fused_attention = 0; fused_chains = 0; rejected_compute_bound = 0 }
+  in
+  (* run to fixpoint: each rewrite may expose further matches *)
+  let rec attention_pass t =
+    let hit =
+      List.find_map (fun n -> match_attention t n) t.nodes
+    in
+    match hit with
+    | Some t' ->
+      report := { !report with fused_attention = !report.fused_attention + 1 };
+      attention_pass t'
+    | None -> t
+  in
+  let rec chain_pass rejected_ids t =
+    let hit =
+      List.find_map
+        (fun n ->
+          if List.mem n.id rejected_ids then None
+          else
+            match match_chain spec t n with
+            | Some r -> Some (n.id, r)
+            | None -> None)
+        t.nodes
+    in
+    match hit with
+    | Some (_, `Fused t') ->
+      report := { !report with fused_chains = !report.fused_chains + 1 };
+      chain_pass rejected_ids t'
+    | Some (id, `Compute_bound) ->
+      report :=
+        { !report with
+          rejected_compute_bound = !report.rejected_compute_bound + 1 };
+      chain_pass (id :: rejected_ids) t
+    | None -> t
+  in
+  let t = attention_pass t in
+  let t = chain_pass [] t in
+  (t, !report)
+
+let fused_chains t =
+  List.filter_map
+    (fun n -> match n.kind with Fused chain -> Some chain | _ -> None)
+    t.nodes

@@ -1,0 +1,72 @@
+(** Fine-grained operator graphs and the MBCI partitioner (§V-B).
+
+    "When presented with a deep learning model ... we employ a partitioner
+    to segment the model into MBCI sub-graphs and other components."  This
+    module is that partitioner: models arrive as plain operator DAGs
+    (matmuls, transposes, scaling, softmax, activations — what an ONNX or
+    Relay import produces), and {!partition} pattern-matches fusable MBCI
+    chains:
+
+    - {b self-attention}: [Matmul -> (Scale) -> Softmax -> Matmul] where the
+      intermediate feeds only the chain;
+    - {b contraction chains}: [Matmul -> (unary) -> Matmul] whose unfused
+      arithmetic intensity sits below the device roofline (the MBCI test of
+      §II-A) — compute-bound chains are deliberately left unfused, since
+      fusion cannot help them.
+
+    Matched sub-graphs are rewritten to single [Fused] nodes carrying the
+    equivalent {!Mcf_ir.Chain.t}, ready for the MCFuser tuner; everything
+    else stays for the host compiler. *)
+
+type op_kind =
+  | Input of { shape : int list }
+  | Matmul of { batch : int; m : int; n : int; k : int; transpose_b : bool }
+  | Scale of float
+  | Softmax  (** Over the last axis. *)
+  | Gelu
+  | Bias_add
+  | Layernorm
+  | Residual_add
+  | Transpose_heads  (** Layout shuffling around attention. *)
+  | Fused of Mcf_ir.Chain.t  (** Result of partitioning. *)
+
+type node = {
+  id : int;
+  name : string;
+  kind : op_kind;
+  inputs : int list;  (** ids of producing nodes, in operand order. *)
+}
+
+type t = {
+  nodes : node list;  (** Topologically ordered (producers first). *)
+}
+
+val validate : t -> (unit, string) result
+(** Ids unique, inputs reference earlier nodes only. *)
+
+val consumers : t -> int -> node list
+
+val node : t -> int -> node
+(** @raise Not_found for unknown ids. *)
+
+val bert_layer : Mcf_workloads.Configs.bert_config -> t
+(** One encoder layer as an import would produce it: packed QKV projection,
+    head split transposes, Q.K^T, scale, softmax, probs.V, head merge,
+    output projection, residual/LN, FFN with GELU. *)
+
+type match_report = {
+  fused_attention : int;  (** Attention patterns rewritten. *)
+  fused_chains : int;  (** Plain MBCI contraction chains rewritten. *)
+  rejected_compute_bound : int;
+      (** Matmul pairs that matched structurally but failed the MBCI
+          intensity test and were left unfused. *)
+}
+
+val partition : Mcf_gpu.Spec.t -> t -> t * match_report
+(** Rewrite every matched MBCI sub-graph into a [Fused] node. *)
+
+val fused_chains : t -> Mcf_ir.Chain.t list
+(** The chains carried by [Fused] nodes, in graph order. *)
+
+val to_string : t -> string
+(** One line per node, for inspection and tests. *)

@@ -1,0 +1,1 @@
+lib/gpu/sim.ml: Buffer Float Kernel List Mcf_util Printf Spec

@@ -1,0 +1,1 @@
+lib/gpu/spec.ml: Format List String

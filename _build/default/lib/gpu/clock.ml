@@ -1,0 +1,20 @@
+type t = { mutable seconds : float }
+
+let create () = { seconds = 0.0 }
+let reset t = t.seconds <- 0.0
+let elapsed_s t = t.seconds
+let charge t s = t.seconds <- t.seconds +. Float.max 0.0 s
+
+let charge_compile t ~toolchain_s = charge t toolchain_s
+
+(* Each measurement session pays ~2 ms of driver/synchronization overhead
+   on top of the timed repeats. *)
+let measure_session_overhead_s = 2.0e-3
+
+let charge_measure t ~kernel_time_s ~repeats =
+  charge t (measure_session_overhead_s +. (float_of_int repeats *. kernel_time_s))
+
+let with_wall_clock f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)

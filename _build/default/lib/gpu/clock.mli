@@ -1,0 +1,31 @@
+(** Virtual tuning clock.
+
+    Table IV compares tuning times, which on hardware are dominated by how
+    many candidates each tuner compiles and measures.  Tuners charge this
+    clock for every compilation and every on-device measurement; the
+    resulting virtual seconds reproduce the paper's accounting without a GPU
+    (real OCaml wall-clock is reported alongside by the harness). *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val elapsed_s : t -> float
+(** Accumulated virtual seconds. *)
+
+val charge : t -> float -> unit
+(** Add raw seconds (e.g. framework start-up, template library scan). *)
+
+val charge_compile : t -> toolchain_s:float -> unit
+(** One candidate compiled: Triton JIT =~ 0.8 s, TVM+nvcc =~ 4.5 s,
+    CUTLASS template instantiation =~ 1.7 s — the caller supplies its
+    toolchain's figure. *)
+
+val charge_measure : t -> kernel_time_s:float -> repeats:int -> unit
+(** One on-device measurement: [repeats] timed runs plus fixed driver
+    overhead per measurement session. *)
+
+val with_wall_clock : (unit -> 'a) -> 'a * float
+(** Run a thunk and also return real elapsed wall-clock seconds. *)

@@ -1,0 +1,225 @@
+type bound_by = Memory | Compute | Overhead
+
+type verdict = {
+  time_s : float;
+  mem_s : float;
+  comp_s : float;
+  overhead_s : float;
+  waves : int;
+  blocks_in_flight : int;
+  achieved_flops : float;
+  bound : bound_by;
+}
+
+type error =
+  | Smem_overflow of { used : int; limit : int }
+  | Empty_grid
+
+let string_of_error = function
+  | Smem_overflow { used; limit } ->
+    Printf.sprintf "shared memory overflow: %d B requested, %d B available"
+      used limit
+  | Empty_grid -> "kernel has an empty grid"
+
+(* Tensor-core efficiency: MMA pipes reach peak only with large tiles; a
+   16-wide dimension halves throughput (instruction issue and operand reuse
+   limits), and small k tiles add accumulator write-back pressure.  The
+   0.88 ceiling reflects that even cuBLAS rarely exceeds ~90 % of peak. *)
+let dim_factor d =
+  if d >= 128 then 1.0
+  else if d >= 64 then 0.92
+  else if d >= 32 then 0.78
+  else 0.55
+
+let k_factor k =
+  if k >= 64 then 1.0 else if k >= 32 then 0.93 else 0.82
+
+let tensor_core_efficiency ~m ~n ~k =
+  0.88 *. sqrt (dim_factor m *. dim_factor n) *. k_factor k
+
+(* DRAM efficiency: 128-byte transactions want >=128 B contiguous runs. *)
+let coalesce_efficiency ~row_bytes =
+  if row_bytes >= 128 then 1.0
+  else 0.5 +. (0.5 *. float_of_int row_bytes /. 128.0)
+
+(* A single thread block cannot saturate DRAM; cap its draw at a fraction
+   of peak so low-parallelism kernels are memory-latency limited. *)
+let per_block_bw_fraction = 0.08
+
+(* Per loop-iteration instruction + synchronization cost inside a block. *)
+let per_trip_overhead_s = 2.5e-8
+
+(* Fraction of the shorter of (mem, compute) NOT hidden by overlap. *)
+let overlap_slack = 0.2
+
+let l2_hit_fraction (spec : Spec.t) ~unique_bytes =
+  if unique_bytes <= 0.0 then 0.0
+  else begin
+    let capacity = 0.8 *. float_of_int spec.l2_bytes in
+    let residency = Float.min 1.0 (capacity /. unique_bytes) in
+    0.85 *. residency
+  end
+
+(* Effective DRAM bytes for one access over the whole grid, after L2. *)
+let effective_bytes spec (a : Kernel.access) ~blocks =
+  let raw = a.Kernel.bytes_per_block *. float_of_int blocks in
+  match a.Kernel.direction with
+  | Kernel.Store -> raw (* stores are write-through for our purposes *)
+  | Kernel.Load ->
+    let unique = Float.min raw a.Kernel.unique_bytes in
+    let rereads = Float.max 0.0 (raw -. unique) in
+    let hit = l2_hit_fraction spec ~unique_bytes:a.Kernel.unique_bytes in
+    unique +. (rereads *. (1.0 -. hit))
+
+let occupancy (spec : Spec.t) (k : Kernel.t) =
+  let by_smem =
+    if k.smem_bytes <= 0 then spec.max_blocks_per_sm
+    else spec.smem_per_sm / k.smem_bytes
+  in
+  max 1 (min spec.max_blocks_per_sm by_smem)
+
+let noise_factor spec (k : Kernel.t) =
+  let h =
+    Mcf_util.Hashing.combine
+      (Mcf_util.Hashing.fnv1a64 (Kernel.fingerprint k))
+      spec.Spec.name
+  in
+  1.0 +. (0.06 *. (Mcf_util.Hashing.to_unit_float h -. 0.5))
+
+let run ?(noise = true) (spec : Spec.t) (k : Kernel.t) =
+  if k.blocks <= 0 then Error Empty_grid
+  else if k.smem_bytes > spec.smem_per_block then
+    Error (Smem_overflow { used = k.smem_bytes; limit = spec.smem_per_block })
+  else begin
+    let occ = occupancy spec k in
+    let in_flight = min k.blocks (occ * spec.sm_count) in
+    let waves = (k.blocks + in_flight - 1) / in_flight in
+    (* Per-access DRAM time is computed over the whole grid, then spread
+       over waves proportionally; the per-block bandwidth cap binds when a
+       wave holds few blocks. *)
+    let eff_bytes =
+      Mcf_util.Listx.sum_by
+        (fun a ->
+          effective_bytes spec a ~blocks:k.blocks
+          /. coalesce_efficiency ~row_bytes:a.Kernel.row_bytes)
+        k.accesses
+    in
+    let flops = Kernel.total_flops k in
+    let tc_eff =
+      match k.computes with
+      | [] -> 1.0
+      | cs ->
+        (* FLOP-weighted mean efficiency over compute statements. *)
+        let weighted =
+          Mcf_util.Listx.sum_by
+            (fun (c : Kernel.compute) ->
+              c.flops_per_block
+              *. tensor_core_efficiency ~m:c.tile_m ~n:c.tile_n ~k:c.tile_k)
+            cs
+        in
+        let total =
+          Mcf_util.Listx.sum_by (fun (c : Kernel.compute) -> c.flops_per_block) cs
+        in
+        if total > 0.0 then weighted /. total else 1.0
+    in
+    (* Time a wave holding [b] blocks. *)
+    let wave_time b =
+      let frac = float_of_int b /. float_of_int k.blocks in
+      let bytes = eff_bytes *. frac in
+      let grid_bw = spec.mem_bw in
+      let block_bw =
+        per_block_bw_fraction *. spec.mem_bw *. float_of_int b
+      in
+      let mem = bytes /. Float.min grid_bw block_bw in
+      let sm_busy = Float.min 1.0 (float_of_int b /. float_of_int spec.sm_count) in
+      let comp = flops *. frac /. (spec.peak_flops *. tc_eff *. sm_busy) in
+      let body = Float.max mem comp +. (overlap_slack *. Float.min mem comp) in
+      let over = k.stmt_trips_per_block *. per_trip_overhead_s in
+      (body +. over, mem, comp, over)
+    in
+    let full = k.blocks / in_flight in
+    let tail = k.blocks mod in_flight in
+    let t_full, m_full, c_full, o_full = wave_time in_flight in
+    let t_tail, m_tail, c_tail, o_tail =
+      if tail > 0 then wave_time tail else (0.0, 0.0, 0.0, 0.0)
+    in
+    let ff = float_of_int full in
+    let mem_s = (ff *. m_full) +. m_tail in
+    let comp_s = (ff *. c_full) +. c_tail in
+    let body_s = (ff *. t_full) +. t_tail in
+    let iter_over = (ff *. o_full) +. o_tail in
+    let overhead_s = spec.launch_overhead_s +. iter_over in
+    let raw = spec.launch_overhead_s +. body_s in
+    let time_s = if noise then raw *. noise_factor spec k else raw in
+    let bound =
+      if mem_s >= comp_s && mem_s >= overhead_s then Memory
+      else if comp_s >= overhead_s then Compute
+      else Overhead
+    in
+    Ok
+      { time_s;
+        mem_s;
+        comp_s;
+        overhead_s;
+        waves;
+        blocks_in_flight = in_flight;
+        achieved_flops = (if time_s > 0.0 then flops /. time_s else 0.0);
+        bound }
+  end
+
+let time_exn ?noise spec k =
+  match run ?noise spec k with
+  | Ok v -> v.time_s
+  | Error e ->
+    failwith (Printf.sprintf "Sim.time_exn(%s): %s" k.kname (string_of_error e))
+
+let explain (spec : Spec.t) (k : Kernel.t) =
+  match run ~noise:false spec k with
+  | Error e -> Printf.sprintf "%s: DOES NOT LAUNCH — %s\n" k.kname (string_of_error e)
+  | Ok v ->
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "%s on %s\n" k.Kernel.kname spec.name);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  time %.2f us  (mem %.2f, compute %.2f, overhead %.2f) — %s bound\n"
+         (v.time_s *. 1e6) (v.mem_s *. 1e6) (v.comp_s *. 1e6)
+         (v.overhead_s *. 1e6)
+         (match v.bound with
+         | Memory -> "memory"
+         | Compute -> "compute"
+         | Overhead -> "overhead"));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  grid %d blocks, %d in flight (%d waves), %d B shared memory\n"
+         k.blocks v.blocks_in_flight v.waves k.smem_bytes);
+    Buffer.add_string buf
+      (Printf.sprintf "  achieved %.1f TFLOP/s of %.1f peak\n"
+         (v.achieved_flops /. 1e12)
+         (spec.peak_flops /. 1e12));
+    List.iter
+      (fun (a : Kernel.access) ->
+        let raw = a.bytes_per_block *. float_of_int k.blocks in
+        let eff =
+          effective_bytes spec a ~blocks:k.blocks
+          /. coalesce_efficiency ~row_bytes:a.row_bytes
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %-6s %-5s %8.2f MB issued -> %8.2f MB effective DRAM (L2 + \
+              coalescing)\n"
+             a.label
+             (match a.direction with Kernel.Load -> "load" | Kernel.Store -> "store")
+             (raw /. 1e6) (eff /. 1e6)))
+      k.accesses;
+    Buffer.contents buf
+
+let run_sequence ?noise spec kernels =
+  let rec go acc = function
+    | [] -> Ok acc
+    | k :: tl -> (
+      match run ?noise spec k with
+      | Ok v -> go (acc +. v.time_s) tl
+      | Error e -> Error e)
+  in
+  go 0.0 kernels

@@ -1,0 +1,58 @@
+(** Analytic GPU kernel simulator — the stand-in for hardware measurement.
+
+    The simulator prices a {!Kernel.t} on a {!Spec.t} with effects the
+    paper's analytical model (eqs. 2-5) deliberately ignores: occupancy
+    derived from shared-memory usage, wave quantization, DRAM coalescing
+    efficiency, tensor-core efficiency as a function of MMA tile shape, L2
+    reuse across thread blocks, imperfect compute/memory overlap,
+    per-iteration instruction overhead, kernel launch latency and a small
+    deterministic measurement noise.  Because it is strictly richer than the
+    analytical model, the estimator-vs-measurement scatter of Figs. 10-11
+    arises here for the same structural reasons as on hardware. *)
+
+type bound_by = Memory | Compute | Overhead
+
+type verdict = {
+  time_s : float;  (** End-to-end kernel time including launch. *)
+  mem_s : float;  (** DRAM time component (post-L2, post-coalescing). *)
+  comp_s : float;  (** Math-pipe time component. *)
+  overhead_s : float;  (** Launch + per-iteration instruction overhead. *)
+  waves : int;  (** Number of scheduling waves. *)
+  blocks_in_flight : int;  (** Concurrent thread blocks (occupancy x SMs). *)
+  achieved_flops : float;  (** total FLOPs / time. *)
+  bound : bound_by;  (** Dominant component. *)
+}
+
+type error =
+  | Smem_overflow of { used : int; limit : int }
+      (** The kernel requests more shared memory than a block may own: the
+          real toolchain would refuse to launch it (the "eliminated during
+          PTX code lowering" cases of §VI-E1). *)
+  | Empty_grid
+
+val run : ?noise:bool -> Spec.t -> Kernel.t -> (verdict, error) result
+(** Simulate one kernel.  [noise] (default true) applies a +-3 % deterministic
+    perturbation keyed on the kernel fingerprint, mimicking run-to-run
+    variance of hardware measurement. *)
+
+val time_exn : ?noise:bool -> Spec.t -> Kernel.t -> float
+(** [run] unwrapped. @raise Failure on error. *)
+
+val run_sequence : ?noise:bool -> Spec.t -> Kernel.t list -> (float, error) result
+(** Total time of kernels launched back-to-back (each pays launch
+    overhead) — how unfused baselines execute an operator chain. *)
+
+val tensor_core_efficiency : m:int -> n:int -> k:int -> float
+(** Fraction of peak math throughput attainable with the given MMA tile
+    extents (exposed for tests and for the Fig. 2 experiment). *)
+
+val coalesce_efficiency : row_bytes:int -> float
+(** Fraction of peak DRAM bandwidth attainable with the given contiguous
+    run length. *)
+
+val string_of_error : error -> string
+
+val explain : Spec.t -> Kernel.t -> string
+(** Human-readable cost breakdown: verdict components, occupancy, waves,
+    per-access effective DRAM traffic after L2/coalescing, achieved
+    throughput vs device peak.  For failed launches, the failure. *)

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Axis Candidate Chain Float Hashtbl List Mcf_ir Mcf_tensor Mcf_util Printf Program String

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Mcf_ir Mcf_tensor

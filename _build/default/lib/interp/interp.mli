@@ -1,0 +1,41 @@
+(** Tile-level interpreter for placed programs.
+
+    Executes a {!Mcf_ir.Program.t} on real tensors, faithfully following the
+    schedule's structure: tiles move between "global memory" (the input
+    tensors) and per-block tile buffers only at Load/Store statements,
+    contractions accumulate into resident tiles, and softmax epilogues use
+    the online formulation (running max/sum with accumulator rescaling, as
+    in FlashAttention) whenever the softmax axis is tiled.
+
+    This is the correctness oracle of the whole compiler: for every valid
+    candidate, [run] must agree with the reference operators in
+    {!Mcf_tensor.Ops} up to floating-point reassociation.  It also catches
+    lowering bugs mechanically — a statement hoisted past a loop that
+    actually indexes its tensor would read a stale or missing tile and
+    surface as a numeric mismatch or an [Uninitialized_tile] error.
+
+    Batched chains (heads) are supported: when [chain.batch > 1] every
+    input and the output carry a leading batch axis, and the per-head
+    program runs once per slice (the grid's batch dimension). *)
+
+exception Uninitialized_tile of string
+(** A compute statement read a tile that no Load produced under the current
+    loop indices — i.e. the schedule is miscompiled. *)
+
+val run : Mcf_ir.Program.t -> inputs:(string * Mcf_tensor.Tensor.t) list -> Mcf_tensor.Tensor.t
+(** Execute the program.  [inputs] maps every chain input tensor name to a
+    tensor whose shape matches the chain's axis sizes, with a leading batch
+    axis when [chain.batch > 1].  Returns the chain output (same batching).
+    @raise Invalid_argument on missing inputs or shape mismatch.
+    @raise Uninitialized_tile on a miscompiled schedule. *)
+
+val run_candidate :
+  Mcf_ir.Chain.t ->
+  Mcf_ir.Candidate.t ->
+  inputs:(string * Mcf_tensor.Tensor.t) list ->
+  Mcf_tensor.Tensor.t
+(** Convenience: build (with all optimizations) then [run]. *)
+
+val reference : Mcf_ir.Chain.t -> inputs:(string * Mcf_tensor.Tensor.t) list -> Mcf_tensor.Tensor.t
+(** Direct un-tiled evaluation of the chain semantics (block by block, exact
+    softmax), against which [run] is checked. *)

@@ -1,0 +1,1 @@
+lib/ir/candidate.ml: Axis Format List Printf String Tiling

@@ -1,0 +1,1 @@
+lib/ir/candidate.mli: Axis Format Tiling

@@ -1,0 +1,1 @@
+lib/ir/chain.ml: Axis Float Format List Mcf_util Printf Result String

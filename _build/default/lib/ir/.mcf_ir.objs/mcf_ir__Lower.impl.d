@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Axis Candidate Chain List Mcf_gpu Mcf_util Printf Program

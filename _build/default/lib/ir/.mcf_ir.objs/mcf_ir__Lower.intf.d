@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Candidate Chain Mcf_gpu Program

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Axis Buffer Candidate Chain Hashtbl List Option Printf String Tiling

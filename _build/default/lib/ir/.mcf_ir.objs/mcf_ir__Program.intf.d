@@ -1,0 +1,1 @@
+lib/ir/program.mli: Axis Candidate Chain

@@ -1,0 +1,1 @@
+lib/ir/tiling.ml: Axis Chain Format List Mcf_util Printf String

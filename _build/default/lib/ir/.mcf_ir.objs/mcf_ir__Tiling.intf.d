@@ -1,0 +1,1 @@
+lib/ir/tiling.mli: Axis Chain Format

@@ -1,0 +1,1 @@
+lib/ir/tir.ml: Axis Buffer Candidate Chain Hashtbl List Printf Program String Tiling

@@ -1,0 +1,1 @@
+lib/ir/tir.mli: Candidate Chain

@@ -1,0 +1,271 @@
+type storage = Input | Intermediate | Output
+
+type tensor_spec = {
+  tname : string;
+  taxes : Axis.t list;
+  storage : storage;
+}
+
+type epilogue =
+  | No_epilogue
+  | Scale of float
+  | Softmax of { saxis : Axis.t; sscale : float }
+  | Unary of { uname : string; apply : float -> float; uflops : float }
+
+type block = {
+  bname : string;
+  out : tensor_spec;
+  ins : tensor_spec list;
+  reduce_axes : Axis.t list;
+  epilogue : epilogue;
+}
+
+type t = {
+  cname : string;
+  axes : Axis.t list;
+  batch : int;
+  blocks : block list;
+  tensors : tensor_spec list;
+}
+
+let used_axes b =
+  b.out.taxes @ List.filter (fun a -> not (Axis.mem a b.out.taxes)) b.reduce_axes
+
+let gemm_chain ?(batch = 1) ~m ~n ~k ~h () =
+  let am = Axis.spatial "m" m in
+  let an = Axis.reduce "n" n in
+  let ak = Axis.reduce "k" k in
+  let ah = Axis.spatial "h" h in
+  let ta = { tname = "A"; taxes = [ am; ak ]; storage = Input } in
+  let tb = { tname = "B"; taxes = [ ak; an ]; storage = Input } in
+  let tc = { tname = "C"; taxes = [ am; an ]; storage = Intermediate } in
+  let td = { tname = "D"; taxes = [ an; ah ]; storage = Input } in
+  let te = { tname = "E"; taxes = [ am; ah ]; storage = Output } in
+  { cname = Printf.sprintf "gemm_chain_b%d_m%d_n%d_k%d_h%d" batch m n k h;
+    axes = [ am; an; ak; ah ];
+    batch;
+    blocks =
+      [ { bname = "C"; out = tc; ins = [ ta; tb ]; reduce_axes = [ ak ];
+          epilogue = No_epilogue };
+        { bname = "E"; out = te; ins = [ tc; td ]; reduce_axes = [ an ];
+          epilogue = No_epilogue } ];
+    tensors = [ ta; tb; tc; td; te ] }
+
+let attention ?(heads = 1) ~m ~n ~k ~h () =
+  let am = Axis.spatial "m" m in
+  let an = Axis.reduce "n" n in
+  let ak = Axis.reduce "k" k in
+  let ah = Axis.spatial "h" h in
+  let tq = { tname = "Q"; taxes = [ am; ak ]; storage = Input } in
+  (* K is stored transposed ([k; n]) so the first contraction reads it like
+     the B operand of a GEMM; this matches how attention kernels consume
+     K^T and keeps the traffic model uniform. *)
+  let tk = { tname = "K"; taxes = [ ak; an ]; storage = Input } in
+  let ts = { tname = "S"; taxes = [ am; an ]; storage = Intermediate } in
+  let tv = { tname = "V"; taxes = [ an; ah ]; storage = Input } in
+  let to_ = { tname = "O"; taxes = [ am; ah ]; storage = Output } in
+  { cname = Printf.sprintf "attention_h%d_m%d_n%d_k%d_h%d" heads m n k h;
+    axes = [ am; an; ak; ah ];
+    batch = heads;
+    blocks =
+      [ { bname = "S"; out = ts; ins = [ tq; tk ]; reduce_axes = [ ak ];
+          epilogue = Softmax { saxis = an; sscale = 1.0 /. sqrt (float_of_int k) } };
+        { bname = "O"; out = to_; ins = [ ts; tv ]; reduce_axes = [ an ];
+          epilogue = No_epilogue } ];
+    tensors = [ tq; tk; ts; tv; to_ ] }
+
+let gemm_chain3 ?(batch = 1) ~m ~n ~k ~h ~p () =
+  let am = Axis.spatial "m" m in
+  let an = Axis.reduce "n" n in
+  let ak = Axis.reduce "k" k in
+  let ah = Axis.reduce "h" h in
+  let ap = Axis.spatial "p" p in
+  let ta = { tname = "A"; taxes = [ am; ak ]; storage = Input } in
+  let tb = { tname = "B"; taxes = [ ak; an ]; storage = Input } in
+  let tc = { tname = "C"; taxes = [ am; an ]; storage = Intermediate } in
+  let td = { tname = "D"; taxes = [ an; ah ]; storage = Input } in
+  let te = { tname = "E"; taxes = [ am; ah ]; storage = Intermediate } in
+  let tf = { tname = "F"; taxes = [ ah; ap ]; storage = Input } in
+  let tg = { tname = "G"; taxes = [ am; ap ]; storage = Output } in
+  { cname =
+      Printf.sprintf "gemm_chain3_b%d_m%d_n%d_k%d_h%d_p%d" batch m n k h p;
+    axes = [ am; an; ak; ah; ap ];
+    batch;
+    blocks =
+      [ { bname = "C"; out = tc; ins = [ ta; tb ]; reduce_axes = [ ak ];
+          epilogue = No_epilogue };
+        { bname = "E"; out = te; ins = [ tc; td ]; reduce_axes = [ an ];
+          epilogue = No_epilogue };
+        { bname = "G"; out = tg; ins = [ te; tf ]; reduce_axes = [ ah ];
+          epilogue = No_epilogue } ];
+    tensors = [ ta; tb; tc; td; te; tf; tg ] }
+
+let gelu =
+  let c = sqrt (2.0 /. Float.pi) in
+  fun x -> 0.5 *. x *. (1.0 +. tanh (c *. (x +. (0.044715 *. x *. x *. x))))
+
+let mlp_chain ?(batch = 1) ~m ~n ~k ~h () =
+  let base = gemm_chain ~batch ~m ~n ~k ~h () in
+  let act = Unary { uname = "gelu"; apply = gelu; uflops = 10.0 } in
+  let blocks =
+    List.map
+      (fun b -> if b.bname = "C" then { b with epilogue = act } else b)
+      base.blocks
+  in
+  { base with
+    cname = Printf.sprintf "mlp_chain_b%d_m%d_n%d_k%d_h%d" batch m n k h;
+    blocks }
+
+let conv_pointwise_chain ?(batch = 1) ~height ~width ~c_in ~c_mid ~c_out
+    ~ksize () =
+  let ho = height - ksize + 1 and wo = width - ksize + 1 in
+  if ho <= 0 || wo <= 0 then
+    invalid_arg "conv_pointwise_chain: kernel larger than input";
+  let base =
+    gemm_chain ~batch ~m:(ho * wo) ~n:c_mid ~k:(c_in * ksize * ksize) ~h:c_out
+      ()
+  in
+  { base with
+    cname =
+      Printf.sprintf "conv_chain_b%d_%dx%d_ci%d_cm%d_co%d_k%d" batch height
+        width c_in c_mid c_out ksize }
+
+let private_axes t b =
+  let other_blocks = List.filter (fun b' -> b'.bname <> b.bname) t.blocks in
+  List.filter
+    (fun a ->
+      Axis.mem a (used_axes b)
+      && not (List.exists (fun b' -> Axis.mem a (used_axes b')) other_blocks))
+    t.axes
+
+let shared_axes t =
+  List.filter
+    (fun a ->
+      let users =
+        List.filter (fun b -> Axis.mem a (used_axes b)) t.blocks
+      in
+      List.length users >= 2)
+    t.axes
+
+let producer_of t spec =
+  List.find_opt (fun b -> b.out.tname = spec.tname) t.blocks
+
+let consumers_of t spec =
+  List.filter
+    (fun b -> List.exists (fun i -> i.tname = spec.tname) b.ins)
+    t.blocks
+
+let is_linear_through _t b =
+  match b.epilogue with
+  | No_epilogue | Scale _ -> true
+  | Softmax _ | Unary _ -> false
+
+let output_tensor t =
+  List.find (fun ts -> ts.storage = Output) t.tensors
+
+let input_tensors t =
+  List.filter (fun ts -> ts.storage = Input) t.tensors
+
+let total_flops t =
+  let per_block b =
+    let extents =
+      List.fold_left (fun acc a -> acc *. float_of_int a.Axis.size) 1.0
+        (used_axes b)
+    in
+    2.0 *. extents
+  in
+  float_of_int t.batch *. Mcf_util.Listx.sum_by per_block t.blocks
+
+let min_traffic_bytes t ~elem_bytes =
+  let tensor_bytes ts =
+    let elems =
+      List.fold_left (fun acc a -> acc *. float_of_int a.Axis.size) 1.0 ts.taxes
+    in
+    elems *. float_of_int elem_bytes
+  in
+  let io =
+    List.filter (fun ts -> ts.storage <> Intermediate) t.tensors
+  in
+  float_of_int t.batch *. Mcf_util.Listx.sum_by tensor_bytes io
+
+let unfused_traffic_bytes t ~elem_bytes =
+  let tensor_bytes ts =
+    let elems =
+      List.fold_left (fun acc a -> acc *. float_of_int a.Axis.size) 1.0 ts.taxes
+    in
+    elems *. float_of_int elem_bytes
+  in
+  let intermediates =
+    List.filter (fun ts -> ts.storage = Intermediate) t.tensors
+  in
+  min_traffic_bytes t ~elem_bytes
+  +. (2.0 *. float_of_int t.batch
+     *. Mcf_util.Listx.sum_by tensor_bytes intermediates)
+
+let axis t name = Axis.find name t.axes
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let unique_names l =
+    List.length l = List.length (Mcf_util.Listx.dedup ~compare:String.compare l)
+  in
+  let* () =
+    if unique_names (List.map (fun a -> a.Axis.name) t.axes) then Ok ()
+    else Error "duplicate axis names"
+  in
+  let* () =
+    if unique_names (List.map (fun ts -> ts.tname) t.tensors) then Ok ()
+    else Error "duplicate tensor names"
+  in
+  let* () =
+    if t.batch >= 1 then Ok () else Error "batch must be >= 1"
+  in
+  let* () =
+    match List.filter (fun ts -> ts.storage = Output) t.tensors with
+    | [ _ ] -> Ok ()
+    | _ -> Error "chain must have exactly one output tensor"
+  in
+  (* Every intermediate/output tensor must be written by exactly one block,
+     and producers must precede consumers. *)
+  let block_index b =
+    match
+      Mcf_util.Listx.index_of (fun b' -> b'.bname = b.bname) t.blocks
+    with
+    | Some i -> i
+    | None -> -1
+  in
+  let check_tensor acc ts =
+    let* () = acc in
+    match ts.storage with
+    | Input ->
+      if producer_of t ts = None then Ok ()
+      else Error (ts.tname ^ ": input tensor has a producer")
+    | Intermediate | Output -> (
+      match producer_of t ts with
+      | None -> Error (ts.tname ^ ": no producer block")
+      | Some p ->
+        let late_consumers =
+          List.for_all
+            (fun c -> block_index c > block_index p)
+            (consumers_of t ts)
+        in
+        if late_consumers then Ok ()
+        else Error (ts.tname ^ ": consumed before produced"))
+  in
+  let* () = List.fold_left check_tensor (Ok ()) t.tensors in
+  (* Axis roles: spatial iff the axis indexes the final output. *)
+  let out = output_tensor t in
+  let role_ok a =
+    if Axis.mem a out.taxes then Axis.is_spatial a else Axis.is_reduce a
+  in
+  if List.for_all role_ok t.axes then Ok ()
+  else Error "axis roles inconsistent with output tensor"
+
+let pp ppf t =
+  Format.fprintf ppf "chain %s (batch %d): axes" t.cname t.batch;
+  List.iter (fun a -> Format.fprintf ppf " %a" Axis.pp a) t.axes;
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "; %s = contract(%s)" b.out.tname
+        (String.concat ", " (List.map (fun i -> i.tname) b.ins)))
+    t.blocks

@@ -1,0 +1,126 @@
+(** MBCI operator chains.
+
+    A chain is a straight-line sequence of contraction blocks where each
+    block may consume the previous block's output (kept in shared memory by
+    fusion) plus fresh inputs from global memory.  Memory-intensive
+    epilogues (softmax, scaling) between blocks are fused following standard
+    practice (§III-A); softmax additionally constrains valid schedules
+    because it is non-linear in the producer's reduction. *)
+
+type storage = Input | Intermediate | Output
+
+type tensor_spec = {
+  tname : string;
+  taxes : Axis.t list;  (** Layout order; the last axis is contiguous. *)
+  storage : storage;
+}
+
+type epilogue =
+  | No_epilogue
+  | Scale of float  (** out := c * out. *)
+  | Softmax of { saxis : Axis.t; sscale : float }
+      (** Numerically-stable softmax of [sscale * out] over [saxis], applied
+          after the block's reduction completes; when the axis is tiled the
+          schedule must use online-softmax rescaling. *)
+  | Unary of { uname : string; apply : float -> float; uflops : float }
+      (** A non-linear per-element activation (GELU, ReLU, ...) applied
+          after the block's reduction completes.  Like softmax it forbids
+          consuming the producer inside its own reduction loops, but needs
+          no running statistics. *)
+
+type block = {
+  bname : string;
+  out : tensor_spec;
+  ins : tensor_spec list;
+  reduce_axes : Axis.t list;
+  epilogue : epilogue;
+}
+
+type t = {
+  cname : string;
+  axes : Axis.t list;  (** All cross-tile axes, in declaration order. *)
+  batch : int;  (** Flattened batch (batch x heads); a pure grid dimension. *)
+  blocks : block list;  (** Producer-before-consumer order. *)
+  tensors : tensor_spec list;
+}
+
+val gemm_chain : ?batch:int -> m:int -> n:int -> k:int -> h:int -> unit -> t
+(** C = A x B; E = C x D (Fig. 3).  A:\[m,k\] B:\[k,n\] D:\[n,h\] E:\[m,h\]. *)
+
+val attention : ?heads:int -> m:int -> n:int -> k:int -> h:int -> unit -> t
+(** S = Q x K^T / sqrt(k); P = softmax_n(S); O = P x V.  Matches the
+    self-attention modules of Table III. *)
+
+val gemm_chain3 :
+  ?batch:int -> m:int -> n:int -> k:int -> h:int -> p:int -> unit -> t
+(** Three-GEMM chain G = ((A x B) x D) x F — the "more compute-intensive
+    operators" extension of §III-A. *)
+
+val mlp_chain : ?batch:int -> m:int -> n:int -> k:int -> h:int -> unit -> t
+(** MLP block E = gelu(A x B) x D — a unary non-linear epilogue between the
+    contractions (the "broader array of operators" direction of §VII). *)
+
+val conv_pointwise_chain :
+  ?batch:int ->
+  height:int ->
+  width:int ->
+  c_in:int ->
+  c_mid:int ->
+  c_out:int ->
+  ksize:int ->
+  unit ->
+  t
+(** Conv(k x k) followed by a pointwise (1 x 1) convolution, expressed via
+    the im2col GEMM mapping: m = output pixels, k = c_in * ksize^2,
+    n = c_mid, h = c_out.  Small channel counts make these chains
+    memory-bound — the CNN face of MBCI fusion (cf. the cross-layer reuse
+    line of work cited in §VII). *)
+
+val used_axes : block -> Axis.t list
+(** Output axes plus reduce axes of the block (every loop the block's
+    compute statement depends on). *)
+
+val private_axes : t -> block -> Axis.t list
+(** Axes used by this block and by no other block (the sequential-group
+    axes of flat tiling). *)
+
+val shared_axes : t -> Axis.t list
+(** Axes used by at least two blocks (the common prefix of flat tiling). *)
+
+val producer_of : t -> tensor_spec -> block option
+(** The block writing this tensor, when it is not a chain input. *)
+
+val consumers_of : t -> tensor_spec -> block list
+
+val is_linear_through : t -> block -> bool
+(** True when the given producer's output may be consumed before its
+    reduction completes without changing the result (i.e. its epilogue is
+    linear) — the legality condition for schedules that interleave a
+    consumer inside the producer's reduction loop. *)
+
+val output_tensor : t -> tensor_spec
+
+val input_tensors : t -> tensor_spec list
+
+val total_flops : t -> float
+(** Contraction FLOPs of the whole chain (2 x prod of axis extents per
+    block, times batch), ignoring epilogues. *)
+
+val min_traffic_bytes : t -> elem_bytes:int -> float
+(** Compulsory traffic: read every input once, write the output once —
+    the lower bound a perfectly fused kernel approaches. *)
+
+val unfused_traffic_bytes : t -> elem_bytes:int -> float
+(** Traffic of per-operator execution: the compulsory bytes plus every
+    intermediate written and read back through global memory.  The ratio
+    [total_flops / unfused_traffic_bytes] against the device roofline is
+    the MBCI test of §II-A. *)
+
+val axis : t -> string -> Axis.t
+(** @raise Not_found on unknown axis name. *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity: unique names, tensors consistent with blocks,
+    producer order, axis roles consistent with usage. *)
+
+val pp : Format.formatter -> t -> unit

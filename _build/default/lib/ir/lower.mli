@@ -1,0 +1,81 @@
+(** Lowering: from a placed program to cost-model inputs and simulator
+    kernels.
+
+    Every quantity the paper's analysis needs is derived here from
+    statement paths and trip counts:
+
+    - data movement per memory statement = tile size x trip count of the
+      surrounding loops (§III-B / eq. (3));
+    - compute per block statement = tile FLOPs x trip count (eq. (4)),
+      which also captures the redundant-computation cost Chimera's model
+      neglects;
+    - shared-memory residency per tensor, with the Rule-2 multiplier for
+      partial-result tiles;
+    - thread-block count for the slowdown factor (eq. (5)). *)
+
+type direction = Dload | Dstore
+
+type access = {
+  tensor : Chain.tensor_spec;
+  direction : direction;
+  tile_elems : int;  (** Elements moved per execution (incl. residency). *)
+  trips : int;  (** Executions per thread block. *)
+  row_elems : int;  (** Contiguous innermost run, for coalescing. *)
+}
+
+type compute_info = {
+  block : Chain.block;
+  kind : [ `Contraction | `Epilogue ];
+  flops_per_exec : float;
+  ctrips : int;
+  tile_m : int;
+  tile_n : int;
+  tile_k : int;
+}
+
+type residency_item = {
+  rtensor : Chain.tensor_spec;
+  tile_bytes : int;  (** One tile, in bytes. *)
+  mult : int;  (** Simultaneously-resident tiles (Rule 2 analysis). *)
+  double_buffered : bool;
+      (** Input tiles streamed inside a loop get pipelined staging buffers
+          in real code generation. *)
+}
+
+type t = {
+  program : Program.t;
+  elem_bytes : int;
+  blocks : int;
+  accesses : access list;
+  computes : compute_info list;
+  residency : residency_item list;
+  online_softmax : bool;
+  stmt_trips_total : int;
+  validity : (unit, Program.invalid) result;
+}
+
+val lower :
+  ?rule1:bool ->
+  ?dead_loop_elim:bool ->
+  ?hoisting:bool ->
+  elem_bytes:int ->
+  Chain.t ->
+  Candidate.t ->
+  t
+(** Build, optimize and account a candidate.  The switches mirror
+    {!Program.build}. *)
+
+val of_program : elem_bytes:int -> Program.t -> t
+(** Account an already-built program. *)
+
+val bytes_per_block : t -> float
+(** Global-memory traffic of one thread block. *)
+
+val total_traffic_bytes : t -> float
+(** Traffic across the grid (no L2 discount). *)
+
+val flops_per_block : t -> float
+
+val to_kernel : t -> smem_bytes:int -> Mcf_gpu.Kernel.t
+(** Package for the simulator; [smem_bytes] comes from the code
+    generator's allocator (see [Mcf_codegen.Alloc]). *)

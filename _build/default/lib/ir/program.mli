@@ -1,0 +1,97 @@
+(** Placed tensor programs: the loop/statement tree of one thread block.
+
+    Lowering a {!Candidate.t} proceeds exactly as in §III:
+
+    + spatial loops are bound to [blockIdx] (Rule 1's canonical execution;
+      for flat tiling only prefix spatial loops may be hoisted to the grid —
+      group loops express deliberate within-block sequencing);
+    + the remaining loops form the per-block tree; loops whose cross-tile
+      trip count is 1 are {e dead} and removed when [dead_loop_elim] is on
+      (the optimization Ansor and Chimera miss, Fig. 4(b));
+    + each block's Compute is placed at its rightmost related loop, Loads
+      immediately before it, the Store after its producer finishes, and
+      epilogues (softmax) at the scope where the producer's reduction is
+      complete;
+    + the hoisting pass moves every memory statement outward past loops
+      whose variable does not index its tensor (the DAG scope-dependency
+      analysis of Fig. 5).
+
+    The result is a faithful executable structure: the interpreter runs it
+    on real tensors, and the accounting in {!Lower} derives traffic, FLOPs
+    and residency from statement paths and trip counts. *)
+
+type stmt =
+  | Load of Chain.tensor_spec * Chain.block  (** tensor, consuming block *)
+  | Store of Chain.tensor_spec * Chain.block  (** tensor, producing block *)
+  | Compute of Chain.block
+  | Epilogue of Chain.block
+
+type node = Loop of loop | Stmt of stmt
+
+and loop = {
+  laxis : Axis.t;
+  extent : int;  (** Cross-tile trip count, ceil(size/tile). *)
+  group : int option;  (** Flat-tiling sequential group this loop belongs to. *)
+  mutable body : node list;
+}
+
+type t = {
+  chain : Chain.t;
+  cand : Candidate.t;
+  grid_axes : Axis.t list;  (** Loops bound to blockIdx, outermost first. *)
+  mutable roots : node list;  (** The per-thread-block program. *)
+}
+
+type invalid =
+  | Nonlinear_partial_consume of { producer : string; loop : string }
+      (** A softmax producer's value is consumed inside one of its own
+          reduction loops: the partial sums are not yet normalizable. *)
+
+val build :
+  ?rule1:bool ->
+  ?dead_loop_elim:bool ->
+  ?hoisting:bool ->
+  Chain.t ->
+  Candidate.t ->
+  t
+(** Full pipeline with each paper optimization on a switch (all default
+    [true]); the switches feed the ablation experiments and the
+    Ansor/Chimera-style baselines. *)
+
+val validate : t -> (unit, invalid) result
+
+val placed_stmts : t -> (Axis.t list * stmt) list
+(** Every statement with its surrounding in-block loops (outermost first),
+    in execution order. *)
+
+val stmt_trips : t -> stmt -> int
+(** Product of the surrounding loops' extents — how many times per thread
+    block the statement runs. @raise Not_found when absent. *)
+
+val grid_blocks : t -> int
+(** Thread blocks launched: batch x prod of grid-axis trip counts. *)
+
+val online_softmax : t -> bool
+(** True when a softmax axis is tiled, forcing online rescaling. *)
+
+val residency_multiplier : t -> Chain.tensor_spec -> int
+(** Number of tiles of this (non-input) tensor that must be resident in
+    shared memory simultaneously: > 1 exactly in the Rule-2 situations of
+    Fig. 6 (an axis of the tensor iterating inside the producer's
+    reduction loop). *)
+
+val stmt_to_string : stmt -> string
+
+val to_string : t -> string
+(** Pseudo-code rendering in the style of Fig. 4. *)
+
+val string_of_invalid : invalid -> string
+
+val dag_edges : t -> (string * string) list
+(** The DAG view of Fig. 5: scope-dependency edges [loop -> stmt] and
+    order-dependency edges [stmt -> stmt], for inspection and tests. *)
+
+val to_dot : t -> string
+(** Graphviz rendering of the Fig. 5 DAG: box nodes for loops, ellipses
+    for statements, solid edges for scope dependencies and dashed edges
+    for order dependencies. *)

@@ -1,0 +1,52 @@
+(** Tiling expressions (§III-A).
+
+    A tiling expression fixes the structure of the cross-tile loops of a
+    fused kernel.  Loops are either nested ([l_j l_i]: [l_i] runs inside
+    [l_j]) or sequential ([(l_j, l_i)]: siblings in the same scope).  The
+    paper partitions expressions into two families:
+
+    - {b deep tiling}: every pair of loops is nested — one permutation of
+      all axes, e.g. [mhnk];
+    - {b flat tiling}: a nested prefix of the axes shared between blocks,
+      followed by per-block sequential groups of their private axes, e.g.
+      [mn(k,h)].
+
+    Chimera's search space is exactly the deep family; including the flat
+    family is one of MCFuser's contributions. *)
+
+type t =
+  | Deep of Axis.t list  (** Permutation of all chain axes. *)
+  | Flat of Axis.t list * Axis.t list list
+      (** [Flat (prefix, groups)]: nested shared prefix, then one
+          sequential group per block (in block order), each group itself
+          nested. *)
+
+val to_string : t -> string
+(** Paper notation: ["mhnk"], ["mn(k,h)"]. *)
+
+val axes : t -> Axis.t list
+(** All axes, outermost first; sequential groups flattened in order. *)
+
+val enumerate_deep : Chain.t -> t list
+(** All permutations of the chain's axes. *)
+
+val enumerate_flat : Chain.t -> t list
+(** All flat expressions: permutations of the shared-axis prefix crossed
+    with permutations inside each block's private group.  Empty when some
+    block has no private axis to separate (flat tiling degenerates to
+    deep). *)
+
+val enumerate : Chain.t -> t list
+(** Deep then flat — the complete structural search space. *)
+
+val is_flat : t -> bool
+
+val sub_tiling : Chain.t -> t -> t
+(** Rule 1 canonical form: remove the spatial loops (they are bound to
+    [blockIdx]); candidates sharing a sub-tiling expression describe the
+    same per-thread-block program. *)
+
+val equal : t -> t -> bool
+(** Structural equality (axes compared by name). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,210 @@
+type loop_kind =
+  | Serial
+  | Block_binding
+
+type loop = {
+  lvar : string;
+  laxis : string;
+  extent : int;
+  step : int;
+  kind : loop_kind;
+}
+
+type node =
+  | For of loop * node list
+  | Block of {
+      bname : string;
+      reads : (string * string list) list;
+      writes : (string * string list) list;
+      init : bool;
+    }
+
+type t = {
+  chain : Chain.t;
+  roots : node list;
+}
+
+let var_of (a : Axis.t) = a.name ^ "_0"
+
+let region_of (ts : Chain.tensor_spec) =
+  (ts.tname, List.map var_of ts.taxes)
+
+(* --- of_candidate: the schedule-primitive sequence ------------------------ *)
+
+(* The unhoisted, dead-loop-preserving program is exactly the nest the TVM
+   primitives (split / reorder / bind) produce before any memory-access
+   optimization runs; converting it keeps the two views in lock step. *)
+let of_candidate chain (cand : Candidate.t) =
+  let program =
+    Program.build ~dead_loop_elim:false ~hoisting:false chain cand
+  in
+  let block_node (b : Chain.block) ~epilogue =
+    if epilogue then
+      Block
+        { bname = b.Chain.bname ^ "_epilogue";
+          reads = [ region_of b.out ];
+          writes = [ region_of b.out ];
+          init = false }
+    else
+      Block
+        { bname = b.Chain.bname;
+          reads = List.map region_of b.ins;
+          writes = [ region_of b.out ];
+          init = b.reduce_axes <> [] }
+  in
+  let rec convert (n : Program.node) =
+    match n with
+    | Program.Loop l ->
+      [ For
+          ( { lvar = var_of l.laxis;
+              laxis = l.laxis.Axis.name;
+              extent = l.extent;
+              step = Candidate.tile cand l.laxis;
+              kind = Serial },
+            List.concat_map convert l.body ) ]
+    | Program.Stmt (Program.Compute b) -> [ block_node b ~epilogue:false ]
+    | Program.Stmt (Program.Epilogue b) -> [ block_node b ~epilogue:true ]
+    | Program.Stmt (Program.Load _ | Program.Store _) ->
+      [] (* cache reads/writes belong to the later memory pass *)
+  in
+  let body = List.concat_map convert program.Program.roots in
+  let roots =
+    List.fold_right
+      (fun (a : Axis.t) inner ->
+        [ For
+            ( { lvar = var_of a;
+                laxis = a.name;
+                extent = Candidate.trip cand a;
+                step = Candidate.tile cand a;
+                kind = Block_binding },
+              inner ) ])
+      program.Program.grid_axes body
+  in
+  { chain; roots }
+
+(* --- extract: the TIR AST visitor ----------------------------------------- *)
+
+let extract (t : t) =
+  let chain = t.chain in
+  let axis name = Chain.axis chain name in
+  let tiles = Hashtbl.create 8 in
+  let rec record = function
+    | For (l, body) ->
+      Hashtbl.replace tiles l.laxis l.step;
+      List.iter record body
+    | Block _ -> ()
+  in
+  List.iter record t.roots;
+  (* leading blockIdx-bound loops *)
+  let rec split_grid acc nodes =
+    match nodes with
+    | [ For (l, body) ] when l.kind = Block_binding ->
+      split_grid (axis l.laxis :: acc) body
+    | _ -> (List.rev acc, nodes)
+  in
+  let grid, body = split_grid [] t.roots in
+  (* a scope with two or more For children is the sequential-group scope of
+     a flat expression; otherwise the nest is deep *)
+  let rec walk prefix nodes =
+    let fors =
+      List.filter_map (function For (l, b) -> Some (l, b) | Block _ -> None)
+        nodes
+    in
+    match fors with
+    | [] -> `Deep (List.rev prefix)
+    | [ (l, b) ] -> walk (axis l.laxis :: prefix) b
+    | groups ->
+      let rec chain_axes (l, b) =
+        axis l.laxis
+        ::
+        (match
+           List.filter_map
+             (function For (l', b') -> Some (l', b') | Block _ -> None)
+             b
+         with
+        | [ inner ] -> chain_axes inner
+        | [] -> []
+        | _ -> invalid_arg "Tir.extract: nested sequential scopes")
+      in
+      `Flat (List.rev prefix, List.map chain_axes groups)
+  in
+  let tiling =
+    match walk [] body with
+    | `Deep rest -> Tiling.Deep (grid @ rest)
+    | `Flat (prefix, groups) ->
+      if List.length groups <> List.length chain.blocks then
+        invalid_arg
+          "Tir.extract: flat nest does not map one group per block";
+      Tiling.Flat (grid @ prefix, groups)
+  in
+  let tile_list =
+    List.map
+      (fun (a : Axis.t) ->
+        match Hashtbl.find_opt tiles a.name with
+        | Some s -> (a.name, s)
+        | None -> invalid_arg ("Tir.extract: axis without a loop: " ^ a.name))
+      chain.axes
+  in
+  Candidate.make tiling tile_list
+
+(* --- pretty ---------------------------------------------------------------- *)
+
+let pretty (t : t) =
+  let buf = Buffer.create 1024 in
+  let chain = t.chain in
+  Buffer.add_string buf "@T.prim_func\n";
+  let args =
+    chain.tensors
+    |> List.filter (fun (ts : Chain.tensor_spec) ->
+           ts.storage <> Chain.Intermediate)
+    |> List.map (fun (ts : Chain.tensor_spec) ->
+           Printf.sprintf "%s: T.Buffer[(%s), \"float16\"]" ts.tname
+             (String.concat ", "
+                (List.map
+                   (fun (a : Axis.t) -> string_of_int a.size)
+                   ts.taxes)))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "def %s(%s):\n" chain.cname (String.concat ", " args));
+  let rec emit indent nodes =
+    let pad = String.make indent ' ' in
+    List.iter
+      (function
+        | For (l, body) ->
+          let header =
+            match l.kind with
+            | Block_binding ->
+              Printf.sprintf "%sfor %s in T.thread_binding(%d, \"blockIdx.x\"):"
+                pad l.lvar l.extent
+            | Serial ->
+              Printf.sprintf "%sfor %s in T.serial(%d):" pad l.lvar l.extent
+          in
+          Buffer.add_string buf (header ^ "\n");
+          emit (indent + 4) body
+        | Block { bname; reads; writes; init } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%swith T.block(\"%s\"):\n" pad bname);
+          let region (name, vars) =
+            Printf.sprintf "%s[%s]" name (String.concat ", " vars)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%s    T.reads(%s)\n" pad
+               (String.concat ", " (List.map region reads)));
+          Buffer.add_string buf
+            (Printf.sprintf "%s    T.writes(%s)\n" pad
+               (String.concat ", " (List.map region writes)));
+          if init then
+            Buffer.add_string buf
+              (Printf.sprintf "%s    with T.init(): ...\n" pad);
+          Buffer.add_string buf (Printf.sprintf "%s    ...\n" pad))
+      nodes
+  in
+  emit 4 t.roots;
+  Buffer.contents buf
+
+let loop_count (t : t) =
+  let rec count = function
+    | For (_, body) -> 1 + List.fold_left (fun acc n -> acc + count n) 0 body
+    | Block _ -> 0
+  in
+  List.fold_left (fun acc n -> acc + count n) 0 t.roots

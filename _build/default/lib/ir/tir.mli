@@ -1,0 +1,67 @@
+(** A TIR-like scheduled loop-nest representation (§V-B).
+
+    The paper's front-end keeps two mutually-convertible views of an MBCI
+    sub-graph: the high-level {e tiling expression} this library searches
+    over, and a TVM TIR module produced by applying [tile]/[split]/
+    [reorder]/[bind] schedule primitives.  A "TIR AST visitor" then
+    extracts the tiling expression back out of a TIR module.
+
+    This module reproduces that round trip:
+
+    - {!of_candidate} builds the scheduled nest for a candidate by applying
+      the same primitive sequence TVM would (split every cross-tile axis
+      into an outer cross-tile loop and an inner intra-tile loop, reorder
+      the outers per the tiling expression, bind the hoistable spatial
+      outers to [blockIdx.x]);
+    - {!extract} is the AST visitor recovering the tiling expression and
+      tile sizes from a nest;
+    - {!pretty} renders TVMScript-style source for inspection.
+
+    Memory statements (cache reads/writes) are deliberately absent here:
+    in the paper's flow they are introduced by the later memory-access
+    optimization (§III-B), which this library performs on the
+    {!Program.t} side. *)
+
+type loop_kind =
+  | Serial
+  | Block_binding  (** Bound to [blockIdx.x]. *)
+
+type loop = {
+  lvar : string;  (** Loop variable, e.g. ["m_0"] for the cross-tile m. *)
+  laxis : string;  (** The chain axis this loop iterates. *)
+  extent : int;  (** Trip count. *)
+  step : int;  (** Tile extent the variable advances by. *)
+  kind : loop_kind;
+}
+
+type node =
+  | For of loop * node list
+  | Block of {
+      bname : string;
+      reads : (string * string list) list;
+          (** Buffer -> index variables, e.g. [("A", \["m_0"; "k_0"\])]. *)
+      writes : (string * string list) list;
+      init : bool;  (** Has a reduction-init statement. *)
+    }
+
+type t = {
+  chain : Chain.t;
+  roots : node list;
+}
+
+val of_candidate : Chain.t -> Candidate.t -> t
+(** Apply the schedule-primitive sequence for a candidate. *)
+
+val extract : t -> Candidate.t
+(** The TIR AST visitor: recover tiling expression + tile sizes.
+    [extract (of_candidate chain c)] is Rule-1-equivalent to [c]: it lowers
+    to an identical per-block program (for canonical candidates it is
+    identical up to {!Candidate.key}).
+    @raise Invalid_argument on a nest the visitor does not recognize
+    (e.g. flat forms whose sequential groups do not map one-per-block). *)
+
+val pretty : t -> string
+(** TVMScript-style rendering. *)
+
+val loop_count : t -> int
+(** Number of [For] nodes (used by tests and reports). *)

@@ -1,0 +1,1 @@
+lib/model/perf.ml: Mcf_gpu Mcf_ir

@@ -1,0 +1,1 @@
+lib/model/perf.mli: Mcf_gpu Mcf_ir

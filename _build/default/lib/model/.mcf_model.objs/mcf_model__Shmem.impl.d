@@ -1,0 +1,1 @@
+lib/model/shmem.ml: List Mcf_gpu Mcf_ir

@@ -1,0 +1,1 @@
+lib/model/shmem.mli: Mcf_gpu Mcf_ir

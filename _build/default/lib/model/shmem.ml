@@ -1,0 +1,8 @@
+let estimate_bytes (l : Mcf_ir.Lower.t) =
+  List.fold_left
+    (fun acc (r : Mcf_ir.Lower.residency_item) -> acc + (r.tile_bytes * r.mult))
+    0 l.residency
+
+let within_budget (spec : Mcf_gpu.Spec.t) ~slack l =
+  float_of_int (estimate_bytes l)
+  <= slack *. float_of_int spec.smem_per_block

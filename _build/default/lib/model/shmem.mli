@@ -1,0 +1,19 @@
+(** Shared-memory estimation, eq. (1) of §III-C.
+
+    [Shm_estm = sum over resident tensors of (T_Li x T_Lj)] — the per-block
+    working set implied by the tiling expression: one tile per loaded input,
+    the resident tiles of intermediates and of the output accumulator
+    (including the Rule-2 multiplicity for schedules that must keep several
+    partial tiles alive).
+
+    The estimate deliberately ignores what real code generation adds on
+    top — pipelined double buffers, bank-conflict padding, softmax
+    statistics — which is exactly the estimate-vs-actual gap that Fig. 10
+    measures (see [Mcf_codegen.Alloc] for the "actual" side). *)
+
+val estimate_bytes : Mcf_ir.Lower.t -> int
+(** Eq. (1) in bytes. *)
+
+val within_budget : Mcf_gpu.Spec.t -> slack:float -> Mcf_ir.Lower.t -> bool
+(** Rule 4: [estimate <= slack x Shm_max] with the paper's slack of 1.2
+    absorbing estimation error. *)

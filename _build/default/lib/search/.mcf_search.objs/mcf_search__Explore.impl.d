@@ -1,0 +1,1 @@
+lib/search/explore.ml: Array Float Hashtbl List Logs Mcf_codegen Mcf_gpu Mcf_ir Mcf_model Mcf_util Option Printf Space

@@ -1,0 +1,1 @@
+lib/search/explore.mli: Logs Mcf_gpu Mcf_util Space

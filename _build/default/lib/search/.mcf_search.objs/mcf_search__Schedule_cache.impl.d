@@ -1,0 +1,1 @@
+lib/search/schedule_cache.ml: Axis Candidate Chain Fun List Mcf_gpu Mcf_ir Printf Result String Sys Tiling Tuner

@@ -1,0 +1,1 @@
+lib/search/schedule_cache.mli: Mcf_gpu Mcf_ir Tuner

@@ -1,0 +1,1 @@
+lib/search/space.ml: Axis Candidate Chain List Lower Mcf_gpu Mcf_ir Mcf_model Mcf_util Result Tiling

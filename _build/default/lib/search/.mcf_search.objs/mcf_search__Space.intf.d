@@ -1,0 +1,1 @@
+lib/search/space.mli: Mcf_gpu Mcf_ir

@@ -1,0 +1,1 @@
+lib/search/tuner.ml: Explore Int64 Logs Mcf_codegen Mcf_gpu Mcf_ir Mcf_util Result Space

@@ -1,0 +1,1 @@
+lib/search/tuner.mli: Explore Mcf_gpu Mcf_ir Space

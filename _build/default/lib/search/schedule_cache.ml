@@ -1,0 +1,173 @@
+open Mcf_ir
+
+type entry = {
+  echain : string;
+  edevice : string;
+  ecand : Candidate.t;
+  etime_s : float;
+}
+
+type t = entry list
+
+let empty = []
+
+let key e = (e.echain, e.edevice)
+
+let add t e = e :: List.filter (fun x -> key x <> key e) t
+
+let size = List.length
+
+let serialize_candidate (cand : Candidate.t) =
+  let names axes =
+    String.concat "," (List.map (fun (a : Axis.t) -> a.name) axes)
+  in
+  let tiling =
+    match cand.tiling with
+    | Tiling.Deep axes -> "deep:" ^ names axes
+    | Tiling.Flat (prefix, groups) ->
+      "flat:" ^ names prefix ^ "/"
+      ^ String.concat "/" (List.map names groups)
+  in
+  let tiles =
+    cand.tiles
+    |> List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v)
+    |> String.concat ","
+  in
+  tiling ^ ";" ^ tiles
+
+let parse_candidate chain s =
+  let ( let* ) r f = Result.bind r f in
+  let axis_of name =
+    match List.find_opt (fun (a : Axis.t) -> a.name = name) chain.Chain.axes with
+    | Some a -> Ok a
+    | None -> Error ("unknown axis " ^ name)
+  in
+  let axes_of csv =
+    List.fold_right
+      (fun name acc ->
+        let* acc = acc in
+        let* a = axis_of name in
+        Ok (a :: acc))
+      (String.split_on_char ',' csv)
+      (Ok [])
+  in
+  match String.split_on_char ';' s with
+  | [ tiling_s; tiles_s ] ->
+    let* tiling =
+      match String.index_opt tiling_s ':' with
+      | None -> Error "missing tiling kind"
+      | Some i -> (
+        let kind = String.sub tiling_s 0 i in
+        let rest =
+          String.sub tiling_s (i + 1) (String.length tiling_s - i - 1)
+        in
+        match kind with
+        | "deep" ->
+          let* axes = axes_of rest in
+          Ok (Tiling.Deep axes)
+        | "flat" -> (
+          match String.split_on_char '/' rest with
+          | prefix :: groups when groups <> [] ->
+            let* prefix = axes_of prefix in
+            let* groups =
+              List.fold_right
+                (fun g acc ->
+                  let* acc = acc in
+                  let* g = if g = "" then Ok [] else axes_of g in
+                  Ok (g :: acc))
+                groups (Ok [])
+            in
+            Ok (Tiling.Flat (prefix, groups))
+          | _ -> Error "malformed flat tiling")
+        | other -> Error ("unknown tiling kind " ^ other))
+    in
+    let* tiles =
+      List.fold_right
+        (fun pair acc ->
+          let* acc = acc in
+          match String.split_on_char '=' pair with
+          | [ name; v ] -> (
+            match int_of_string_opt v with
+            | Some v when v > 0 ->
+              let* _ = axis_of name in
+              Ok ((name, v) :: acc)
+            | Some _ | None -> Error ("bad tile value " ^ pair))
+          | _ -> Error ("bad tile pair " ^ pair))
+        (String.split_on_char ',' tiles_s)
+        (Ok [])
+    in
+    (* every chain axis must be bound *)
+    if
+      List.for_all
+        (fun (a : Axis.t) -> List.mem_assoc a.name tiles)
+        chain.Chain.axes
+    then Ok (Candidate.make tiling tiles)
+    else Error "tile vector does not cover every axis"
+  | _ -> Error "malformed candidate record"
+
+let lookup t ~chain ~device =
+  List.find_opt
+    (fun e -> e.echain = chain.Chain.cname && e.edevice = device)
+    t
+
+let save t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          Printf.fprintf oc "%s|%s|%s|%.9e\n" e.echain e.edevice
+            (serialize_candidate e.ecand)
+            e.etime_s)
+        (List.rev t));
+  Sys.rename tmp path
+
+let load ~chains path =
+  if not (Sys.file_exists path) then empty
+  else begin
+    let ic = open_in path in
+    let entries = ref empty in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            match String.split_on_char '|' line with
+            | [ echain; edevice; cand_s; time_s ] -> (
+              match
+                ( List.find_opt
+                    (fun (c : Chain.t) -> c.cname = echain)
+                    chains,
+                  float_of_string_opt time_s )
+              with
+              | Some chain, Some etime_s -> (
+                match parse_candidate chain cand_s with
+                | Ok ecand ->
+                  entries := add !entries { echain; edevice; ecand; etime_s }
+                | Error _ -> ())
+              | _ -> ())
+            | _ -> ()
+          done
+        with End_of_file -> ());
+    !entries
+  end
+
+let tune_with_cache ~cache_file (spec : Mcf_gpu.Spec.t) chain =
+  let cache = load ~chains:[ chain ] cache_file in
+  match lookup cache ~chain ~device:spec.name with
+  | Some entry -> Ok (None, entry)
+  | None -> (
+    match Tuner.tune spec chain with
+    | Error e -> Error e
+    | Ok outcome ->
+      let entry =
+        { echain = chain.Chain.cname;
+          edevice = spec.name;
+          ecand = outcome.best.cand;
+          etime_s = outcome.kernel_time_s }
+      in
+      save (add cache entry) cache_file;
+      Ok (Some outcome, entry))

@@ -1,0 +1,166 @@
+open Mcf_ir
+
+type options = {
+  rule1 : bool;
+  rule2 : bool;
+  rule3 : bool;
+  rule4 : bool;
+  include_flat : bool;
+  dead_loop_elim : bool;
+  hoisting : bool;
+  max_padding : float;
+  shmem_slack : float;
+}
+
+let default_options =
+  { rule1 = true;
+    rule2 = true;
+    rule3 = true;
+    rule4 = true;
+    include_flat = true;
+    dead_loop_elim = true;
+    hoisting = true;
+    max_padding = 0.05;
+    shmem_slack = 1.2 }
+
+type entry = {
+  cand : Candidate.t;
+  lowered : Lower.t;
+}
+
+type funnel = {
+  tilings_raw : int;
+  tilings_rule1 : int;
+  tilings_rule2 : int;
+  candidates_raw : float;
+  candidates_rule3 : float;
+  candidates_rule4 : int;
+  candidates_valid : int;
+}
+
+let all_tilings opts chain =
+  if opts.include_flat then Tiling.enumerate chain
+  else Tiling.enumerate_deep chain
+
+let apply_rule1 chain ts =
+  Mcf_util.Listx.dedup_keep_order
+    ~key:(fun t -> Tiling.to_string (Tiling.sub_tiling chain t))
+    ts
+
+(* Rule 2 is structural: in the per-block expression, a reduction loop of
+   some producer appearing before (outside) an axis of its intermediate
+   output forces multiple resident partial tiles (Fig. 6(b)). *)
+let violates_rule2 (chain : Chain.t) tiling =
+  let order = Tiling.axes (Tiling.sub_tiling chain tiling) in
+  let intermediates =
+    List.filter (fun (ts : Chain.tensor_spec) -> ts.storage = Chain.Intermediate)
+      chain.tensors
+  in
+  List.exists
+    (fun (ts : Chain.tensor_spec) ->
+      match Chain.producer_of chain ts with
+      | None -> false
+      | Some p ->
+        let rec scan seen_reduce = function
+          | [] -> false
+          | a :: rest ->
+            if seen_reduce && Axis.mem a ts.taxes then true
+            else scan (seen_reduce || Axis.mem a p.reduce_axes) rest
+        in
+        scan false order)
+    intermediates
+
+let apply_rule2 chain ts = List.filter (fun t -> not (violates_rule2 chain t)) ts
+
+let tilings opts chain =
+  let ts = all_tilings opts chain in
+  let ts = if opts.rule1 then apply_rule1 chain ts else ts in
+  if opts.rule2 then apply_rule2 chain ts else ts
+
+let is_power_of_two v = v > 0 && v land (v - 1) = 0
+
+let rule3_ok opts (a : Axis.t) tile =
+  let trips = (a.size + tile - 1) / tile in
+  if is_power_of_two a.size then trips * tile = a.size
+  else begin
+    let padding =
+      float_of_int ((trips * tile) - a.size) /. float_of_int a.size
+    in
+    padding <= opts.max_padding
+  end
+
+let tile_choices opts (chain : Chain.t) =
+  List.map
+    (fun (a : Axis.t) ->
+      let all = Candidate.tile_options a.size in
+      let kept =
+        if opts.rule3 then List.filter (rule3_ok opts a) all else all
+      in
+      (* never let an axis end up with zero options *)
+      let kept = if kept = [] then [ a.size ] else kept in
+      (a.name, kept))
+    chain.axes
+
+let raw_cardinality (chain : Chain.t) =
+  let tiling_count = List.length (Tiling.enumerate chain) in
+  let tile_count =
+    List.fold_left
+      (fun acc (a : Axis.t) ->
+        acc *. float_of_int (List.length (Candidate.tile_options a.size)))
+      1.0 chain.axes
+  in
+  float_of_int tiling_count *. tile_count
+
+let enumerate ?(options = default_options) (spec : Mcf_gpu.Spec.t) chain =
+  let opts = options in
+  let raw_ts = all_tilings opts chain in
+  let ts1 = if opts.rule1 then apply_rule1 chain raw_ts else raw_ts in
+  let ts2 = if opts.rule2 then apply_rule2 chain ts1 else ts1 in
+  let choices = tile_choices opts chain in
+  let combos = Mcf_util.Listx.cartesian (List.map snd choices) in
+  let names = List.map fst choices in
+  let candidates_rule3 =
+    float_of_int (List.length ts2) *. float_of_int (List.length combos)
+  in
+  (* Lowering every surviving (expression, tile-vector) point is the
+     enumeration hot path; it is a pure per-candidate map and runs on all
+     domains (order-preserving, so the space is deterministic). *)
+  let points =
+    List.concat_map (fun tiling -> List.map (fun c -> (tiling, c)) combos) ts2
+  in
+  let evaluated =
+    Mcf_util.Parallel.map
+      (fun (tiling, combo) ->
+        let cand = Candidate.make tiling (List.combine names combo) in
+        let lowered =
+          Lower.lower ~rule1:opts.rule1 ~dead_loop_elim:opts.dead_loop_elim
+            ~hoisting:opts.hoisting ~elem_bytes:spec.elem_bytes chain cand
+        in
+        let rule4_ok =
+          (not opts.rule4)
+          || Mcf_model.Shmem.within_budget spec ~slack:opts.shmem_slack lowered
+        in
+        if not rule4_ok then `Pruned_rule4
+        else if Result.is_error lowered.validity then `Invalid
+        else `Entry { cand; lowered })
+      points
+  in
+  let survivors =
+    List.filter_map
+      (function `Entry e -> Some e | `Pruned_rule4 | `Invalid -> None)
+      evaluated
+  in
+  let n_rule4 =
+    List.length
+      (List.filter (function `Pruned_rule4 -> false | _ -> true) evaluated)
+  in
+  let funnel =
+    { tilings_raw = List.length raw_ts;
+      tilings_rule1 = List.length ts1;
+      tilings_rule2 = List.length ts2;
+      candidates_raw = raw_cardinality chain;
+      candidates_rule3;
+      candidates_rule4 = n_rule4;
+      candidates_valid = List.length survivors }
+  in
+  (survivors, funnel)

@@ -1,0 +1,69 @@
+(** Search-space construction and pruning (§III-A, §III-C).
+
+    The raw space is the cross product of every tiling expression (deep
+    permutations + flat forms) with every tile-size vector (multiples of 16
+    per axis) — about 10^8 points for the paper's running example.  The
+    four pruning rules shrink it to ~10^4 concrete candidates that are
+    worth estimating:
+
+    - {b Rule 1} (deduplication): candidates sharing a per-thread-block
+      sub-tiling expression are equivalent; one canonical representative
+      per class is kept.
+    - {b Rule 2}: expressions that place a producer's reduction loop
+      outside an axis of its intermediate output would cache multiple
+      partial tiles (Fig. 6) — dropped structurally.
+    - {b Rule 3} (padding): tile sizes must divide power-of-two dimensions
+      exactly, and keep the padding ratio below 5 % otherwise.
+    - {b Rule 4} (shared memory): the eq. (1) estimate must stay within
+      1.2x the device limit.
+
+    Validity (softmax consumed inside its producer's reduction) is checked
+    during enumeration as well, mirroring what the real toolchain rejects
+    at lowering time. *)
+
+type options = {
+  rule1 : bool;
+  rule2 : bool;
+  rule3 : bool;
+  rule4 : bool;
+  include_flat : bool;  (** Off reproduces Chimera's deep-only space. *)
+  dead_loop_elim : bool;  (** Off reproduces Ansor/Chimera hoisting. *)
+  hoisting : bool;
+  max_padding : float;  (** Rule 3 threshold (paper: 0.05). *)
+  shmem_slack : float;  (** Rule 4 slack (paper: 1.2). *)
+}
+
+val default_options : options
+(** Everything on, paper thresholds. *)
+
+type entry = {
+  cand : Mcf_ir.Candidate.t;
+  lowered : Mcf_ir.Lower.t;  (** Shared by the model, codegen and search. *)
+}
+
+type funnel = {
+  tilings_raw : int;
+  tilings_rule1 : int;
+  tilings_rule2 : int;
+  candidates_raw : float;  (** Raw cardinality (counted, not materialized). *)
+  candidates_rule3 : float;
+  candidates_rule4 : int;  (** Survivors actually materialized. *)
+  candidates_valid : int;  (** After the softmax-legality check. *)
+}
+
+val tilings : options -> Mcf_ir.Chain.t -> Mcf_ir.Tiling.t list
+(** Structural expressions after Rules 1-2 (as enabled). *)
+
+val tile_choices :
+  options -> Mcf_ir.Chain.t -> (string * int list) list
+(** Per-axis tile options after Rule 3 (as enabled). *)
+
+val raw_cardinality : Mcf_ir.Chain.t -> float
+(** |tilings| x prod |all tile options|, before any pruning. *)
+
+val enumerate :
+  ?options:options ->
+  Mcf_gpu.Spec.t ->
+  Mcf_ir.Chain.t ->
+  entry list * funnel
+(** Materialize the pruned space for a device, with the Fig. 7 funnel. *)

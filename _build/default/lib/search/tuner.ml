@@ -1,0 +1,64 @@
+type outcome = {
+  chain : Mcf_ir.Chain.t;
+  spec : Mcf_gpu.Spec.t;
+  best : Space.entry;
+  kernel : Mcf_gpu.Kernel.t;
+  kernel_time_s : float;
+  funnel : Space.funnel;
+  search_stats : Explore.stats;
+  tuning_virtual_s : float;
+  tuning_wall_s : float;
+}
+
+type error = No_viable_candidate
+
+let default_seed (spec : Mcf_gpu.Spec.t) (chain : Mcf_ir.Chain.t) =
+  Int64.to_int
+    (Int64.logand
+       (Mcf_util.Hashing.fnv1a64 (chain.cname ^ "|" ^ spec.name))
+       0x3FFFFFFFFFFFFFFFL)
+
+module Log = (val Logs.src_log Explore.log_src : Logs.LOG)
+
+let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
+    (chain : Mcf_ir.Chain.t) =
+  let seed =
+    match seed with Some s -> s | None -> default_seed spec chain
+  in
+  let rng = Mcf_util.Rng.create seed in
+  let clock = Mcf_gpu.Clock.create () in
+  let run () =
+    let entries, funnel = Space.enumerate ?options spec chain in
+    Log.info (fun m ->
+        m "%s on %s: %d candidates after pruning (raw %.3g)"
+          chain.Mcf_ir.Chain.cname spec.name funnel.candidates_valid
+          funnel.candidates_raw);
+    (* Framework start-up: partitioning, space generation, IR round-trips. *)
+    Mcf_gpu.Clock.charge clock 4.0;
+    match Explore.run ?params ?estimator ~rng ~clock spec entries with
+    | None -> Error No_viable_candidate
+    | Some { best; best_time_s; stats } -> (
+      match Mcf_codegen.Compile.compile spec best.lowered with
+      | Error _ -> Error No_viable_candidate
+      | Ok kernel ->
+        Log.info (fun m ->
+            m "best %s at %.2fus after %d measurements"
+              (Mcf_ir.Candidate.to_string best.cand)
+              (best_time_s *. 1e6) stats.measured);
+        Ok
+          { chain;
+            spec;
+            best;
+            kernel;
+            kernel_time_s = best_time_s;
+            funnel;
+            search_stats = stats;
+            tuning_virtual_s = Mcf_gpu.Clock.elapsed_s clock;
+            tuning_wall_s = 0.0 })
+  in
+  let result, wall = Mcf_gpu.Clock.with_wall_clock run in
+  Result.map (fun o -> { o with tuning_wall_s = wall }) result
+
+let pseudo_code o = Mcf_ir.Program.to_string o.best.lowered.program
+
+let triton_source o = Mcf_codegen.Emit.triton_kernel o.best.lowered.program

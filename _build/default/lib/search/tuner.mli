@@ -1,0 +1,40 @@
+(** MCFuser's top-level tuning entry point.
+
+    [tune spec chain] runs the full pipeline of the paper: enumerate and
+    prune the tiling space (§III), then explore it with the analytical
+    model + measured top-k loop (§IV), returning the best fused kernel
+    found together with the tuning-cost accounting used by Table IV. *)
+
+type outcome = {
+  chain : Mcf_ir.Chain.t;
+  spec : Mcf_gpu.Spec.t;
+  best : Space.entry;
+  kernel : Mcf_gpu.Kernel.t;  (** Compiled best candidate. *)
+  kernel_time_s : float;  (** Measured (simulated) execution time. *)
+  funnel : Space.funnel;
+  search_stats : Explore.stats;
+  tuning_virtual_s : float;  (** Compile + device-measurement accounting. *)
+  tuning_wall_s : float;  (** Real OCaml wall-clock of the tuner. *)
+}
+
+type error =
+  | No_viable_candidate
+      (** Every candidate was invalid, over shared memory, or failed to
+          launch: the chain cannot be fused on this device. *)
+
+val tune :
+  ?options:Space.options ->
+  ?params:Explore.params ->
+  ?estimator:(Mcf_gpu.Spec.t -> Space.entry -> float) ->
+  ?seed:int ->
+  Mcf_gpu.Spec.t ->
+  Mcf_ir.Chain.t ->
+  (outcome, error) result
+(** Deterministic for a fixed [seed] (default derived from the chain
+    name and device). *)
+
+val pseudo_code : outcome -> string
+(** The Fig. 4-style rendering of the winning schedule. *)
+
+val triton_source : outcome -> string
+(** The generated Triton kernel for the winning schedule. *)

@@ -1,0 +1,1 @@
+lib/tensor/tensor.ml: Array Float List Mcf_util Printf String

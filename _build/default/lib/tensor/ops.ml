@@ -1,0 +1,212 @@
+let last2 t =
+  let s = Tensor.shape t in
+  let r = Array.length s in
+  if r < 2 then invalid_arg "Ops: rank must be >= 2";
+  (s.(r - 2), s.(r - 1))
+
+let batch_shape t =
+  let s = Tensor.shape t in
+  Array.sub s 0 (Array.length s - 2)
+
+let check_batches a b =
+  if batch_shape a <> batch_shape b then
+    invalid_arg "Ops: batch axes mismatch"
+
+(* Iterate over all batch indices of a shape prefix. *)
+let iter_batches bshape f =
+  let n = Array.length bshape in
+  let idx = Array.make n 0 in
+  let total = Array.fold_left ( * ) 1 bshape in
+  for _ = 1 to total do
+    f idx;
+    let rec carry i =
+      if i >= 0 then begin
+        idx.(i) <- idx.(i) + 1;
+        if idx.(i) >= bshape.(i) then begin
+          idx.(i) <- 0;
+          carry (i - 1)
+        end
+      end
+    in
+    carry (n - 1)
+  done
+
+let with_last2 batch i j =
+  let n = Array.length batch in
+  let idx = Array.make (n + 2) 0 in
+  Array.blit batch 0 idx 0 n;
+  idx.(n) <- i;
+  idx.(n + 1) <- j;
+  idx
+
+let batch_matmul a b =
+  check_batches a b;
+  let m, ka = last2 a in
+  let kb, n = last2 b in
+  if ka <> kb then invalid_arg "Ops.batch_matmul: inner dimension mismatch";
+  let bshape = batch_shape a in
+  let out = Tensor.create (Array.append bshape [| m; n |]) in
+  iter_batches bshape (fun bi ->
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          let acc = ref 0.0 in
+          for p = 0 to ka - 1 do
+            acc :=
+              !acc
+              +. (Tensor.get a (with_last2 bi i p)
+                 *. Tensor.get b (with_last2 bi p j))
+          done;
+          Tensor.set out (with_last2 bi i j) !acc
+        done
+      done);
+  out
+
+let matmul a b =
+  if Tensor.rank a <> 2 || Tensor.rank b <> 2 then
+    invalid_arg "Ops.matmul: expects rank-2 tensors";
+  batch_matmul a b
+
+let transpose_last2 t =
+  let s = Tensor.shape t in
+  let r = Array.length s in
+  if r < 2 then invalid_arg "Ops.transpose_last2: rank must be >= 2";
+  let out_shape = Array.copy s in
+  out_shape.(r - 2) <- s.(r - 1);
+  out_shape.(r - 1) <- s.(r - 2);
+  Tensor.init out_shape (fun idx ->
+      let src = Array.copy idx in
+      src.(r - 2) <- idx.(r - 1);
+      src.(r - 1) <- idx.(r - 2);
+      Tensor.get t src)
+
+let softmax t =
+  let s = Tensor.shape t in
+  let r = Array.length s in
+  if r < 1 then invalid_arg "Ops.softmax: rank must be >= 1";
+  let n = s.(r - 1) in
+  let bshape = Array.sub s 0 (r - 1) in
+  let out = Tensor.create s in
+  iter_batches bshape (fun bi ->
+      let at j =
+        let idx = Array.make r 0 in
+        Array.blit bi 0 idx 0 (r - 1);
+        idx.(r - 1) <- j;
+        idx
+      in
+      let m = ref neg_infinity in
+      for j = 0 to n - 1 do
+        m := Float.max !m (Tensor.get t (at j))
+      done;
+      let z = ref 0.0 in
+      for j = 0 to n - 1 do
+        z := !z +. exp (Tensor.get t (at j) -. !m)
+      done;
+      for j = 0 to n - 1 do
+        Tensor.set out (at j) (exp (Tensor.get t (at j) -. !m) /. !z)
+      done);
+  out
+
+let scale c t = Tensor.map (fun x -> c *. x) t
+let add a b = Tensor.map2 ( +. ) a b
+
+let bias_add x b =
+  if Tensor.rank b <> 1 then invalid_arg "Ops.bias_add: bias must be rank 1";
+  let s = Tensor.shape x in
+  let r = Array.length s in
+  if (Tensor.shape b).(0) <> s.(r - 1) then
+    invalid_arg "Ops.bias_add: bias length mismatch";
+  Tensor.init s (fun idx -> Tensor.get x idx +. Tensor.get b [| idx.(r - 1) |])
+
+let relu = Tensor.map (fun x -> Float.max 0.0 x)
+
+let gelu =
+  let c = sqrt (2.0 /. Float.pi) in
+  Tensor.map (fun x ->
+      0.5 *. x *. (1.0 +. tanh (c *. (x +. (0.044715 *. x *. x *. x)))))
+
+let layernorm ?(eps = 1e-5) t =
+  let s = Tensor.shape t in
+  let r = Array.length s in
+  let n = s.(r - 1) in
+  let bshape = Array.sub s 0 (r - 1) in
+  let out = Tensor.create s in
+  iter_batches bshape (fun bi ->
+      let at j =
+        let idx = Array.make r 0 in
+        Array.blit bi 0 idx 0 (r - 1);
+        idx.(r - 1) <- j;
+        idx
+      in
+      let mu = ref 0.0 in
+      for j = 0 to n - 1 do
+        mu := !mu +. Tensor.get t (at j)
+      done;
+      let mu = !mu /. float_of_int n in
+      let var = ref 0.0 in
+      for j = 0 to n - 1 do
+        let d = Tensor.get t (at j) -. mu in
+        var := !var +. (d *. d)
+      done;
+      let denom = sqrt ((!var /. float_of_int n) +. eps) in
+      for j = 0 to n - 1 do
+        Tensor.set out (at j) ((Tensor.get t (at j) -. mu) /. denom)
+      done);
+  out
+
+let attention ~q ~k ~v =
+  let _, d = last2 q in
+  let scores = batch_matmul q (transpose_last2 k) in
+  let probs = softmax (scale (1.0 /. sqrt (float_of_int d)) scores) in
+  batch_matmul probs v
+
+let gemm_chain ~a ~b ~d = batch_matmul (batch_matmul a b) d
+
+let conv2d ~input ~weights =
+  let s_in = Tensor.shape input and s_w = Tensor.shape weights in
+  if Array.length s_in <> 3 || Array.length s_w <> 4 then
+    invalid_arg "Ops.conv2d: input [c,h,w], weights [co,ci,kh,kw]";
+  let c_in = s_in.(0) and h = s_in.(1) and w = s_in.(2) in
+  let c_out = s_w.(0) and kh = s_w.(2) and kw = s_w.(3) in
+  if s_w.(1) <> c_in then invalid_arg "Ops.conv2d: channel mismatch";
+  let ho = h - kh + 1 and wo = w - kw + 1 in
+  if ho <= 0 || wo <= 0 then invalid_arg "Ops.conv2d: kernel larger than input";
+  Tensor.init [| c_out; ho; wo |] (fun idx ->
+      let co = idx.(0) and y = idx.(1) and x = idx.(2) in
+      let acc = ref 0.0 in
+      for ci = 0 to c_in - 1 do
+        for dy = 0 to kh - 1 do
+          for dx = 0 to kw - 1 do
+            acc :=
+              !acc
+              +. (Tensor.get input [| ci; y + dy; x + dx |]
+                 *. Tensor.get weights [| co; ci; dy; dx |])
+          done
+        done
+      done;
+      !acc)
+
+let im2col ~input ~kh ~kw =
+  let s = Tensor.shape input in
+  if Array.length s <> 3 then invalid_arg "Ops.im2col: input [c,h,w]";
+  let c_in = s.(0) and h = s.(1) and w = s.(2) in
+  let ho = h - kh + 1 and wo = w - kw + 1 in
+  if ho <= 0 || wo <= 0 then invalid_arg "Ops.im2col: kernel larger than input";
+  Tensor.init [| ho * wo; c_in * kh * kw |] (fun idx ->
+      let pixel = idx.(0) and col = idx.(1) in
+      let y = pixel / wo and x = pixel mod wo in
+      let ci = col / (kh * kw) in
+      let rest = col mod (kh * kw) in
+      let dy = rest / kw and dx = rest mod kw in
+      Tensor.get input [| ci; y + dy; x + dx |])
+
+let conv_weights_matrix weights =
+  let s = Tensor.shape weights in
+  if Array.length s <> 4 then
+    invalid_arg "Ops.conv_weights_matrix: weights [co,ci,kh,kw]";
+  let c_out = s.(0) and c_in = s.(1) and kh = s.(2) and kw = s.(3) in
+  Tensor.init [| c_in * kh * kw; c_out |] (fun idx ->
+      let col = idx.(0) and co = idx.(1) in
+      let ci = col / (kh * kw) in
+      let rest = col mod (kh * kw) in
+      let dy = rest / kw and dx = rest mod kw in
+      Tensor.get weights [| co; ci; dy; dx |])

@@ -1,0 +1,58 @@
+(** Reference operator implementations.
+
+    These are deliberately direct (triple-loop matmul, two-pass softmax):
+    they define the semantics every fused schedule must reproduce.  Batched
+    variants treat all leading axes beyond the last two as batch axes. *)
+
+val matmul : Tensor.t -> Tensor.t -> Tensor.t
+(** [matmul a b] for a: \[m,k\], b: \[k,n\] -> \[m,n\].
+    @raise Invalid_argument on rank/shape mismatch. *)
+
+val batch_matmul : Tensor.t -> Tensor.t -> Tensor.t
+(** Leading axes are batch axes and must match exactly, e.g.
+    \[b,h,m,k\] x \[b,h,k,n\] -> \[b,h,m,n\]. *)
+
+val transpose_last2 : Tensor.t -> Tensor.t
+(** Swap the two innermost axes. *)
+
+val softmax : Tensor.t -> Tensor.t
+(** Numerically-stable softmax over the last axis. *)
+
+val scale : float -> Tensor.t -> Tensor.t
+
+val add : Tensor.t -> Tensor.t -> Tensor.t
+(** Elementwise sum; shapes must match. *)
+
+val bias_add : Tensor.t -> Tensor.t -> Tensor.t
+(** [bias_add x b] broadcasts a rank-1 bias over the last axis of [x]. *)
+
+val relu : Tensor.t -> Tensor.t
+
+val gelu : Tensor.t -> Tensor.t
+(** tanh-approximation GELU, as used by BERT. *)
+
+val layernorm : ?eps:float -> Tensor.t -> Tensor.t
+(** Normalize over the last axis (gain 1, bias 0). *)
+
+val attention : q:Tensor.t -> k:Tensor.t -> v:Tensor.t -> Tensor.t
+(** Scaled dot-product attention: softmax(Q K^T / sqrt(d)) V with
+    q: \[...,m,d\], k: \[...,n,d\], v: \[...,n,h\].  The reference for the
+    fused self-attention chains. *)
+
+val gemm_chain : a:Tensor.t -> b:Tensor.t -> d:Tensor.t -> Tensor.t
+(** (A x B) x D — the reference for the fused two-GEMM chains. *)
+
+val conv2d : input:Tensor.t -> weights:Tensor.t -> Tensor.t
+(** Direct 2-D convolution, stride 1, valid padding.
+    input: \[c_in, h, w\], weights: \[c_out, c_in, kh, kw\] ->
+    \[c_out, h-kh+1, w-kw+1\]. *)
+
+val im2col : input:Tensor.t -> kh:int -> kw:int -> Tensor.t
+(** Patch extraction: \[c_in, h, w\] -> \[(h-kh+1)*(w-kw+1), c_in*kh*kw\],
+    rows in row-major spatial order.  [conv2d] equals
+    [im2col input x reshaped-weights] — the GEMM mapping that lets
+    convolution chains ride the MBCI fusion machinery. *)
+
+val conv_weights_matrix : Tensor.t -> Tensor.t
+(** \[c_out, c_in, kh, kw\] -> \[c_in*kh*kw, c_out\], matching {!im2col}'s
+    column order. *)

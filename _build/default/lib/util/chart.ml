@@ -1,0 +1,150 @@
+let bar ?(width = 50) ~title ~unit_label entries =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s (%s)\n" title unit_label);
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+  in
+  let vmax =
+    List.fold_left (fun acc (_, v) -> Float.max acc v) 1e-30 entries
+  in
+  let draw (label, v) =
+    let n = int_of_float (Float.round (v /. vmax *. float_of_int width)) in
+    let n = max 0 (min width n) in
+    Buffer.add_string buf
+      (Printf.sprintf "  %-*s | %s %.3g\n" label_w label (String.make n '#') v)
+  in
+  List.iter draw entries;
+  Buffer.contents buf
+
+let series_glyphs = [| '#'; '*'; '+'; 'o'; 'x'; '='; '~'; '@' |]
+
+let grouped_bar ?(width = 46) ~title ~unit_label ~series rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "%s (%s)\n" title unit_label);
+  List.iteri
+    (fun i name ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %c = %s\n" series_glyphs.(i mod 8) name))
+    series;
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  let vmax =
+    List.fold_left
+      (fun acc (_, vs) -> List.fold_left Float.max acc vs)
+      1e-30 rows
+  in
+  let draw (label, vs) =
+    List.iteri
+      (fun i v ->
+        let n = int_of_float (Float.round (v /. vmax *. float_of_int width)) in
+        let n = max 0 (min width n) in
+        let tag = if i = 0 then label else "" in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-*s %c| %s %.3g\n" label_w tag
+             series_glyphs.(i mod 8)
+             (String.make n series_glyphs.(i mod 8))
+             v))
+      vs;
+    Buffer.add_char buf '\n'
+  in
+  List.iter draw rows;
+  Buffer.contents buf
+
+let bounds points =
+  match points with
+  | [] -> (0.0, 1.0, 0.0, 1.0)
+  | (x0, y0) :: rest ->
+    let fold (xlo, xhi, ylo, yhi) (x, y) =
+      (Float.min xlo x, Float.max xhi x, Float.min ylo y, Float.max yhi y)
+    in
+    let xlo, xhi, ylo, yhi = List.fold_left fold (x0, x0, y0, y0) rest in
+    let pad lo hi = if hi > lo then (lo, hi) else (lo -. 0.5, hi +. 0.5) in
+    let xlo, xhi = pad xlo xhi and ylo, yhi = pad ylo yhi in
+    (xlo, xhi, ylo, yhi)
+
+let density_glyph = function
+  | 0 -> ' '
+  | 1 -> '.'
+  | 2 -> ':'
+  | 3 | 4 -> '*'
+  | _ -> '#'
+
+let scatter ?(width = 60) ?(height = 20) ~title ~x_label ~y_label points =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%s\n" title);
+  let xlo, xhi, ylo, yhi = bounds points in
+  let grid = Array.make_matrix height width 0 in
+  let place (x, y) =
+    let c =
+      int_of_float ((x -. xlo) /. (xhi -. xlo) *. float_of_int (width - 1))
+    in
+    let r =
+      int_of_float ((y -. ylo) /. (yhi -. ylo) *. float_of_int (height - 1))
+    in
+    let r = height - 1 - max 0 (min (height - 1) r) in
+    let c = max 0 (min (width - 1) c) in
+    grid.(r).(c) <- grid.(r).(c) + 1
+  in
+  List.iter place points;
+  Buffer.add_string buf (Printf.sprintf "  %s\n" y_label);
+  Array.iteri
+    (fun r row ->
+      let axis =
+        if r = 0 then Printf.sprintf "%8.3g" yhi
+        else if r = height - 1 then Printf.sprintf "%8.3g" ylo
+        else String.make 8 ' '
+      in
+      Buffer.add_string buf (Printf.sprintf "%s |" axis);
+      Array.iter (fun c -> Buffer.add_char buf (density_glyph c)) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf
+    (Printf.sprintf "%s +%s\n" (String.make 8 ' ') (String.make width '-'));
+  Buffer.add_string buf
+    (Printf.sprintf "%s %-8.3g%*s%8.3g  (%s)\n" (String.make 8 ' ') xlo
+       (width - 16) "" xhi x_label);
+  Buffer.contents buf
+
+let line ?(width = 60) ?(height = 18) ~title ~x_label series =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%s\n" title);
+  List.iteri
+    (fun i (name, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %c = %s\n" series_glyphs.(i mod 8) name))
+    series;
+  let all = List.concat_map snd series in
+  let xlo, xhi, ylo, yhi = bounds all in
+  let grid = Array.make_matrix height width ' ' in
+  let place glyph (x, y) =
+    let c =
+      int_of_float ((x -. xlo) /. (xhi -. xlo) *. float_of_int (width - 1))
+    in
+    let r =
+      int_of_float ((y -. ylo) /. (yhi -. ylo) *. float_of_int (height - 1))
+    in
+    let r = height - 1 - max 0 (min (height - 1) r) in
+    let c = max 0 (min (width - 1) c) in
+    grid.(r).(c) <- glyph
+  in
+  List.iteri
+    (fun i (_, pts) -> List.iter (place series_glyphs.(i mod 8)) pts)
+    series;
+  Array.iteri
+    (fun r row ->
+      let axis =
+        if r = 0 then Printf.sprintf "%8.3g" yhi
+        else if r = height - 1 then Printf.sprintf "%8.3g" ylo
+        else String.make 8 ' '
+      in
+      Buffer.add_string buf (Printf.sprintf "%s |" axis);
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf
+    (Printf.sprintf "%s +%s\n" (String.make 8 ' ') (String.make width '-'));
+  Buffer.add_string buf
+    (Printf.sprintf "%s %-8.3g%*s%8.3g  (%s)\n" (String.make 8 ' ') xlo
+       (width - 16) "" xhi x_label);
+  Buffer.contents buf

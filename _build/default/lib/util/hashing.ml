@@ -1,0 +1,17 @@
+let offset_basis = 0xCBF29CE484222325L
+let prime = 0x100000001B3L
+
+let combine h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let fnv1a64 s = combine offset_basis s
+
+let to_unit_float h =
+  let v = Int64.to_int (Int64.shift_right_logical h 11) in
+  float_of_int v /. 9007199254740992.0

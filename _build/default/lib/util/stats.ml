@@ -1,0 +1,99 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let logs = List.map (fun x -> log x) xs in
+    exp (mean logs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
+    sqrt var
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty list"
+  | x :: xs -> List.fold_left Float.min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty list"
+  | x :: xs -> List.fold_left Float.max x xs
+
+let sorted xs = List.sort Float.compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> 0.0
+  | s ->
+    let a = Array.of_list s in
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.0
+  | s ->
+    let a = Array.of_list s in
+    let n = Array.length a in
+    if n = 1 then a.(0)
+    else begin
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = min (lo + 1) (n - 1) in
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+    end
+
+let pearson xs ys =
+  if List.length xs <> List.length ys then
+    invalid_arg "Stats.pearson: length mismatch";
+  let mx = mean xs and my = mean ys in
+  let dx = List.map (fun x -> x -. mx) xs in
+  let dy = List.map (fun y -> y -. my) ys in
+  let dot = List.fold_left2 (fun acc a b -> acc +. (a *. b)) 0.0 dx dy in
+  let nx = sqrt (List.fold_left (fun acc a -> acc +. (a *. a)) 0.0 dx) in
+  let ny = sqrt (List.fold_left (fun acc a -> acc +. (a *. a)) 0.0 dy) in
+  if nx = 0.0 || ny = 0.0 then 0.0 else dot /. (nx *. ny)
+
+(* Average ranks so that ties do not bias the rank correlation. *)
+let ranks xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare arr.(i) arr.(j)) idx;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && arr.(idx.(!j + 1)) = arr.(idx.(!i)) do incr j done;
+    let avg = float_of_int (!i + !j) /. 2.0 in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  Array.to_list r
+
+let spearman xs ys = pearson (ranks xs) (ranks ys)
+
+let histogram ~bins xs =
+  match xs with
+  | [] -> [||]
+  | _ ->
+    let lo = minimum xs and hi = maximum xs in
+    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+    let counts = Array.make bins 0 in
+    let place x =
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = max 0 (min (bins - 1) b) in
+      counts.(b) <- counts.(b) + 1
+    in
+    List.iter place xs;
+    Array.init bins (fun b ->
+        let blo = lo +. (float_of_int b *. width) in
+        (blo, blo +. width, counts.(b)))

@@ -1,0 +1,35 @@
+(** Descriptive statistics used by the evaluation harness: speedup
+    aggregation, model-vs-measurement correlation (Fig. 11), quadrant
+    accuracy (Fig. 10). *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on fewer than two samples. *)
+
+val minimum : float list -> float
+(** Smallest element.  @raise Invalid_argument on the empty list. *)
+
+val maximum : float list -> float
+(** Largest element.  @raise Invalid_argument on the empty list. *)
+
+val median : float list -> float
+(** Median (average of middle pair for even lengths); 0 on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in \[0,100\], linear interpolation; 0 on []. *)
+
+val pearson : float list -> float list -> float
+(** Pearson correlation coefficient of two equal-length series; 0 when a
+    series is constant.  @raise Invalid_argument on length mismatch. *)
+
+val spearman : float list -> float list -> float
+(** Spearman rank correlation (Pearson on average ranks). *)
+
+val histogram : bins:int -> float list -> (float * float * int) array
+(** [histogram ~bins xs] returns [(lo, hi, count)] per bin spanning
+    \[min xs, max xs\]. *)

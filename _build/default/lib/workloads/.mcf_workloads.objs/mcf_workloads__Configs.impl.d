@@ -1,0 +1,1 @@
+lib/workloads/configs.ml: List Mcf_ir

@@ -1,0 +1,1 @@
+lib/workloads/configs.mli: Mcf_ir

@@ -1,0 +1,100 @@
+type gemm_config = {
+  gname : string;
+  gbatch : int;
+  gm : int;
+  gn : int;
+  gk : int;
+  gh : int;
+}
+
+type attention_config = {
+  sname : string;
+  heads : int;
+  sm : int;
+  sn : int;
+  sk : int;
+  sh : int;
+  network : string;
+}
+
+type bert_config = {
+  bname : string;
+  layers : int;
+  hidden : int;
+  bheads : int;
+  seq : int;
+  intermediate : int;
+}
+
+(* Table II. *)
+let gemm_chains =
+  [ { gname = "G1"; gbatch = 1; gm = 512; gn = 256; gk = 64; gh = 64 };
+    { gname = "G2"; gbatch = 1; gm = 512; gn = 256; gk = 64; gh = 128 };
+    { gname = "G3"; gbatch = 1; gm = 512; gn = 256; gk = 64; gh = 256 };
+    { gname = "G4"; gbatch = 1; gm = 512; gn = 512; gk = 256; gh = 256 };
+    { gname = "G5"; gbatch = 1; gm = 512; gn = 512; gk = 512; gh = 256 };
+    { gname = "G6"; gbatch = 1; gm = 512; gn = 512; gk = 1024; gh = 256 };
+    { gname = "G7"; gbatch = 1; gm = 512; gn = 512; gk = 128; gh = 128 };
+    { gname = "G8"; gbatch = 1; gm = 1024; gn = 512; gk = 128; gh = 128 };
+    { gname = "G9"; gbatch = 1; gm = 2048; gn = 512; gk = 128; gh = 128 };
+    { gname = "G10"; gbatch = 1; gm = 1024; gn = 1024; gk = 128; gh = 128 };
+    { gname = "G11"; gbatch = 4; gm = 1024; gn = 1024; gk = 128; gh = 128 };
+    { gname = "G12"; gbatch = 8; gm = 1024; gn = 1024; gk = 128; gh = 128 } ]
+
+(* Table III. *)
+let attentions =
+  [ { sname = "S1"; heads = 8; sm = 512; sn = 512; sk = 64; sh = 64;
+      network = "Bert-Small" };
+    { sname = "S2"; heads = 12; sm = 512; sn = 512; sk = 64; sh = 64;
+      network = "Bert-Base" };
+    { sname = "S3"; heads = 16; sm = 512; sn = 512; sk = 64; sh = 64;
+      network = "Bert-Large" };
+    { sname = "S4"; heads = 12; sm = 256; sn = 256; sk = 64; sh = 64;
+      network = "ViT-Base" };
+    { sname = "S5"; heads = 16; sm = 256; sn = 256; sk = 64; sh = 64;
+      network = "ViT-Large" };
+    { sname = "S6"; heads = 16; sm = 256; sn = 256; sk = 80; sh = 80;
+      network = "ViT-Huge" };
+    { sname = "S7"; heads = 1; sm = 512; sn = 256; sk = 64; sh = 64;
+      network = "MLP-Mixer" };
+    { sname = "S8"; heads = 1; sm = 768; sn = 384; sk = 64; sh = 64;
+      network = "MLP-Mixer" };
+    { sname = "S9"; heads = 1; sm = 1024; sn = 512; sk = 64; sh = 64;
+      network = "MLP-Mixer" } ]
+
+let bert_small =
+  { bname = "Bert-Small"; layers = 4; hidden = 512; bheads = 8; seq = 512;
+    intermediate = 2048 }
+
+let bert_base =
+  { bname = "Bert-Base"; layers = 12; hidden = 768; bheads = 12; seq = 512;
+    intermediate = 3072 }
+
+let bert_large =
+  { bname = "Bert-Large"; layers = 24; hidden = 1024; bheads = 16; seq = 512;
+    intermediate = 4096 }
+
+let berts = [ bert_small; bert_base; bert_large ]
+
+let vit_base =
+  { bname = "ViT-Base"; layers = 12; hidden = 768; bheads = 12; seq = 256;
+    intermediate = 3072 }
+
+let vit_large =
+  { bname = "ViT-Large"; layers = 24; hidden = 1024; bheads = 16; seq = 256;
+    intermediate = 4096 }
+
+let gemm_chain g =
+  let chain =
+    Mcf_ir.Chain.gemm_chain ~batch:g.gbatch ~m:g.gm ~n:g.gn ~k:g.gk ~h:g.gh ()
+  in
+  { chain with Mcf_ir.Chain.cname = g.gname ^ "_" ^ chain.cname }
+
+let attention s =
+  let chain =
+    Mcf_ir.Chain.attention ~heads:s.heads ~m:s.sm ~n:s.sn ~k:s.sk ~h:s.sh ()
+  in
+  { chain with Mcf_ir.Chain.cname = s.sname ^ "_" ^ chain.cname }
+
+let find_gemm name = List.find_opt (fun g -> g.gname = name) gemm_chains
+let find_attention name = List.find_opt (fun s -> s.sname = name) attentions

@@ -1,0 +1,53 @@
+(** Evaluation workloads: the batch GEMM chains of Table II, the
+    self-attention modules of Table III, and the BERT model family used in
+    §VI-C. *)
+
+type gemm_config = {
+  gname : string;
+  gbatch : int;
+  gm : int;
+  gn : int;
+  gk : int;
+  gh : int;
+}
+
+type attention_config = {
+  sname : string;
+  heads : int;
+  sm : int;
+  sn : int;
+  sk : int;
+  sh : int;
+  network : string;
+}
+
+type bert_config = {
+  bname : string;
+  layers : int;
+  hidden : int;
+  bheads : int;
+  seq : int;
+  intermediate : int;
+}
+
+val gemm_chains : gemm_config list
+(** G1-G12 exactly as Table II. *)
+
+val attentions : attention_config list
+(** S1-S9 exactly as Table III. *)
+
+val bert_small : bert_config
+val bert_base : bert_config
+val bert_large : bert_config
+val berts : bert_config list
+
+val vit_base : bert_config
+val vit_large : bert_config
+(** Vision-transformer encoders (same block structure as BERT over patch
+    tokens); their attention shapes are Table III's S4/S5. *)
+
+val gemm_chain : gemm_config -> Mcf_ir.Chain.t
+val attention : attention_config -> Mcf_ir.Chain.t
+
+val find_gemm : string -> gemm_config option
+val find_attention : string -> attention_config option

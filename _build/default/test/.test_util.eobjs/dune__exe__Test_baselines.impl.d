@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Float List Mcf_baselines Mcf_gpu Mcf_ir Mcf_util Printf String

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Candidate Chain Lower Mcf_codegen Mcf_gpu Mcf_ir Mcf_model Program String Tiling

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float List Mcf_baselines Mcf_experiments Mcf_gpu Mcf_util Mcf_workloads Printf String

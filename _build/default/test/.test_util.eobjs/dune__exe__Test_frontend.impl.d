@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Engine Float Graph List Mcf_frontend Mcf_gpu Mcf_ir Mcf_util Mcf_workloads Opgraph Result

@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Float List Mcf_gpu QCheck QCheck_alcotest String

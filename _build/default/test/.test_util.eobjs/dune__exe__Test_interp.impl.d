@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Axis Candidate Chain List Mcf_interp Mcf_ir Mcf_tensor Mcf_util Program QCheck QCheck_alcotest Result Tiling

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Axis Candidate Chain List Lower Mcf_gpu Mcf_ir Mcf_util Program QCheck QCheck_alcotest Result String Tiling Tir

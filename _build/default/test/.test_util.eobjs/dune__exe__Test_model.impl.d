@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Axis Candidate Chain Float List Lower Mcf_gpu Mcf_ir Mcf_model Mcf_util QCheck QCheck_alcotest Tiling

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float List Mcf_tensor Mcf_util QCheck QCheck_alcotest

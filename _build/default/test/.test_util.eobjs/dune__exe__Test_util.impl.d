@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Chart Fun Gen Hashing List Listx Mcf_util Parallel QCheck QCheck_alcotest Rng Stats String Table

@@ -1,0 +1,3 @@
+  $ mcfuser workloads | head -8
+  $ mcfuser experiment nonsense
+  $ mcfuser tune G1 | head -2

@@ -1,0 +1,1 @@
+  $ mcfuser experiment fig7 | sed -n '3,14p'

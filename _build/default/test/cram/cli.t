@@ -1,0 +1,21 @@
+Deterministic CLI surfaces: the workload registry and the experiment list.
+
+  $ mcfuser workloads | head -8
+  +------+----------------+-------------+------+------+------+-----+------------+
+  | name |           kind | batch/heads |    M |    N |    K |   H |    network |
+  +------+----------------+-------------+------+------+------+-----+------------+
+  | G1   |     GEMM chain |           1 |  512 |  256 |   64 |  64 |          - |
+  | G2   |     GEMM chain |           1 |  512 |  256 |   64 | 128 |          - |
+  | G3   |     GEMM chain |           1 |  512 |  256 |   64 | 256 |          - |
+  | G4   |     GEMM chain |           1 |  512 |  512 |  256 | 256 |          - |
+  | G5   |     GEMM chain |           1 |  512 |  512 |  512 | 256 |          - |
+
+  $ mcfuser experiment nonsense
+  mcfuser: unknown experiment "nonsense" (available: motivation, fig2, fig7, fig8a, fig8b, fig8c, fig8d, fig9, tab4, fig10, fig11, ablation, sweep, verify, extension)
+  [124]
+
+The tuner is seeded per (workload, device), so its headline line is stable:
+
+  $ mcfuser tune G1 | head -2
+  workload  G1 on A100
+  best      mnkh {h=32 k=32 m=16 n=256}

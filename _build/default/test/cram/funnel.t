@@ -1,0 +1,15 @@
+The pruning funnel of the paper's running example is fully deterministic.
+
+  $ mcfuser experiment fig7 | sed -n '3,14p'
+  +------------------------------+--------+---------------------------+
+  | stage                        |  count |                     paper |
+  +------------------------------+--------+---------------------------+
+  | tiling expressions (raw)     |     26 |                        26 |
+  | after Rule 1 (dedup)         |      3 |                         5 |
+  | after Rule 2 (residency)     |      2 |                         3 |
+  +------------------------------+--------+---------------------------+
+  | candidates (raw)             | 1.09e8 |                    1.09e8 |
+  | after Rule 3 (padding)       | 3.53e3 |       ~1e6 -> 99% dropped |
+  | after Rule 4 (shared memory) |   1302 | ~40% of remaining dropped |
+  | valid (softmax legality)     |   1302 |                      ~1e4 |
+  +------------------------------+--------+---------------------------+

@@ -1,0 +1,313 @@
+(* Tests for the comparison systems: vendor-op kernels, the GBDT cost
+   model, and each baseline's documented capabilities and limitations
+   (BOLT's pattern table and sm86 gap, FlashAttention's K=H constraint,
+   Ansor's fallback, Chimera's restricted space). *)
+
+module B = Mcf_baselines
+
+let a100 = Mcf_gpu.Spec.a100
+let rtx = Mcf_gpu.Spec.rtx3080
+let gemm = Mcf_ir.Chain.gemm_chain ~m:512 ~n:256 ~k:64 ~h:64 ()
+let attn = Mcf_ir.Chain.attention ~heads:8 ~m:512 ~n:512 ~k:64 ~h:64 ()
+
+let () = B.Ansor.trials := 100 (* keep tests fast; accounting still exercised *)
+
+(* --- Op_kernels --------------------------------------------------------------- *)
+
+let test_gemm_kernel_valid () =
+  let k = B.Op_kernels.gemm a100 ~batch:1 ~m:512 ~n:512 ~k:256 in
+  match Mcf_gpu.Sim.run a100 k with
+  | Ok v -> Alcotest.(check bool) "launches" true (v.time_s > 0.0)
+  | Error e -> Alcotest.failf "vendor kernel failed: %s" (Mcf_gpu.Sim.string_of_error e)
+
+let test_gemm_cublas_beats_fixed () =
+  let t quality =
+    Mcf_gpu.Sim.time_exn ~noise:false a100
+      (B.Op_kernels.gemm ~quality a100 ~batch:1 ~m:1024 ~n:1024 ~k:512)
+  in
+  Alcotest.(check bool) "shape dispatch helps" true
+    (t `Cublas <= t (`Fixed (32, 32, 32)))
+
+let test_gemm_split_k () =
+  (* a very skinny-M GEMM benefits from split-K parallelism *)
+  let k = B.Op_kernels.gemm a100 ~batch:1 ~m:256 ~n:256 ~k:16384 in
+  Alcotest.(check bool) "split-K grid is parallel enough" true
+    (k.Mcf_gpu.Kernel.blocks > 16)
+
+let test_memory_op_traffic () =
+  let k =
+    B.Op_kernels.memory_op a100 ~name:"x" ~read_elems:1e7 ~write_elems:1e7
+      ~flops_per_elem:1.0
+  in
+  Alcotest.(check (float 1e4)) "total bytes = 2 x 20MB" 4e7
+    (Mcf_gpu.Kernel.total_bytes k);
+  match Mcf_gpu.Sim.run ~noise:false a100 k with
+  | Ok v -> Alcotest.(check bool) "memory bound" true (v.bound = Mcf_gpu.Sim.Memory)
+  | Error _ -> Alcotest.fail "memory op failed"
+
+let test_softmax_kernels () =
+  Alcotest.(check int) "fused = 1 kernel" 1
+    (List.length (B.Op_kernels.softmax_kernels ~fused:true a100 ~rows:512.0 ~cols:512));
+  Alcotest.(check int) "eager = 3 kernels" 3
+    (List.length (B.Op_kernels.softmax_kernels ~fused:false a100 ~rows:512.0 ~cols:512))
+
+(* --- Xgb ----------------------------------------------------------------------- *)
+
+let test_xgb_learns () =
+  let rng = Mcf_util.Rng.create 55 in
+  let sample _ =
+    let f = Array.init 6 (fun _ -> Mcf_util.Rng.float rng 5.0) in
+    (f, (2.0 *. f.(0)) -. f.(3) +. 1.0)
+  in
+  let train = List.init 400 sample in
+  let test = List.init 100 sample in
+  let model = B.Xgb.train train in
+  let mae =
+    Mcf_util.Stats.mean
+      (List.map (fun (f, y) -> Float.abs (B.Xgb.predict model f -. y)) test)
+  in
+  let baseline =
+    let mean = Mcf_util.Stats.mean (List.map snd train) in
+    Mcf_util.Stats.mean (List.map (fun (_, y) -> Float.abs (mean -. y)) test)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mae %.3f < const baseline %.3f" mae baseline)
+    true (mae < 0.5 *. baseline)
+
+let test_xgb_deterministic () =
+  let samples = List.init 50 (fun i -> ([| float_of_int i |], float_of_int (i * 2))) in
+  let m1 = B.Xgb.train samples and m2 = B.Xgb.train samples in
+  Alcotest.(check (float 1e-12)) "same prediction"
+    (B.Xgb.predict m1 [| 25.0 |])
+    (B.Xgb.predict m2 [| 25.0 |])
+
+let test_xgb_errors () =
+  Alcotest.(check bool) "empty raises" true
+    (try
+       ignore (B.Xgb.train []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "arity mismatch raises" true
+    (try
+       ignore (B.Xgb.train [ ([| 1.0 |], 1.0); ([| 1.0; 2.0 |], 2.0) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_xgb_features () =
+  let l = Mcf_ir.Lower.lower ~elem_bytes:2 gemm
+      (Mcf_ir.Candidate.make
+         (Mcf_ir.Tiling.Deep
+            (List.map (Mcf_ir.Chain.axis gemm) [ "m"; "h"; "n"; "k" ]))
+         [ ("m", 64); ("n", 64); ("k", 32); ("h", 32) ])
+  in
+  let f = B.Xgb.feature_vector l in
+  Alcotest.(check int) "11 features" 11 (Array.length f);
+  Array.iter (fun v -> Alcotest.(check bool) "finite" true (Float.is_finite v)) f
+
+(* --- derate helper --------------------------------------------------------------- *)
+
+let test_derate_math () =
+  let k = B.Op_kernels.gemm a100 ~batch:1 ~m:256 ~n:256 ~k:256 in
+  let d = B.Backend.derate_math 3.0 k in
+  Alcotest.(check (float 1.0)) "flops tripled"
+    (3.0 *. Mcf_gpu.Kernel.total_flops k)
+    (Mcf_gpu.Kernel.total_flops d);
+  (* epilogue entries are untouched *)
+  let withepi =
+    { k with
+      Mcf_gpu.Kernel.computes =
+        { Mcf_gpu.Kernel.clabel = "S!epi";
+          flops_per_block = 100.0;
+          tile_m = 16;
+          tile_n = 16;
+          tile_k = 16 }
+        :: k.computes }
+  in
+  let d2 = B.Backend.derate_math 3.0 withepi in
+  let epi =
+    List.find
+      (fun (c : Mcf_gpu.Kernel.compute) -> c.clabel = "S!epi")
+      d2.Mcf_gpu.Kernel.computes
+  in
+  Alcotest.(check (float 1e-9)) "epilogue untouched" 100.0 epi.flops_per_block
+
+(* --- PyTorch / Relay --------------------------------------------------------------- *)
+
+let test_pytorch_gemm_chain () =
+  match B.Pytorch.backend.tune a100 gemm with
+  | Ok o ->
+    Alcotest.(check int) "two kernels" 2 (List.length o.kernels);
+    Alcotest.(check bool) "unfused" false o.fused;
+    Alcotest.(check (float 1e-12)) "no tuning" 0.0 o.tuning_virtual_s
+  | Error _ -> Alcotest.fail "pytorch failed"
+
+let test_pytorch_attention_kernels () =
+  match B.Pytorch.backend.tune a100 attn with
+  | Ok o ->
+    (* bmm1 + 3 eager softmax passes + bmm2 *)
+    Alcotest.(check int) "five kernels" 5 (List.length o.kernels)
+  | Error _ -> Alcotest.fail "pytorch attention failed"
+
+let test_relay_fewer_kernels () =
+  match (B.Relay.backend.tune a100 attn, B.Pytorch.backend.tune a100 attn) with
+  | Ok r, Ok p ->
+    Alcotest.(check bool) "relay fuses softmax" true
+      (List.length r.kernels < List.length p.kernels)
+  | _ -> Alcotest.fail "backends failed"
+
+(* --- BOLT ----------------------------------------------------------------------- *)
+
+let test_bolt_sm86_unsupported () =
+  match B.Bolt.backend.tune rtx gemm with
+  | Error (B.Backend.Unsupported msg) ->
+    Alcotest.(check bool) "mentions sm86" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "BOLT must refuse sm86"
+
+let test_bolt_no_attention () =
+  match B.Bolt.backend.tune a100 attn with
+  | Error (B.Backend.Unsupported _) -> ()
+  | Ok _ -> Alcotest.fail "BOLT cannot fuse softmax chains"
+
+let test_bolt_fuses_small_chain () =
+  match B.Bolt.backend.tune a100 gemm with
+  | Ok o ->
+    Alcotest.(check bool) "fused template" true o.fused;
+    Alcotest.(check bool) "template instantiation charged" true
+      (o.tuning_virtual_s > 40.0)
+  | Error _ -> Alcotest.fail "BOLT failed on a dual-GEMM"
+
+let test_bolt_fallback_on_large_n () =
+  (* full-N residency cannot fit for N = 1024 at batch 8 *)
+  let big = Mcf_ir.Chain.gemm_chain ~batch:8 ~m:1024 ~n:1024 ~k:128 ~h:128 () in
+  match B.Bolt.backend.tune a100 big with
+  | Ok o ->
+    Alcotest.(check bool) "falls back unfused" false o.fused;
+    Alcotest.(check bool) "notes the fallback" true (o.note <> None)
+  | Error _ -> Alcotest.fail "BOLT fallback failed"
+
+(* --- FlashAttention ---------------------------------------------------------------- *)
+
+let test_flash_requires_attention () =
+  match B.Flash_attention.backend.tune a100 gemm with
+  | Error (B.Backend.Unsupported _) -> ()
+  | Ok _ -> Alcotest.fail "FA must reject plain GEMM chains"
+
+let test_flash_requires_k_eq_h () =
+  let kh = Mcf_ir.Chain.attention ~heads:8 ~m:512 ~n:512 ~k:64 ~h:128 () in
+  match B.Flash_attention.backend.tune a100 kh with
+  | Error (B.Backend.Unsupported msg) ->
+    Alcotest.(check bool) "K=H constraint" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "FA must reject K <> H"
+
+let test_flash_head_dim_limit () =
+  let big = Mcf_ir.Chain.attention ~heads:2 ~m:256 ~n:256 ~k:256 ~h:256 () in
+  match B.Flash_attention.backend.tune a100 big with
+  | Error (B.Backend.Unsupported _) -> ()
+  | Ok _ -> Alcotest.fail "FA must reject head dim > 128"
+
+let test_flash_runs_attention () =
+  match B.Flash_attention.backend.tune a100 attn with
+  | Ok o ->
+    Alcotest.(check bool) "fused" true o.fused;
+    Alcotest.(check (float 1e-12)) "no tuning" 0.0 o.tuning_virtual_s
+  | Error _ -> Alcotest.fail "FA failed on S1-like shape"
+
+(* --- Ansor ------------------------------------------------------------------------ *)
+
+let test_ansor_fuses_small_batch () =
+  match B.Ansor.backend.tune a100 gemm with
+  | Ok o ->
+    Alcotest.(check bool) "fused" true o.fused;
+    Alcotest.(check bool) "trial budget charged" true
+      (o.tuning_virtual_s > float_of_int !B.Ansor.trials *. 4.0)
+  | Error _ -> Alcotest.fail "Ansor failed"
+
+let test_ansor_fallback_large_batch () =
+  let big = Mcf_ir.Chain.gemm_chain ~batch:8 ~m:256 ~n:256 ~k:64 ~h:64 () in
+  match B.Ansor.backend.tune a100 big with
+  | Ok o ->
+    Alcotest.(check bool) "unfused fallback" false o.fused;
+    Alcotest.(check bool) "notes it" true (o.note <> None)
+  | Error _ -> Alcotest.fail "Ansor fallback failed"
+
+(* --- Chimera / MCFuser ------------------------------------------------------------- *)
+
+let test_chimera_runs () =
+  match B.Chimera.backend.tune a100 gemm with
+  | Ok o ->
+    Alcotest.(check bool) "fused" true o.fused;
+    Alcotest.(check string) "named for reports" "MCFuser-Chimera" o.backend
+  | Error _ -> Alcotest.fail "Chimera failed"
+
+let test_mcfuser_backend_wraps_tuner () =
+  match B.Mcfuser_backend.backend.tune a100 gemm with
+  | Ok o ->
+    Alcotest.(check bool) "fused single kernel" true
+      (o.fused && List.length o.kernels = 1)
+  | Error _ -> Alcotest.fail "MCFuser backend failed"
+
+let test_mcfuser_beats_pytorch () =
+  match (B.Mcfuser_backend.backend.tune a100 gemm, B.Pytorch.backend.tune a100 gemm)
+  with
+  | Ok f, Ok p ->
+    Alcotest.(check bool) "MBCI fusion wins" true (f.time_s < p.time_s)
+  | _ -> Alcotest.fail "backends failed"
+
+let test_mcfuser_beats_flash_on_s1 () =
+  match
+    ( B.Mcfuser_backend.backend.tune a100 attn,
+      B.Flash_attention.backend.tune a100 attn )
+  with
+  | Ok f, Ok fa ->
+    Alcotest.(check bool) "searched schedule beats handcrafted" true
+      (f.time_s < fa.time_s)
+  | _ -> Alcotest.fail "backends failed"
+
+let () =
+  Alcotest.run "mcf_baselines"
+    [ ( "op-kernels",
+        [ Alcotest.test_case "gemm valid" `Quick test_gemm_kernel_valid;
+          Alcotest.test_case "cublas beats fixed" `Quick
+            test_gemm_cublas_beats_fixed;
+          Alcotest.test_case "split-K" `Quick test_gemm_split_k;
+          Alcotest.test_case "memory op" `Quick test_memory_op_traffic;
+          Alcotest.test_case "softmax kernels" `Quick test_softmax_kernels ] );
+      ( "xgb",
+        [ Alcotest.test_case "learns" `Quick test_xgb_learns;
+          Alcotest.test_case "deterministic" `Quick test_xgb_deterministic;
+          Alcotest.test_case "errors" `Quick test_xgb_errors;
+          Alcotest.test_case "features" `Quick test_xgb_features ] );
+      ("derate", [ Alcotest.test_case "math only" `Quick test_derate_math ]);
+      ( "pytorch/relay",
+        [ Alcotest.test_case "gemm chain" `Quick test_pytorch_gemm_chain;
+          Alcotest.test_case "attention kernels" `Quick
+            test_pytorch_attention_kernels;
+          Alcotest.test_case "relay fuses softmax" `Quick
+            test_relay_fewer_kernels ] );
+      ( "bolt",
+        [ Alcotest.test_case "sm86" `Quick test_bolt_sm86_unsupported;
+          Alcotest.test_case "no attention pattern" `Quick
+            test_bolt_no_attention;
+          Alcotest.test_case "fuses dual gemm" `Quick
+            test_bolt_fuses_small_chain;
+          Alcotest.test_case "fallback big N" `Quick
+            test_bolt_fallback_on_large_n ] );
+      ( "flash-attention",
+        [ Alcotest.test_case "attention only" `Quick
+            test_flash_requires_attention;
+          Alcotest.test_case "K = H" `Quick test_flash_requires_k_eq_h;
+          Alcotest.test_case "head dim" `Quick test_flash_head_dim_limit;
+          Alcotest.test_case "runs" `Quick test_flash_runs_attention ] );
+      ( "ansor",
+        [ Alcotest.test_case "fuses small batch" `Quick
+            test_ansor_fuses_small_batch;
+          Alcotest.test_case "fallback big batch" `Quick
+            test_ansor_fallback_large_batch ] );
+      ( "mcfuser-vs",
+        [ Alcotest.test_case "chimera runs" `Quick test_chimera_runs;
+          Alcotest.test_case "backend wrapper" `Quick
+            test_mcfuser_backend_wraps_tuner;
+          Alcotest.test_case "beats pytorch" `Quick test_mcfuser_beats_pytorch;
+          Alcotest.test_case "beats flash-attention" `Quick
+            test_mcfuser_beats_flash_on_s1 ] ) ]

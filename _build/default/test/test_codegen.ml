@@ -1,0 +1,222 @@
+(* Tests for code generation: the "actual" shared-memory allocator
+   (double buffering, padding, softmax statistics, fallback), the
+   compile pipeline, and the Triton source emitter. *)
+
+open Mcf_ir
+
+let a100 = Mcf_gpu.Spec.a100
+let gemm = Chain.gemm_chain ~m:1024 ~n:1024 ~k:512 ~h:512 ()
+let attn = Chain.attention ~heads:8 ~m:512 ~n:512 ~k:64 ~h:64 ()
+let ax c s = Chain.axis c s
+
+let gemm_cand tiles =
+  Candidate.make
+    (Tiling.Deep [ ax gemm "m"; ax gemm "h"; ax gemm "n"; ax gemm "k" ])
+    tiles
+
+let attn_cand tiles =
+  Candidate.make
+    (Tiling.Deep [ ax attn "m"; ax attn "h"; ax attn "n"; ax attn "k" ])
+    tiles
+
+let std = [ ("m", 128); ("n", 64); ("k", 32); ("h", 64) ]
+let lower chain c = Lower.lower ~elem_bytes:2 chain c
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- Alloc ----------------------------------------------------------------- *)
+
+let test_alloc_exceeds_estimate () =
+  let l = lower gemm (gemm_cand std) in
+  let est = Mcf_model.Shmem.estimate_bytes l in
+  let actual = Mcf_codegen.Alloc.actual_bytes a100 l in
+  Alcotest.(check bool) "actual >= estimate (padding, staging)" true
+    (actual >= est)
+
+let test_alloc_detail_consistent () =
+  let l = lower gemm (gemm_cand std) in
+  let d = Mcf_codegen.Alloc.detail a100 l in
+  Alcotest.(check int) "total = parts"
+    (d.tiles_bytes + d.double_buffer_bytes + d.softmax_bytes)
+    d.total_bytes
+
+let test_alloc_double_buffering () =
+  let l = lower gemm (gemm_cand std) in
+  let d = Mcf_codegen.Alloc.detail a100 l in
+  (* A and B stream inside the k loop, D inside n: staged copies exist *)
+  Alcotest.(check bool) "double buffers allocated" true
+    (d.double_buffer_bytes > 0)
+
+let test_alloc_db_fallback () =
+  (* near the device limit the allocator must drop to single buffering *)
+  let l = lower gemm (gemm_cand [ ("m", 128); ("n", 512); ("k", 128); ("h", 128) ]) in
+  let d = Mcf_codegen.Alloc.detail a100 l in
+  if d.tiles_bytes * 2 > a100.smem_per_block then
+    Alcotest.(check int) "fallback to single buffering" 0 d.double_buffer_bytes
+  else Alcotest.(check bool) "fits with staging" true (d.total_bytes <= a100.smem_per_block)
+
+let test_alloc_softmax_stats () =
+  let lg = lower gemm (gemm_cand std) in
+  let la = lower attn (attn_cand [ ("m", 128); ("n", 64); ("k", 64); ("h", 64) ]) in
+  Alcotest.(check int) "no stats for plain chains" 0
+    (Mcf_codegen.Alloc.detail a100 lg).softmax_bytes;
+  (* 3 fp32 vectors of tile_m rows *)
+  Alcotest.(check int) "stats for softmax rows" (3 * 4 * 128)
+    (Mcf_codegen.Alloc.detail a100 la).softmax_bytes
+
+let test_alloc_row_padding () =
+  (* padded bytes include row_pad per tile row; the E accumulator (128x64 =
+     8 Ki elements) lives in registers and leaves shared memory entirely *)
+  let l = lower gemm (gemm_cand std) in
+  let d = Mcf_codegen.Alloc.detail a100 l in
+  let unpadded = Mcf_model.Shmem.estimate_bytes l in
+  let e_bytes = 128 * 64 * 2 in
+  (* smem rows: A 128 + B 32 + C 128 + D 64 = 352 rows x 16 B *)
+  Alcotest.(check int) "padding accounted" (unpadded - e_bytes + (352 * 16))
+    d.tiles_bytes
+
+let test_alloc_register_accumulator () =
+  (* a small output accumulator is exempt from shared memory; a huge one
+     (flat row-block beyond the register budget) is not *)
+  let small = lower gemm (gemm_cand std) in
+  let flat =
+    lower gemm
+      (Candidate.make
+         (Tiling.Flat
+            ([ ax gemm "m"; ax gemm "n" ], [ [ ax gemm "k" ]; [ ax gemm "h" ] ]))
+         [ ("m", 128); ("n", 64); ("k", 32); ("h", 64) ])
+  in
+  (* flat keeps 128 x 512 = 64 Ki accumulator elements resident: > budget *)
+  let d_small = Mcf_codegen.Alloc.detail a100 small in
+  let d_flat = Mcf_codegen.Alloc.detail a100 flat in
+  Alcotest.(check bool) "row-block spills to smem" true
+    (d_flat.tiles_bytes > d_small.tiles_bytes + (128 * 448 * 2))
+
+(* --- Compile ---------------------------------------------------------------- *)
+
+let test_compile_ok () =
+  match Mcf_codegen.Compile.compile_candidate a100 gemm (gemm_cand std) with
+  | Ok kernel ->
+    Alcotest.(check bool) "smem recorded" true (kernel.Mcf_gpu.Kernel.smem_bytes > 0);
+    Alcotest.(check int) "grid" 64 kernel.Mcf_gpu.Kernel.blocks
+  | Error e ->
+    Alcotest.failf "compile failed: %s" (Mcf_codegen.Compile.string_of_error e)
+
+let test_compile_launch_impossible () =
+  let huge = gemm_cand [ ("m", 1024); ("n", 512); ("k", 32); ("h", 512) ] in
+  match Mcf_codegen.Compile.compile_candidate a100 gemm huge with
+  | Error (Mcf_codegen.Compile.Launch_impossible { smem; limit }) ->
+    Alcotest.(check bool) "over limit" true (smem > limit)
+  | Ok _ -> Alcotest.fail "expected launch failure"
+  | Error (Mcf_codegen.Compile.Invalid_schedule _) ->
+    Alcotest.fail "wrong error kind"
+
+let test_compile_invalid_schedule () =
+  let bad =
+    Candidate.make
+      (Tiling.Deep [ ax attn "m"; ax attn "h"; ax attn "k"; ax attn "n" ])
+      [ ("m", 128); ("n", 64); ("k", 16); ("h", 64) ]
+  in
+  match Mcf_codegen.Compile.compile_candidate a100 attn bad with
+  | Error (Mcf_codegen.Compile.Invalid_schedule _) -> ()
+  | Ok _ -> Alcotest.fail "partial-softmax schedule must not compile"
+  | Error (Mcf_codegen.Compile.Launch_impossible _) ->
+    Alcotest.fail "wrong error kind"
+
+let test_compiled_kernel_runs () =
+  match Mcf_codegen.Compile.compile_candidate a100 gemm (gemm_cand std) with
+  | Ok kernel -> (
+    match Mcf_gpu.Sim.run a100 kernel with
+    | Ok v -> Alcotest.(check bool) "simulates" true (v.time_s > 0.0)
+    | Error e -> Alcotest.failf "sim failed: %s" (Mcf_gpu.Sim.string_of_error e))
+  | Error _ -> Alcotest.fail "compile failed"
+
+(* --- Emit ------------------------------------------------------------------- *)
+
+let triton chain cand =
+  Mcf_codegen.Emit.triton_kernel (Program.build chain cand)
+
+let test_emit_gemm_structure () =
+  let src = triton gemm (gemm_cand std) in
+  Alcotest.(check bool) "jit decorator" true (contains src "@triton.jit");
+  Alcotest.(check bool) "loads inputs" true (contains src "tl.load(A_ptr");
+  Alcotest.(check bool) "dot products" true (contains src "tl.dot(");
+  Alcotest.(check bool) "stores output" true (contains src "tl.store(E_ptr");
+  Alcotest.(check bool) "grid decomposition" true (contains src "tl.program_id");
+  Alcotest.(check bool) "loops over n" true (contains src "for n_i in range(16)")
+
+let test_emit_attention_online () =
+  let src = triton attn (attn_cand [ ("m", 128); ("n", 64); ("k", 64); ("h", 64) ]) in
+  Alcotest.(check bool) "running max" true (contains src "m_i = tl.full");
+  Alcotest.(check bool) "online update" true (contains src "online softmax update");
+  Alcotest.(check bool) "consumer rescale" true (contains src "o_acc *= corr");
+  Alcotest.(check bool) "exp" true (contains src "tl.exp")
+
+let test_emit_accumulate_vs_assign () =
+  (* with the k loop dead the first dot assigns; with k live it accumulates *)
+  let dead = triton gemm (gemm_cand [ ("m", 128); ("n", 64); ("k", 512); ("h", 64) ]) in
+  Alcotest.(check bool) "assign when reduction collapsed" true
+    (contains dead "c_acc = tl.dot(");
+  let live = triton gemm (gemm_cand std) in
+  Alcotest.(check bool) "accumulate when loop live" true
+    (contains live "c_acc += tl.dot(")
+
+let test_emit_flat_sequential_groups () =
+  let cand =
+    Candidate.make
+      (Tiling.Flat
+         ([ ax gemm "m"; ax gemm "n" ], [ [ ax gemm "k" ]; [ ax gemm "h" ] ]))
+      std
+  in
+  let src = triton gemm cand in
+  Alcotest.(check bool) "n loop" true (contains src "for n_i in range");
+  Alcotest.(check bool) "k group" true (contains src "for k_i in range");
+  Alcotest.(check bool) "h group" true (contains src "for h_i in range");
+  (* the producer's dot must appear before the consumer's in source order *)
+  let idx sub =
+    let n = String.length src and m = String.length sub in
+    let rec go i = if i + m > n then -1 else if String.sub src i m = sub then i else go (i + 1) in
+    go 0
+  in
+  Alcotest.(check bool) "C before E" true
+    (idx "c_acc" >= 0 && idx "e_acc" >= 0 && idx "c_acc" < idx "e_acc")
+
+let test_launch_stub () =
+  let p = Program.build gemm (gemm_cand std) in
+  let stub = Mcf_codegen.Emit.launch_stub p in
+  Alcotest.(check bool) "grid size" true (contains stub "grid = (64,)");
+  Alcotest.(check bool) "tile constants" true (contains stub "TM = 128")
+
+let () =
+  Alcotest.run "mcf_codegen"
+    [ ( "alloc",
+        [ Alcotest.test_case "actual >= estimate" `Quick
+            test_alloc_exceeds_estimate;
+          Alcotest.test_case "detail sums" `Quick test_alloc_detail_consistent;
+          Alcotest.test_case "double buffering" `Quick
+            test_alloc_double_buffering;
+          Alcotest.test_case "staging fallback" `Quick test_alloc_db_fallback;
+          Alcotest.test_case "softmax stats" `Quick test_alloc_softmax_stats;
+          Alcotest.test_case "row padding" `Quick test_alloc_row_padding;
+          Alcotest.test_case "register accumulator" `Quick
+            test_alloc_register_accumulator ] );
+      ( "compile",
+        [ Alcotest.test_case "ok path" `Quick test_compile_ok;
+          Alcotest.test_case "launch impossible" `Quick
+            test_compile_launch_impossible;
+          Alcotest.test_case "invalid schedule" `Quick
+            test_compile_invalid_schedule;
+          Alcotest.test_case "kernel simulates" `Quick test_compiled_kernel_runs ]
+      );
+      ( "emit",
+        [ Alcotest.test_case "gemm structure" `Quick test_emit_gemm_structure;
+          Alcotest.test_case "attention online" `Quick
+            test_emit_attention_online;
+          Alcotest.test_case "accumulate vs assign" `Quick
+            test_emit_accumulate_vs_assign;
+          Alcotest.test_case "flat sequential groups" `Quick
+            test_emit_flat_sequential_groups;
+          Alcotest.test_case "launch stub" `Quick test_launch_stub ] ) ]

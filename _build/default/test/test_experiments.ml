@@ -1,0 +1,212 @@
+(* Integration tests for the experiment harness: each paper artifact's
+   computation must produce structurally-sound results with the paper's
+   qualitative shape (who wins, which direction trends go).  Ansor's trial
+   budget is reduced so the suite stays fast; the accounting logic is the
+   same. *)
+
+let a100 = Mcf_gpu.Spec.a100
+
+let () = Mcf_baselines.Ansor.trials := 100
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- registry ----------------------------------------------------------------- *)
+
+let test_registry_complete () =
+  let ids = Mcf_experiments.Registry.ids () in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " registered") true (List.mem id ids))
+    [ "motivation"; "fig2"; "fig7"; "fig8a"; "fig8b"; "fig8c"; "fig8d";
+      "fig9"; "tab4"; "fig10"; "fig11"; "ablation"; "sweep"; "verify";
+      "extension" ];
+  Alcotest.(check int) "no duplicates" (List.length ids)
+    (List.length (Mcf_util.Listx.dedup ~compare:String.compare ids))
+
+let test_registry_find () =
+  Alcotest.(check bool) "finds fig7" true
+    (Mcf_experiments.Registry.find "fig7" <> None);
+  Alcotest.(check bool) "unknown is None" true
+    (Mcf_experiments.Registry.find "fig99" = None)
+
+(* --- motivation ---------------------------------------------------------------- *)
+
+let test_motivation_trend () =
+  let rows =
+    Mcf_experiments.Exp_motivation.compute a100 Mcf_workloads.Configs.bert_large
+  in
+  Alcotest.(check int) "three sequence lengths" 3 (List.length rows);
+  List.iter
+    (fun (r : Mcf_experiments.Exp_motivation.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seq %d: time share amplifies FLOPs share" r.seq)
+        true
+        (r.time_share > 1.5 *. r.flops_share);
+      Alcotest.(check bool)
+        (Printf.sprintf "seq %d: attention is MBCI" r.seq)
+        true
+        (r.attention_intensity < Mcf_gpu.Spec.roofline_ratio a100))
+    rows;
+  (* the share of time grows with sequence length, as in the paper *)
+  let shares = List.map (fun (r : Mcf_experiments.Exp_motivation.row) -> r.time_share) rows in
+  Alcotest.(check bool) "monotone in sequence length" true
+    (List.sort Float.compare shares = shares)
+
+(* --- sweep ---------------------------------------------------------------------- *)
+
+let test_sweep_always_wins () =
+  let rows = Mcf_experiments.Exp_sweep.compute a100 in
+  Alcotest.(check int) "five lengths" 5 (List.length rows);
+  List.iter
+    (fun (r : Mcf_experiments.Exp_sweep.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seq %d fusion wins" r.seq)
+        true (r.speedup > 1.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "seq %d memory bound" r.seq)
+        true
+        (r.intensity < Mcf_gpu.Spec.roofline_ratio a100))
+    rows
+
+(* --- fig2 ---------------------------------------------------------------------- *)
+
+let test_fig2_transition () =
+  let points = Mcf_experiments.Exp_fig2.compute a100 in
+  Alcotest.(check int) "six sweep points" 6 (List.length points);
+  let sorted = List.sort (fun a b -> Float.compare a.Mcf_experiments.Exp_fig2.ratio b.ratio) points in
+  let first = List.hd sorted in
+  let mid = List.nth sorted 3 in
+  Alcotest.(check bool) "phi grows with K/M" true (first.phi < mid.phi);
+  Alcotest.(check bool) "throughput collapses at low K/M" true
+    (first.achieved_tflops < 0.5 *. mid.achieved_tflops);
+  List.iter
+    (fun (p : Mcf_experiments.Exp_fig2.point) ->
+      Alcotest.(check bool) "constant work" true (p.m * p.m * p.k = 1 lsl 30))
+    points
+
+(* --- fig7 ---------------------------------------------------------------------- *)
+
+let test_fig7_funnel () =
+  let f = Mcf_experiments.Exp_fig7.compute a100 in
+  Alcotest.(check int) "26 expressions" 26 f.tilings_raw;
+  Alcotest.(check (float 1.0)) "paper's raw space" 1.09051904e8 f.candidates_raw;
+  Alcotest.(check bool) "four orders of magnitude pruned" true
+    (float_of_int f.candidates_valid < 1e-4 *. f.candidates_raw)
+
+(* --- fig8 (attention panel only: fast, richest backend set) ------------------- *)
+
+let test_fig8_attention_panel () =
+  let r = Mcf_experiments.Exp_fig8.compute a100 Mcf_experiments.Exp_fig8.Attention in
+  Alcotest.(check int) "nine workloads" 9 (List.length r.rows);
+  (* MCFuser must beat PyTorch on every attention workload *)
+  List.iter
+    (fun (row : Mcf_experiments.Exp_fig8.row) ->
+      match
+        (List.assoc "PyTorch" row.times, List.assoc "MCFuser" row.times)
+      with
+      | Some p, Some m ->
+        Alcotest.(check bool) (row.workload ^ ": MCFuser wins") true (m < p)
+      | _ -> Alcotest.failf "%s: missing baseline" row.workload)
+    r.rows;
+  (* BOLT has no attention numbers (no fusion pattern) *)
+  List.iter
+    (fun (row : Mcf_experiments.Exp_fig8.row) ->
+      Alcotest.(check bool) "BOLT unsupported" true
+        (List.assoc "BOLT" row.times = None))
+    r.rows;
+  (* headline geomeans in the paper's direction *)
+  (match Mcf_experiments.Exp_fig8.geomean_speedup r ~over:"PyTorch" ~of_:"MCFuser" with
+  | Some s -> Alcotest.(check bool) "well above 4x vs PyTorch" true (s > 4.0)
+  | None -> Alcotest.fail "geomean missing");
+  match
+    Mcf_experiments.Exp_fig8.geomean_speedup r ~over:"FlashAttention"
+      ~of_:"MCFuser"
+  with
+  | Some s -> Alcotest.(check bool) "beats FlashAttention" true (s > 1.0)
+  | None -> Alcotest.fail "FA geomean missing"
+
+let test_fig8_render () =
+  let r = Mcf_experiments.Exp_fig8.compute a100 Mcf_experiments.Exp_fig8.Attention in
+  let s = Mcf_experiments.Exp_fig8.render_result r in
+  Alcotest.(check bool) "table rendered" true (contains s "S1");
+  Alcotest.(check bool) "summary rendered" true (contains s "geomean")
+
+(* --- fig10 --------------------------------------------------------------------- *)
+
+let test_fig10_quadrants () =
+  let stats, scatter = Mcf_experiments.Exp_fig10.compute ~per_workload:60 a100 in
+  Alcotest.(check int) "partition is complete"
+    stats.total
+    (stats.q1 + stats.q2 + stats.q3 + stats.q4);
+  Alcotest.(check int) "scatter matches" stats.total (List.length scatter);
+  let correct = float_of_int (stats.q1 + stats.q3) /. float_of_int stats.total in
+  Alcotest.(check bool)
+    (Printf.sprintf "correct fraction %.2f > 0.8" correct)
+    true (correct > 0.8);
+  Alcotest.(check bool) "estimates positive" true
+    (List.for_all (fun (x, y) -> x > 0.0 && y > 0.0) scatter)
+
+(* --- fig11 --------------------------------------------------------------------- *)
+
+let test_fig11_correlation () =
+  let results = Mcf_experiments.Exp_fig11.compute ~samples:120 a100 in
+  Alcotest.(check int) "G1-G4" 4 (List.length results);
+  List.iter
+    (fun (r : Mcf_experiments.Exp_fig11.workload_result) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s pearson %.2f strong" r.wname r.pearson)
+        true (r.pearson > 0.5);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s enough points" r.wname)
+        true
+        (r.n_points > 50))
+    results
+
+(* --- ablation ------------------------------------------------------------------ *)
+
+let test_ablation_structure () =
+  let names =
+    List.map
+      (fun (v : Mcf_experiments.Exp_ablation.variant) -> v.vname)
+      Mcf_experiments.Exp_ablation.variants
+  in
+  Alcotest.(check bool) "has full" true (List.mem "full" names);
+  Alcotest.(check bool) "has no-flat" true (List.mem "no-flat" names);
+  Alcotest.(check int) "seven variants" 7 (List.length names)
+
+(* --- tab4 / fig9 rendering smoke ------------------------------------------------- *)
+
+let test_tab4_renders () =
+  let s = Mcf_experiments.Exp_tab4.render a100 in
+  Alcotest.(check bool) "sub-graph section" true (contains s "GEMM chains");
+  Alcotest.(check bool) "end-to-end section" true (contains s "Bert-Base")
+
+let test_fig9_renders () =
+  let s = Mcf_experiments.Exp_fig9.render a100 in
+  Alcotest.(check bool) "mentions engines" true (contains s "MCFuser+Relay");
+  Alcotest.(check bool) "mentions models" true (contains s "Bert-Large");
+  Alcotest.(check bool) "motivation line" true (contains s "of FLOPs but")
+
+let () =
+  Alcotest.run "mcf_experiments"
+    [ ( "registry",
+        [ Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "find" `Quick test_registry_find ] );
+      ( "motivation",
+        [ Alcotest.test_case "trend" `Quick test_motivation_trend ] );
+      ( "sweep",
+        [ Alcotest.test_case "fusion always wins" `Slow test_sweep_always_wins ] );
+      ("fig2", [ Alcotest.test_case "MBCI transition" `Quick test_fig2_transition ]);
+      ("fig7", [ Alcotest.test_case "pruning funnel" `Quick test_fig7_funnel ]);
+      ( "fig8",
+        [ Alcotest.test_case "attention panel" `Slow test_fig8_attention_panel;
+          Alcotest.test_case "rendering" `Slow test_fig8_render ] );
+      ("fig10", [ Alcotest.test_case "quadrants" `Quick test_fig10_quadrants ]);
+      ("fig11", [ Alcotest.test_case "correlation" `Quick test_fig11_correlation ]);
+      ("ablation", [ Alcotest.test_case "variants" `Quick test_ablation_structure ]);
+      ( "rendering",
+        [ Alcotest.test_case "tab4" `Slow test_tab4_renders;
+          Alcotest.test_case "fig9" `Slow test_fig9_renders ] ) ]

@@ -1,0 +1,260 @@
+(* Tests for the end-to-end frontend: BERT graph construction, the MBCI
+   partitioner's view, and the five compilation engines. *)
+
+open Mcf_frontend
+
+let a100 = Mcf_gpu.Spec.a100
+let base_cfg = Mcf_workloads.Configs.bert_base
+let graph = Graph.bert base_cfg
+
+let engines_all =
+  [ Engine.Relay_engine;
+    Engine.Bolt_engine;
+    Engine.Ansor_engine;
+    Engine.Mcfuser_with Engine.Relay_engine;
+    Engine.Mcfuser_with Engine.Ansor_engine ]
+
+let report kind = Engine.run kind a100 graph
+
+(* --- Graph ----------------------------------------------------------------- *)
+
+let test_graph_shape () =
+  Alcotest.(check int) "11 ops per layer" (11 * base_cfg.layers)
+    (List.length graph.ops);
+  Alcotest.(check bool) "flops positive" true (graph.flops > 0.0)
+
+let test_graph_dense_shapes () =
+  let shapes = Graph.unique_dense_shapes graph in
+  Alcotest.(check int) "4 unique projections" 4 (List.length shapes);
+  Alcotest.(check bool) "qkv packed projection present" true
+    (List.mem (base_cfg.seq, 3 * base_cfg.hidden, base_cfg.hidden) shapes);
+  Alcotest.(check bool) "ffn up present" true
+    (List.mem (base_cfg.seq, base_cfg.intermediate, base_cfg.hidden) shapes)
+
+let test_graph_attention_partition () =
+  let cfgs = Graph.attention_configs graph in
+  Alcotest.(check int) "one unique MBCI sub-graph" 1 (List.length cfgs);
+  let c = List.hd cfgs in
+  Alcotest.(check int) "heads" base_cfg.bheads c.heads;
+  Alcotest.(check int) "head dim" (base_cfg.hidden / base_cfg.bheads) c.sk
+
+let test_graph_scales_with_layers () =
+  let small = Graph.bert Mcf_workloads.Configs.bert_small in
+  let large = Graph.bert Mcf_workloads.Configs.bert_large in
+  Alcotest.(check bool) "more layers, more ops" true
+    (List.length large.ops > List.length small.ops);
+  Alcotest.(check bool) "more layers, more flops" true
+    (large.flops > small.flops)
+
+let test_motivation_fractions () =
+  (* §II-A: attention is a small FLOPs share but a large time share *)
+  let flops = Engine.attention_fraction a100 graph ~flops_fraction:true in
+  let time = Engine.attention_fraction a100 graph ~flops_fraction:false in
+  Alcotest.(check bool) "flops share modest" true (flops > 0.02 && flops < 0.3);
+  Alcotest.(check bool) "time share amplified" true (time > 1.5 *. flops)
+
+(* --- Engines ----------------------------------------------------------------- *)
+
+let test_engine_names () =
+  Alcotest.(check (list string)) "names"
+    [ "Relay"; "BOLT"; "Ansor"; "MCFuser+Relay"; "MCFuser+Ansor" ]
+    (List.map Engine.name engines_all)
+
+let test_all_engines_run () =
+  List.iter
+    (fun kind ->
+      let r = report kind in
+      Alcotest.(check bool)
+        (Engine.name kind ^ " latency positive")
+        true
+        (r.latency_s > 0.0 && Float.is_finite r.latency_s);
+      Alcotest.(check bool)
+        (Engine.name kind ^ " attention within latency")
+        true
+        (r.attention_s >= 0.0 && r.attention_s <= r.latency_s))
+    engines_all
+
+let test_mcfuser_improves_host () =
+  let relay = report Engine.Relay_engine in
+  let mrelay = report (Engine.Mcfuser_with Engine.Relay_engine) in
+  Alcotest.(check bool) "faster than host alone" true
+    (mrelay.latency_s < relay.latency_s);
+  Alcotest.(check bool) "fewer kernel launches" true
+    (mrelay.kernel_launches < relay.kernel_launches);
+  Alcotest.(check bool) "attention share collapses" true
+    (mrelay.attention_s /. mrelay.latency_s
+    < 0.5 *. (relay.attention_s /. relay.latency_s))
+
+let test_fig9_ordering () =
+  let l kind = (report kind).Engine.latency_s in
+  Alcotest.(check bool) "MCFuser+Ansor fastest" true
+    (l (Engine.Mcfuser_with Engine.Ansor_engine)
+    < Mcf_util.Stats.minimum
+        [ l Engine.Relay_engine; l Engine.Bolt_engine; l Engine.Ansor_engine ]);
+  Alcotest.(check bool) "Relay slowest" true
+    (l Engine.Relay_engine
+    >= Mcf_util.Stats.maximum
+         [ l Engine.Bolt_engine; l Engine.Ansor_engine ])
+
+let test_tuning_cost_ordering () =
+  let t kind = (report kind).Engine.tuning_virtual_s in
+  Alcotest.(check bool) "Relay cheapest to build" true
+    (t Engine.Relay_engine < t Engine.Bolt_engine);
+  Alcotest.(check bool) "Ansor by far the slowest" true
+    (t Engine.Ansor_engine > 10.0 *. t Engine.Bolt_engine);
+  Alcotest.(check bool) "MCFuser+Ansor cheaper than Ansor (Table IV)" true
+    (t (Engine.Mcfuser_with Engine.Ansor_engine) < t Engine.Ansor_engine)
+
+let test_tuning_scales_with_model () =
+  let small = Graph.bert Mcf_workloads.Configs.bert_small in
+  let large = Graph.bert Mcf_workloads.Configs.bert_large in
+  let t g = (Engine.run Engine.Relay_engine a100 g).Engine.tuning_virtual_s in
+  Alcotest.(check bool) "Relay build time grows with layers" true
+    (t large > t small)
+
+let test_bolt_pattern_folds_bias () =
+  (* BOLT's GEMM+bias fusion removes kernels relative to Relay *)
+  let relay = report Engine.Relay_engine in
+  let bolt = report Engine.Bolt_engine in
+  Alcotest.(check bool) "fewer launches" true
+    (bolt.kernel_launches < relay.kernel_launches)
+
+(* --- Opgraph partitioner (SV-B) ------------------------------------------ *)
+
+module Og = Opgraph
+
+let test_opgraph_bert_layer_valid () =
+  let g = Og.bert_layer base_cfg in
+  match Og.validate g with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_partition_bert_layer () =
+  let g = Og.bert_layer base_cfg in
+  let g', r = Og.partition a100 g in
+  Alcotest.(check int) "attention fused" 1 r.fused_attention;
+  Alcotest.(check int) "FFN rejected as compute-bound" 1
+    r.rejected_compute_bound;
+  Alcotest.(check int) "no other chains" 0 r.fused_chains;
+  Alcotest.(check bool) "still valid" true (Result.is_ok (Og.validate g'));
+  match Og.fused_chains g' with
+  | [ chain ] ->
+    Alcotest.(check int) "attention heads" base_cfg.bheads
+      chain.Mcf_ir.Chain.batch
+  | _ -> Alcotest.fail "expected exactly one fused chain"
+
+let mk_node id name kind inputs = { Og.id; name; kind; inputs }
+
+let memory_bound_chain_graph ~gelu =
+  (* matmul(512x256x64) -> bias (-> gelu) -> matmul(..x64): K is tiny, so
+     the unfused chain is memory-bound and must be fused *)
+  let mid = if gelu then [ mk_node 3 "act" Og.Gelu [ 2 ] ] else [] in
+  let last_in = if gelu then 3 else 2 in
+  { Og.nodes =
+      [ mk_node 0 "x" (Og.Input { shape = [ 512; 64 ] }) [];
+        mk_node 1 "mm1"
+          (Og.Matmul { batch = 1; m = 512; n = 256; k = 64; transpose_b = false })
+          [ 0 ];
+        mk_node 2 "bias" Og.Bias_add [ 1 ] ]
+      @ mid
+      @ [ mk_node 9 "mm2"
+            (Og.Matmul
+               { batch = 1; m = 512; n = 64; k = 256; transpose_b = false })
+            [ last_in ] ] }
+
+let test_partition_memory_bound_chain () =
+  let g', r = Og.partition a100 (memory_bound_chain_graph ~gelu:false) in
+  Alcotest.(check int) "chain fused" 1 r.fused_chains;
+  Alcotest.(check int) "no rejection" 0 r.rejected_compute_bound;
+  match Og.fused_chains g' with
+  | [ chain ] ->
+    Alcotest.(check bool) "plain gemm chain" true
+      (List.for_all
+         (fun (b : Mcf_ir.Chain.block) -> b.epilogue = Mcf_ir.Chain.No_epilogue)
+         chain.blocks)
+  | _ -> Alcotest.fail "expected one fused chain"
+
+let test_partition_gelu_chain_uses_mlp () =
+  let g', r = Og.partition a100 (memory_bound_chain_graph ~gelu:true) in
+  Alcotest.(check int) "chain fused" 1 r.fused_chains;
+  match Og.fused_chains g' with
+  | [ chain ] ->
+    Alcotest.(check bool) "unary epilogue present" true
+      (List.exists
+         (fun (b : Mcf_ir.Chain.block) ->
+           match b.epilogue with Mcf_ir.Chain.Unary _ -> true | _ -> false)
+         chain.blocks)
+  | _ -> Alcotest.fail "expected one fused chain"
+
+let test_partition_escaping_value_blocks_fusion () =
+  (* the intermediate feeds a second consumer: fusing would lose it *)
+  let g =
+    { Og.nodes =
+        [ mk_node 0 "x" (Og.Input { shape = [ 512; 64 ] }) [];
+          mk_node 1 "mm1"
+            (Og.Matmul
+               { batch = 1; m = 512; n = 256; k = 64; transpose_b = false })
+            [ 0 ];
+          mk_node 2 "mm2"
+            (Og.Matmul
+               { batch = 1; m = 512; n = 64; k = 256; transpose_b = false })
+            [ 1 ];
+          mk_node 3 "escape" Og.Layernorm [ 1 ] ] }
+  in
+  let _, r = Og.partition a100 g in
+  Alcotest.(check int) "nothing fused" 0 (r.fused_chains + r.fused_attention)
+
+let test_partition_idempotent () =
+  let g = Og.bert_layer base_cfg in
+  let g1, _ = Og.partition a100 g in
+  let g2, r2 = Og.partition a100 g1 in
+  Alcotest.(check int) "second pass fuses nothing" 0
+    (r2.fused_attention + r2.fused_chains);
+  Alcotest.(check string) "graph unchanged" (Og.to_string g1) (Og.to_string g2)
+
+let test_opgraph_validate_errors () =
+  let bad =
+    { Og.nodes =
+        [ mk_node 0 "a" (Og.Input { shape = [ 1 ] }) [ 1 ];
+          mk_node 1 "b" Og.Gelu [] ] }
+  in
+  Alcotest.(check bool) "forward reference rejected" true
+    (Result.is_error (Og.validate bad))
+
+let () =
+  Alcotest.run "mcf_frontend"
+    [ ( "graph",
+        [ Alcotest.test_case "shape" `Quick test_graph_shape;
+          Alcotest.test_case "dense shapes" `Quick test_graph_dense_shapes;
+          Alcotest.test_case "attention partition" `Quick
+            test_graph_attention_partition;
+          Alcotest.test_case "scales with layers" `Quick
+            test_graph_scales_with_layers;
+          Alcotest.test_case "motivation fractions" `Quick
+            test_motivation_fractions ] );
+      ( "engines",
+        [ Alcotest.test_case "names" `Quick test_engine_names;
+          Alcotest.test_case "all run" `Quick test_all_engines_run;
+          Alcotest.test_case "mcfuser improves host" `Quick
+            test_mcfuser_improves_host;
+          Alcotest.test_case "fig9 ordering" `Quick test_fig9_ordering;
+          Alcotest.test_case "tuning cost ordering" `Quick
+            test_tuning_cost_ordering;
+          Alcotest.test_case "tuning scales" `Quick
+            test_tuning_scales_with_model;
+          Alcotest.test_case "bolt bias fusion" `Quick
+            test_bolt_pattern_folds_bias ] );
+      ( "opgraph",
+        [ Alcotest.test_case "bert layer valid" `Quick
+            test_opgraph_bert_layer_valid;
+          Alcotest.test_case "partition bert layer" `Quick
+            test_partition_bert_layer;
+          Alcotest.test_case "memory-bound chain fused" `Quick
+            test_partition_memory_bound_chain;
+          Alcotest.test_case "gelu chain uses mlp" `Quick
+            test_partition_gelu_chain_uses_mlp;
+          Alcotest.test_case "escaping value blocks fusion" `Quick
+            test_partition_escaping_value_blocks_fusion;
+          Alcotest.test_case "idempotent" `Quick test_partition_idempotent;
+          Alcotest.test_case "validate errors" `Quick
+            test_opgraph_validate_errors ] ) ]

