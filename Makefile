@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples quick clean
+.PHONY: all build test bench examples quick clean fmt trace-demo check
 
 all: build
 
@@ -9,6 +9,19 @@ build:
 
 test:
 	dune runtest --force
+
+fmt:
+	dune build @fmt
+
+# Tune a small chain with tracing + profiling on.  The CLI parses the
+# trace back before writing and exits non-zero on invalid JSON, so this
+# target doubles as an end-to-end check of the observability layer.
+trace-demo:
+	dune exec -- mcfuser tune G1 --trace /tmp/mcfuser-trace.json --profile
+	@test -s /tmp/mcfuser-trace.json
+	@echo "trace-demo: /tmp/mcfuser-trace.json ok (open in ui.perfetto.dev)"
+
+check: build fmt test trace-demo
 
 bench:
 	dune exec bench/main.exe

@@ -7,7 +7,9 @@
      dune exec bench/main.exe -- --list       # available experiments
      dune exec bench/main.exe -- --only fig8a,fig11
      dune exec bench/main.exe -- --quick      # reduced Ansor trial budget
-     dune exec bench/main.exe -- --no-micro   # skip the Bechamel suite *)
+     dune exec bench/main.exe -- --no-micro   # skip the Bechamel suite
+     dune exec bench/main.exe -- --trace FILE # Chrome trace of the run
+     dune exec bench/main.exe -- --profile    # phase table + metrics dump *)
 
 let hr = String.make 78 '='
 
@@ -131,10 +133,31 @@ let run_micro () =
     tests;
   print_string (Mcf_util.Table.render tbl)
 
+let write_trace path =
+  Mcf_obs.Trace.stop ();
+  let doc = Mcf_util.Json.to_string (Mcf_obs.Trace.to_chrome_json ()) in
+  match Mcf_util.Json.parse doc with
+  | Error e ->
+    Printf.eprintf "trace: serialization produced invalid JSON (%s)\n" e;
+    exit 1
+  | Ok _ -> (
+    match open_out path with
+    | exception Sys_error e ->
+      Printf.eprintf "trace: cannot write %s: %s\n" path e;
+      exit 1
+    | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc doc;
+          output_char oc '\n');
+      Printf.eprintf "trace: wrote %s (%d spans)\n%!" path
+        (List.length (Mcf_obs.Trace.events ())))
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse only quick micro = function
-    | [] -> (only, quick, micro)
+  let rec parse only quick micro trace profile = function
+    | [] -> (only, quick, micro, trace, profile)
     | "--list" :: _ ->
       List.iter
         (fun (e : Mcf_experiments.Registry.experiment) ->
@@ -142,19 +165,32 @@ let () =
         Mcf_experiments.Registry.all;
       exit 0
     | "--only" :: spec :: rest ->
-      parse (Some (String.split_on_char ',' spec)) quick micro rest
-    | "--quick" :: rest -> parse only true micro rest
-    | "--no-micro" :: rest -> parse only quick false rest
+      parse (Some (String.split_on_char ',' spec)) quick micro trace profile rest
+    | "--quick" :: rest -> parse only true micro trace profile rest
+    | "--no-micro" :: rest -> parse only quick false trace profile rest
+    | "--trace" :: path :: rest -> parse only quick micro (Some path) profile rest
+    | "--profile" :: rest -> parse only quick micro trace true rest
     | arg :: _ ->
       Printf.printf "unknown argument %S (try --list)\n" arg;
       exit 1
   in
-  let only, quick, micro = parse None false true args in
+  let only, quick, micro, trace, profile =
+    parse None false true None false args
+  in
   if quick then Mcf_baselines.Ansor.trials := 200;
+  if profile then Mcf_obs.Profile.enable ();
+  if trace <> None then Mcf_obs.Trace.start ();
   let ids =
     match only with Some ids -> ids | None -> Mcf_experiments.Registry.ids ()
   in
   let t0 = Unix.gettimeofday () in
   run_experiments ids;
   if micro && only = None then run_micro ();
-  Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  (match trace with Some path -> write_trace path | None -> ());
+  if profile then begin
+    Printf.printf "\n# per-phase wall-clock\n";
+    print_string (Mcf_obs.Profile.render ());
+    Printf.printf "\n# metrics\n";
+    print_string (Mcf_obs.Metrics.render_table ())
+  end

@@ -10,7 +10,13 @@
      partition   show the SV-B graph partitioner on a BERT layer
      experiment  run a paper experiment by id (fig2, fig8a, ..., ablation)
      workloads   list the built-in workloads
-     verify      check a tuned schedule numerically against the reference *)
+     verify      check a tuned schedule numerically against the reference
+
+   Every sub-command accepts the observability flags:
+     --trace FILE   write a Chrome trace_event JSON of the run (open in
+                    chrome://tracing or https://ui.perfetto.dev)
+     --profile      print a per-phase wall-clock table and a metrics dump
+                    after the sub-command's normal output *)
 
 open Cmdliner
 
@@ -24,18 +30,48 @@ let spec_of_name name =
            (String.concat ", "
               (List.map (fun (s : Mcf_gpu.Spec.t) -> s.name) Mcf_gpu.Spec.all))))
 
+(* Accepts Table II/III names (G4, S2), network names (bert-base, vit-large)
+   and mha-<x> as an alias for the Bert-<x> attention shape. *)
 let chain_of_workload name =
-  match Mcf_workloads.Configs.find_gemm name with
+  let canon = String.lowercase_ascii name in
+  let strip_prefix p s =
+    let lp = String.length p in
+    if String.length s > lp && String.sub s 0 lp = p then
+      Some (String.sub s lp (String.length s - lp))
+    else None
+  in
+  let gemm =
+    List.find_opt
+      (fun (g : Mcf_workloads.Configs.gemm_config) ->
+        String.lowercase_ascii g.gname = canon)
+      Mcf_workloads.Configs.gemm_chains
+  in
+  match gemm with
   | Some g -> Ok (Mcf_workloads.Configs.gemm_chain g)
   | None -> (
-    match Mcf_workloads.Configs.find_attention name with
+    let attention =
+      List.find_opt
+        (fun (s : Mcf_workloads.Configs.attention_config) ->
+          let network = String.lowercase_ascii s.network in
+          String.lowercase_ascii s.sname = canon
+          || network = canon
+          ||
+          match strip_prefix "mha-" canon with
+          | Some suffix -> network = "bert-" ^ suffix
+          | None -> false)
+        Mcf_workloads.Configs.attentions
+    in
+    match attention with
     | Some s -> Ok (Mcf_workloads.Configs.attention s)
     | None ->
       Error
         (`Msg
           (Printf.sprintf
-             "unknown workload %S (G1-G12, S1-S9; see `mcfuser workloads`)"
+             "unknown workload %S (G1-G12, S1-S9, a network name like \
+              bert-base, or mha-small/base/large; see `mcfuser workloads`)"
              name)))
+
+(* --- common flags: verbosity and observability ---------------------------- *)
 
 let verbose_arg =
   let doc = "Log tuning progress (-v: per-tune summaries, -vv: per-generation)." in
@@ -49,15 +85,71 @@ let setup_logs verbose =
     | _ -> Some Logs.Debug
   in
   Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level level
+  Logs.set_level level;
+  (* Each library registers its own source (mcfuser.space, mcfuser.search,
+     mcfuser.sim, mcfuser.codegen, mcfuser.cache, ...); apply the chosen
+     level to every one of them explicitly so none is left behind. *)
+  List.iter (fun src -> Logs.Src.set_level src level) (Logs.Src.list ())
 
-let device_arg =
-  let doc = "Target device model (A100 or RTX3080)." in
-  Arg.(value & opt string "A100" & info [ "d"; "device" ] ~docv:"DEVICE" ~doc)
+type obs = {
+  trace : string option;
+  profile : bool;
+}
 
-let workload_arg =
-  let doc = "Workload name from Tables II/III, e.g. G4 or S2." in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+let obs_term =
+  let trace_arg =
+    let doc =
+      "Write a Chrome trace_event JSON of this run to $(docv) (load it in \
+       chrome://tracing or Perfetto)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let profile_arg =
+    let doc =
+      "After the sub-command's output, print the per-phase wall-clock table \
+       and a dump of all pipeline metrics."
+    in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
+  Term.(const (fun trace profile -> { trace; profile }) $ trace_arg $ profile_arg)
+
+let write_trace path =
+  Mcf_obs.Trace.stop ();
+  let doc = Mcf_util.Json.to_string (Mcf_obs.Trace.to_chrome_json ()) in
+  (* Self-check: parse the document back before writing, so --trace can
+     never leave an unloadable file behind. *)
+  match Mcf_util.Json.parse doc with
+  | Error e ->
+    Error
+      (`Msg
+        (Printf.sprintf "trace serialization produced invalid JSON (%s)" e))
+  | Ok _ -> (
+    match open_out path with
+    | exception Sys_error e -> Error (`Msg ("cannot write trace: " ^ e))
+    | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc doc;
+          output_char oc '\n');
+      Printf.eprintf "trace: wrote %s (%d spans)\n%!" path
+        (List.length (Mcf_obs.Trace.events ()));
+      Ok ())
+
+let with_obs obs f =
+  if obs.profile then Mcf_obs.Profile.enable ();
+  if obs.trace <> None then Mcf_obs.Trace.start ();
+  let result = f () in
+  let trace_result =
+    match obs.trace with None -> Ok () | Some path -> write_trace path
+  in
+  if obs.profile then begin
+    Printf.printf "\n# per-phase wall-clock\n";
+    print_string (Mcf_obs.Profile.render ());
+    Printf.printf "\n# metrics\n";
+    print_string (Mcf_obs.Metrics.render_table ())
+  end;
+  match result with Error _ as e -> e | Ok () -> trace_result
 
 let with_setup device workload f =
   match spec_of_name device with
@@ -67,50 +159,79 @@ let with_setup device workload f =
     | Error e -> Error e
     | Ok chain -> f spec chain)
 
+let device_arg =
+  let doc = "Target device model (A100 or RTX3080)." in
+  Arg.(value & opt string "A100" & info [ "d"; "device" ] ~docv:"DEVICE" ~doc)
+
+let workload_arg =
+  let doc = "Workload name from Tables II/III, e.g. G4 or S2." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
 (* --- tune ---------------------------------------------------------------- *)
+
+let phase_breakdown (o : Mcf_search.Tuner.outcome) =
+  let strip name =
+    match String.index_opt name '.' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  let timed = List.fold_left (fun acc (_, d) -> acc +. d) 0.0 o.phases in
+  let cells =
+    List.map
+      (fun (name, d) ->
+        Printf.sprintf "%s %s" (strip name) (Mcf_util.Table.fmt_time_s d))
+      o.phases
+    @ [ Printf.sprintf "other %s"
+          (Mcf_util.Table.fmt_time_s (Float.max 0.0 (o.tuning_wall_s -. timed))) ]
+  in
+  String.concat " | " cells
 
 let tune_cmd =
   let cache_arg =
     let doc = "Schedule-cache file: reuse a stored schedule, or tune and store." in
     Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE" ~doc)
   in
-  let run verbose cache device workload =
+  let run verbose obs cache device workload =
     setup_logs verbose;
-    with_setup device workload (fun spec chain ->
-        (match cache with
-        | Some cache_file -> (
-          match
-            Mcf_search.Schedule_cache.tune_with_cache ~cache_file spec chain
-          with
-          | Ok (fresh, entry) ->
-            Printf.printf "%s: %s at %s (%s)\n" workload
-              (Mcf_ir.Candidate.to_string entry.ecand)
-              (Mcf_util.Table.fmt_time_s entry.etime_s)
-              (if fresh = None then "cache hit" else "tuned and cached");
-            Ok ()
-          | Error Mcf_search.Tuner.No_viable_candidate ->
-            Error (`Msg "no viable candidate"))
-        | None ->
-        match Mcf_search.Tuner.tune spec chain with
-        | Error Mcf_search.Tuner.No_viable_candidate ->
-          Error (`Msg "no viable candidate: the chain cannot be fused here")
-        | Ok o ->
-          Printf.printf "workload  %s on %s\n" workload spec.name;
-          Printf.printf "best      %s\n" (Mcf_ir.Candidate.to_string o.best.cand);
-          Printf.printf "kernel    %s\n"
-            (Mcf_util.Table.fmt_time_s o.kernel_time_s);
-          Printf.printf "tuning    %s virtual (%.2fs wall), %d measured, %d \
-                         generations\n"
-            (Mcf_util.Table.fmt_time_s o.tuning_virtual_s)
-            o.tuning_wall_s o.search_stats.measured o.search_stats.generations;
-          Printf.printf "space     %d candidates after pruning (raw %.3g)\n\n"
-            o.funnel.candidates_valid o.funnel.candidates_raw;
-          print_string (Mcf_search.Tuner.pseudo_code o);
-          Ok ()))
+    with_obs obs (fun () ->
+        with_setup device workload (fun spec chain ->
+            match cache with
+            | Some cache_file -> (
+              match
+                Mcf_search.Schedule_cache.tune_with_cache ~cache_file spec chain
+              with
+              | Ok (fresh, entry) ->
+                Printf.printf "%s: %s at %s (%s)\n" workload
+                  (Mcf_ir.Candidate.to_string entry.ecand)
+                  (Mcf_util.Table.fmt_time_s entry.etime_s)
+                  (if fresh = None then "cache hit" else "tuned and cached");
+                Ok ()
+              | Error Mcf_search.Tuner.No_viable_candidate ->
+                Error (`Msg "no viable candidate"))
+            | None -> (
+              match Mcf_search.Tuner.tune spec chain with
+              | Error Mcf_search.Tuner.No_viable_candidate ->
+                Error (`Msg "no viable candidate: the chain cannot be fused here")
+              | Ok o ->
+                Printf.printf "workload  %s on %s\n" workload spec.name;
+                Printf.printf "best      %s\n"
+                  (Mcf_ir.Candidate.to_string o.best.cand);
+                Printf.printf "kernel    %s\n"
+                  (Mcf_util.Table.fmt_time_s o.kernel_time_s);
+                Printf.printf "tuning    %s virtual (%.2fs wall), %d measured, \
+                               %d generations\n"
+                  (Mcf_util.Table.fmt_time_s o.tuning_virtual_s)
+                  o.tuning_wall_s o.search_stats.measured
+                  o.search_stats.generations;
+                Printf.printf "phases    %s\n" (phase_breakdown o);
+                Printf.printf "space     %d candidates after pruning (raw %.3g)\n\n"
+                  o.funnel.candidates_valid o.funnel.candidates_raw;
+                print_string (Mcf_search.Tuner.pseudo_code o);
+                Ok ())))
   in
   let term =
-    Term.(term_result (const run $ verbose_arg $ cache_arg $ device_arg
-                       $ workload_arg))
+    Term.(term_result (const run $ verbose_arg $ obs_term $ cache_arg
+                       $ device_arg $ workload_arg))
   in
   Cmd.v (Cmd.info "tune" ~doc:"Tune one workload and print the schedule") term
 
@@ -128,38 +249,41 @@ let chain_cmd =
   let p_arg =
     Arg.(value & opt int 64 & info [ "p" ] ~doc:"Third output dim (gemm3 only).")
   in
-  let run verbose device kind batch m n k h p =
+  let run verbose obs device kind batch m n k h p =
     setup_logs verbose;
-    match spec_of_name device with
-    | Error e -> Error e
-    | Ok spec -> (
-      let chain =
-        match kind with
-        | "gemm" -> Ok (Mcf_ir.Chain.gemm_chain ~batch ~m ~n ~k ~h ())
-        | "attention" -> Ok (Mcf_ir.Chain.attention ~heads:batch ~m ~n ~k ~h ())
-        | "mlp" -> Ok (Mcf_ir.Chain.mlp_chain ~batch ~m ~n ~k ~h ())
-        | "gemm3" -> Ok (Mcf_ir.Chain.gemm_chain3 ~batch ~m ~n ~k ~h ~p ())
-        | other -> Error (`Msg (Printf.sprintf "unknown chain kind %S" other))
-      in
-      match chain with
-      | Error e -> Error e
-      | Ok chain -> (
-        match Mcf_search.Tuner.tune spec chain with
-        | Error Mcf_search.Tuner.No_viable_candidate ->
-          Error (`Msg "no viable candidate: the chain cannot be fused here")
-        | Ok o ->
-          Printf.printf "best  %s at %s (%d measured, tuning %s virtual)\n\n"
-            (Mcf_ir.Candidate.to_string o.best.cand)
-            (Mcf_util.Table.fmt_time_s o.kernel_time_s)
-            o.search_stats.measured
-            (Mcf_util.Table.fmt_time_s o.tuning_virtual_s);
-          print_string (Mcf_search.Tuner.pseudo_code o);
-          Ok ()))
+    with_obs obs (fun () ->
+        match spec_of_name device with
+        | Error e -> Error e
+        | Ok spec -> (
+          let chain =
+            match kind with
+            | "gemm" -> Ok (Mcf_ir.Chain.gemm_chain ~batch ~m ~n ~k ~h ())
+            | "attention" ->
+              Ok (Mcf_ir.Chain.attention ~heads:batch ~m ~n ~k ~h ())
+            | "mlp" -> Ok (Mcf_ir.Chain.mlp_chain ~batch ~m ~n ~k ~h ())
+            | "gemm3" -> Ok (Mcf_ir.Chain.gemm_chain3 ~batch ~m ~n ~k ~h ~p ())
+            | other -> Error (`Msg (Printf.sprintf "unknown chain kind %S" other))
+          in
+          match chain with
+          | Error e -> Error e
+          | Ok chain -> (
+            match Mcf_search.Tuner.tune spec chain with
+            | Error Mcf_search.Tuner.No_viable_candidate ->
+              Error (`Msg "no viable candidate: the chain cannot be fused here")
+            | Ok o ->
+              Printf.printf "best  %s at %s (%d measured, tuning %s virtual)\n"
+                (Mcf_ir.Candidate.to_string o.best.cand)
+                (Mcf_util.Table.fmt_time_s o.kernel_time_s)
+                o.search_stats.measured
+                (Mcf_util.Table.fmt_time_s o.tuning_virtual_s);
+              Printf.printf "phases %s\n\n" (phase_breakdown o);
+              print_string (Mcf_search.Tuner.pseudo_code o);
+              Ok ())))
   in
   let term =
     Term.(
       term_result
-        (const run $ verbose_arg $ device_arg $ kind_arg $ batch_arg
+        (const run $ verbose_arg $ obs_term $ device_arg $ kind_arg $ batch_arg
         $ dim "m" "M dimension." $ dim "n" "N dimension."
         $ dim "k" "K dimension." $ dim "h" "H dimension." $ p_arg))
   in
@@ -170,16 +294,21 @@ let chain_cmd =
 (* --- dot ------------------------------------------------------------------ *)
 
 let dot_cmd =
-  let run device workload =
-    with_setup device workload (fun spec chain ->
-        match Mcf_search.Tuner.tune spec chain with
-        | Error Mcf_search.Tuner.No_viable_candidate ->
-          Error (`Msg "no viable candidate")
-        | Ok o ->
-          print_string (Mcf_ir.Program.to_dot o.best.lowered.program);
-          Ok ())
+  let run verbose obs device workload =
+    setup_logs verbose;
+    with_obs obs (fun () ->
+        with_setup device workload (fun spec chain ->
+            match Mcf_search.Tuner.tune spec chain with
+            | Error Mcf_search.Tuner.No_viable_candidate ->
+              Error (`Msg "no viable candidate")
+            | Ok o ->
+              print_string (Mcf_ir.Program.to_dot o.best.lowered.program);
+              Ok ()))
   in
-  let term = Term.(term_result (const run $ device_arg $ workload_arg)) in
+  let term =
+    Term.(term_result (const run $ verbose_arg $ obs_term $ device_arg
+                       $ workload_arg))
+  in
   Cmd.v
     (Cmd.info "dot"
        ~doc:"Graphviz rendering of the winning schedule's loop/statement DAG")
@@ -188,25 +317,30 @@ let dot_cmd =
 (* --- explain ---------------------------------------------------------------- *)
 
 let explain_cmd =
-  let run device workload =
-    with_setup device workload (fun spec chain ->
-        match Mcf_search.Tuner.tune spec chain with
-        | Error Mcf_search.Tuner.No_viable_candidate ->
-          Error (`Msg "no viable candidate")
-        | Ok o ->
-          print_string (Mcf_gpu.Sim.explain spec o.kernel);
-          let b = Mcf_model.Perf.breakdown spec o.best.lowered in
-          Printf.printf
-            "\nanalytical model (eqs. 2-5): %.2f us = (mem %.2f + comp %.2f) \
-             x alpha %.3f\n"
-            (b.t_total *. 1e6) (b.t_mem *. 1e6) (b.t_comp *. 1e6) b.alpha;
-          Printf.printf
-            "shared memory: eq. (1) estimate %d B, actual allocation %d B\n"
-            (Mcf_model.Shmem.estimate_bytes o.best.lowered)
-            o.kernel.smem_bytes;
-          Ok ())
+  let run verbose obs device workload =
+    setup_logs verbose;
+    with_obs obs (fun () ->
+        with_setup device workload (fun spec chain ->
+            match Mcf_search.Tuner.tune spec chain with
+            | Error Mcf_search.Tuner.No_viable_candidate ->
+              Error (`Msg "no viable candidate")
+            | Ok o ->
+              print_string (Mcf_gpu.Sim.explain spec o.kernel);
+              let b = Mcf_model.Perf.breakdown spec o.best.lowered in
+              Printf.printf
+                "\nanalytical model (eqs. 2-5): %.2f us = (mem %.2f + comp %.2f) \
+                 x alpha %.3f\n"
+                (b.t_total *. 1e6) (b.t_mem *. 1e6) (b.t_comp *. 1e6) b.alpha;
+              Printf.printf
+                "shared memory: eq. (1) estimate %d B, actual allocation %d B\n"
+                (Mcf_model.Shmem.estimate_bytes o.best.lowered)
+                o.kernel.smem_bytes;
+              Ok ()))
   in
-  let term = Term.(term_result (const run $ device_arg $ workload_arg)) in
+  let term =
+    Term.(term_result (const run $ verbose_arg $ obs_term $ device_arg
+                       $ workload_arg))
+  in
   Cmd.v
     (Cmd.info "explain" ~doc:"Simulator cost breakdown of the tuned kernel")
     term
@@ -218,35 +352,40 @@ let partition_cmd =
     let doc = "Model whose encoder layer to partition (bert-small/base/large, vit-base/large)." in
     Arg.(value & opt string "bert-base" & info [ "model" ] ~docv:"MODEL" ~doc)
   in
-  let run device model =
-    match spec_of_name device with
-    | Error e -> Error e
-    | Ok spec -> (
-      let cfg =
-        match String.lowercase_ascii model with
-        | "bert-small" -> Ok Mcf_workloads.Configs.bert_small
-        | "bert-base" -> Ok Mcf_workloads.Configs.bert_base
-        | "bert-large" -> Ok Mcf_workloads.Configs.bert_large
-        | "vit-base" -> Ok Mcf_workloads.Configs.vit_base
-        | "vit-large" -> Ok Mcf_workloads.Configs.vit_large
-        | other -> Error (`Msg (Printf.sprintf "unknown model %S" other))
-      in
-      match cfg with
-      | Error e -> Error e
-      | Ok cfg ->
-        let g = Mcf_frontend.Opgraph.bert_layer cfg in
-        Printf.printf "# imported operator graph (one encoder layer)\n";
-        print_string (Mcf_frontend.Opgraph.to_string g);
-        let g', r = Mcf_frontend.Opgraph.partition spec g in
-        Printf.printf "\n# after MBCI partitioning\n";
-        print_string (Mcf_frontend.Opgraph.to_string g');
-        Printf.printf
-          "\nfused %d attention pattern(s), %d plain chain(s); rejected %d \
-           compute-bound candidate chain(s)\n"
-          r.fused_attention r.fused_chains r.rejected_compute_bound;
-        Ok ())
+  let run verbose obs device model =
+    setup_logs verbose;
+    with_obs obs (fun () ->
+        match spec_of_name device with
+        | Error e -> Error e
+        | Ok spec -> (
+          let cfg =
+            match String.lowercase_ascii model with
+            | "bert-small" -> Ok Mcf_workloads.Configs.bert_small
+            | "bert-base" -> Ok Mcf_workloads.Configs.bert_base
+            | "bert-large" -> Ok Mcf_workloads.Configs.bert_large
+            | "vit-base" -> Ok Mcf_workloads.Configs.vit_base
+            | "vit-large" -> Ok Mcf_workloads.Configs.vit_large
+            | other -> Error (`Msg (Printf.sprintf "unknown model %S" other))
+          in
+          match cfg with
+          | Error e -> Error e
+          | Ok cfg ->
+            let g = Mcf_frontend.Opgraph.bert_layer cfg in
+            Printf.printf "# imported operator graph (one encoder layer)\n";
+            print_string (Mcf_frontend.Opgraph.to_string g);
+            let g', r = Mcf_frontend.Opgraph.partition spec g in
+            Printf.printf "\n# after MBCI partitioning\n";
+            print_string (Mcf_frontend.Opgraph.to_string g');
+            Printf.printf
+              "\nfused %d attention pattern(s), %d plain chain(s); rejected %d \
+               compute-bound candidate chain(s)\n"
+              r.fused_attention r.fused_chains r.rejected_compute_bound;
+            Ok ()))
   in
-  let term = Term.(term_result (const run $ device_arg $ model_arg)) in
+  let term =
+    Term.(term_result (const run $ verbose_arg $ obs_term $ device_arg
+                       $ model_arg))
+  in
   Cmd.v
     (Cmd.info "partition"
        ~doc:"Show the graph partitioner segmenting a model into MBCI \
@@ -256,25 +395,30 @@ let partition_cmd =
 (* --- schedule ------------------------------------------------------------ *)
 
 let schedule_cmd =
-  let run device workload =
-    with_setup device workload (fun spec chain ->
-        match Mcf_search.Tuner.tune spec chain with
-        | Error Mcf_search.Tuner.No_viable_candidate ->
-          Error (`Msg "no viable candidate")
-        | Ok o ->
-          Printf.printf "# tiling expression pseudo-code (Fig. 4 style)\n";
-          print_string (Mcf_search.Tuner.pseudo_code o);
-          Printf.printf "\n# generated Triton kernel\n";
-          print_string (Mcf_search.Tuner.triton_source o);
-          Printf.printf "\n# launch stub\n";
-          print_string (Mcf_codegen.Emit.launch_stub o.best.lowered.program);
-          Printf.printf "\n# TIR view (SV-B round trip)\n";
-          print_string
-            (Mcf_ir.Tir.pretty
-               (Mcf_ir.Tir.of_candidate chain o.best.cand));
-          Ok ())
+  let run verbose obs device workload =
+    setup_logs verbose;
+    with_obs obs (fun () ->
+        with_setup device workload (fun spec chain ->
+            match Mcf_search.Tuner.tune spec chain with
+            | Error Mcf_search.Tuner.No_viable_candidate ->
+              Error (`Msg "no viable candidate")
+            | Ok o ->
+              Printf.printf "# tiling expression pseudo-code (Fig. 4 style)\n";
+              print_string (Mcf_search.Tuner.pseudo_code o);
+              Printf.printf "\n# generated Triton kernel\n";
+              print_string (Mcf_search.Tuner.triton_source o);
+              Printf.printf "\n# launch stub\n";
+              print_string (Mcf_codegen.Emit.launch_stub o.best.lowered.program);
+              Printf.printf "\n# TIR view (SV-B round trip)\n";
+              print_string
+                (Mcf_ir.Tir.pretty
+                   (Mcf_ir.Tir.of_candidate chain o.best.cand));
+              Ok ()))
   in
-  let term = Term.(term_result (const run $ device_arg $ workload_arg)) in
+  let term =
+    Term.(term_result (const run $ verbose_arg $ obs_term $ device_arg
+                       $ workload_arg))
+  in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Print pseudo-code and Triton source")
     term
@@ -282,39 +426,44 @@ let schedule_cmd =
 (* --- compare ------------------------------------------------------------- *)
 
 let compare_cmd =
-  let run device workload =
-    with_setup device workload (fun spec chain ->
-        let backends =
-          [ Mcf_baselines.Pytorch.backend;
-            Mcf_baselines.Relay.backend;
-            Mcf_baselines.Ansor.backend;
-            Mcf_baselines.Bolt.backend;
-            Mcf_baselines.Flash_attention.backend;
-            Mcf_baselines.Chimera.backend;
-            Mcf_baselines.Mcfuser_backend.backend ]
-        in
-        let tbl =
-          Mcf_util.Table.create
-            ~headers:[ "backend"; "time"; "tuning (virtual)"; "note" ]
-        in
-        List.iter
-          (fun (b : Mcf_baselines.Backend.t) ->
-            match b.tune spec chain with
-            | Error (Mcf_baselines.Backend.Unsupported msg) ->
-              Mcf_util.Table.add_row tbl [ b.name; "-"; "-"; msg ]
-            | Ok o ->
-              Mcf_util.Table.add_row tbl
-                [ b.name;
-                  Mcf_util.Table.fmt_time_s o.time_s;
-                  Mcf_util.Table.fmt_time_s o.tuning_virtual_s;
-                  (match o.note with
-                  | Some n -> n
-                  | None -> if o.fused then "fused" else "unfused") ])
-          backends;
-        print_string (Mcf_util.Table.render tbl);
-        Ok ())
+  let run verbose obs device workload =
+    setup_logs verbose;
+    with_obs obs (fun () ->
+        with_setup device workload (fun spec chain ->
+            let backends =
+              [ Mcf_baselines.Pytorch.backend;
+                Mcf_baselines.Relay.backend;
+                Mcf_baselines.Ansor.backend;
+                Mcf_baselines.Bolt.backend;
+                Mcf_baselines.Flash_attention.backend;
+                Mcf_baselines.Chimera.backend;
+                Mcf_baselines.Mcfuser_backend.backend ]
+            in
+            let tbl =
+              Mcf_util.Table.create
+                ~headers:[ "backend"; "time"; "tuning (virtual)"; "note" ]
+            in
+            List.iter
+              (fun (b : Mcf_baselines.Backend.t) ->
+                match b.tune spec chain with
+                | Error (Mcf_baselines.Backend.Unsupported msg) ->
+                  Mcf_util.Table.add_row tbl [ b.name; "-"; "-"; msg ]
+                | Ok o ->
+                  Mcf_util.Table.add_row tbl
+                    [ b.name;
+                      Mcf_util.Table.fmt_time_s o.time_s;
+                      Mcf_util.Table.fmt_time_s o.tuning_virtual_s;
+                      (match o.note with
+                      | Some n -> n
+                      | None -> if o.fused then "fused" else "unfused") ])
+              backends;
+            print_string (Mcf_util.Table.render tbl);
+            Ok ()))
   in
-  let term = Term.(term_result (const run $ device_arg $ workload_arg)) in
+  let term =
+    Term.(term_result (const run $ verbose_arg $ obs_term $ device_arg
+                       $ workload_arg))
+  in
   Cmd.v (Cmd.info "compare" ~doc:"Run every backend on one workload") term
 
 (* --- experiment ---------------------------------------------------------- *)
@@ -324,18 +473,20 @@ let experiment_cmd =
     let doc = "Experiment id (fig2, fig7, fig8a-d, fig9, fig10, fig11, tab4, ablation)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id =
-    match Mcf_experiments.Registry.find id with
-    | None ->
-      Error
-        (`Msg
-          (Printf.sprintf "unknown experiment %S (available: %s)" id
-             (String.concat ", " (Mcf_experiments.Registry.ids ()))))
-    | Some e ->
-      print_string (e.run ());
-      Ok ()
+  let run verbose obs id =
+    setup_logs verbose;
+    with_obs obs (fun () ->
+        match Mcf_experiments.Registry.find id with
+        | None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown experiment %S (available: %s)" id
+                 (String.concat ", " (Mcf_experiments.Registry.ids ()))))
+        | Some e ->
+          print_string (e.run ());
+          Ok ())
   in
-  let term = Term.(term_result (const run $ id_arg)) in
+  let term = Term.(term_result (const run $ verbose_arg $ obs_term $ id_arg)) in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate one paper table/figure")
     term
@@ -343,85 +494,92 @@ let experiment_cmd =
 (* --- workloads ----------------------------------------------------------- *)
 
 let workloads_cmd =
-  let run () =
-    let tbl =
-      Mcf_util.Table.create
-        ~headers:[ "name"; "kind"; "batch/heads"; "M"; "N"; "K"; "H"; "network" ]
-    in
-    List.iter
-      (fun (g : Mcf_workloads.Configs.gemm_config) ->
-        Mcf_util.Table.add_row tbl
-          [ g.gname; "GEMM chain"; string_of_int g.gbatch; string_of_int g.gm;
-            string_of_int g.gn; string_of_int g.gk; string_of_int g.gh; "-" ])
-      Mcf_workloads.Configs.gemm_chains;
-    Mcf_util.Table.add_rule tbl;
-    List.iter
-      (fun (s : Mcf_workloads.Configs.attention_config) ->
-        Mcf_util.Table.add_row tbl
-          [ s.sname; "self-attention"; string_of_int s.heads;
-            string_of_int s.sm; string_of_int s.sn; string_of_int s.sk;
-            string_of_int s.sh; s.network ])
-      Mcf_workloads.Configs.attentions;
-    print_string (Mcf_util.Table.render tbl)
+  let run verbose obs =
+    setup_logs verbose;
+    with_obs obs (fun () ->
+        let tbl =
+          Mcf_util.Table.create
+            ~headers:[ "name"; "kind"; "batch/heads"; "M"; "N"; "K"; "H"; "network" ]
+        in
+        List.iter
+          (fun (g : Mcf_workloads.Configs.gemm_config) ->
+            Mcf_util.Table.add_row tbl
+              [ g.gname; "GEMM chain"; string_of_int g.gbatch; string_of_int g.gm;
+                string_of_int g.gn; string_of_int g.gk; string_of_int g.gh; "-" ])
+          Mcf_workloads.Configs.gemm_chains;
+        Mcf_util.Table.add_rule tbl;
+        List.iter
+          (fun (s : Mcf_workloads.Configs.attention_config) ->
+            Mcf_util.Table.add_row tbl
+              [ s.sname; "self-attention"; string_of_int s.heads;
+                string_of_int s.sm; string_of_int s.sn; string_of_int s.sk;
+                string_of_int s.sh; s.network ])
+          Mcf_workloads.Configs.attentions;
+        print_string (Mcf_util.Table.render tbl);
+        Ok ())
   in
-  Cmd.v
-    (Cmd.info "workloads" ~doc:"List the built-in workloads")
-    Term.(const run $ const ())
+  let term = Term.(term_result (const run $ verbose_arg $ obs_term)) in
+  Cmd.v (Cmd.info "workloads" ~doc:"List the built-in workloads") term
 
 (* --- verify -------------------------------------------------------------- *)
 
 let verify_cmd =
-  let run device workload =
-    with_setup device workload (fun spec chain ->
-        (* Scale the chain down so the reference interpreter stays fast,
-           keeping the structure (same axes, same epilogues). *)
-        let small (a : Mcf_ir.Axis.t) = min a.size 96 in
-        let chain =
-          match chain.Mcf_ir.Chain.blocks with
-          | [ _; b2 ] when b2.Mcf_ir.Chain.epilogue = Mcf_ir.Chain.No_epilogue
-            ->
-            Mcf_ir.Chain.gemm_chain
-              ~m:(small (Mcf_ir.Chain.axis chain "m"))
-              ~n:(small (Mcf_ir.Chain.axis chain "n"))
-              ~k:(small (Mcf_ir.Chain.axis chain "k"))
-              ~h:(small (Mcf_ir.Chain.axis chain "h"))
-              ()
-          | _ ->
-            Mcf_ir.Chain.attention
-              ~m:(small (Mcf_ir.Chain.axis chain "m"))
-              ~n:(small (Mcf_ir.Chain.axis chain "n"))
-              ~k:(small (Mcf_ir.Chain.axis chain "k"))
-              ~h:(small (Mcf_ir.Chain.axis chain "h"))
-              ()
-        in
-        match Mcf_search.Tuner.tune spec chain with
-        | Error Mcf_search.Tuner.No_viable_candidate ->
-          Error (`Msg "no viable candidate")
-        | Ok o ->
-          let rng = Mcf_util.Rng.create 7 in
-          let inputs =
-            List.map
-              (fun (ts : Mcf_ir.Chain.tensor_spec) ->
-                let shape =
-                  Array.of_list
-                    (List.map (fun (a : Mcf_ir.Axis.t) -> a.size) ts.taxes)
-                in
-                (ts.tname, Mcf_tensor.Tensor.random rng shape))
-              (Mcf_ir.Chain.input_tensors chain)
-          in
-          let got = Mcf_interp.Interp.run o.best.lowered.program ~inputs in
-          let want = Mcf_interp.Interp.reference chain ~inputs in
-          let diff = Mcf_tensor.Tensor.max_abs_diff got want in
-          Printf.printf
-            "schedule %s\nmax |fused - reference| = %.3g  ->  %s\n"
-            (Mcf_ir.Candidate.to_string o.best.cand)
-            diff
-            (if Mcf_tensor.Tensor.approx_equal ~tol:1e-3 got want then
-               "PASS"
-             else "FAIL");
-          Ok ())
+  let run verbose obs device workload =
+    setup_logs verbose;
+    with_obs obs (fun () ->
+        with_setup device workload (fun spec chain ->
+            (* Scale the chain down so the reference interpreter stays fast,
+               keeping the structure (same axes, same epilogues). *)
+            let small (a : Mcf_ir.Axis.t) = min a.size 96 in
+            let chain =
+              match chain.Mcf_ir.Chain.blocks with
+              | [ _; b2 ]
+                when b2.Mcf_ir.Chain.epilogue = Mcf_ir.Chain.No_epilogue ->
+                Mcf_ir.Chain.gemm_chain
+                  ~m:(small (Mcf_ir.Chain.axis chain "m"))
+                  ~n:(small (Mcf_ir.Chain.axis chain "n"))
+                  ~k:(small (Mcf_ir.Chain.axis chain "k"))
+                  ~h:(small (Mcf_ir.Chain.axis chain "h"))
+                  ()
+              | _ ->
+                Mcf_ir.Chain.attention
+                  ~m:(small (Mcf_ir.Chain.axis chain "m"))
+                  ~n:(small (Mcf_ir.Chain.axis chain "n"))
+                  ~k:(small (Mcf_ir.Chain.axis chain "k"))
+                  ~h:(small (Mcf_ir.Chain.axis chain "h"))
+                  ()
+            in
+            match Mcf_search.Tuner.tune spec chain with
+            | Error Mcf_search.Tuner.No_viable_candidate ->
+              Error (`Msg "no viable candidate")
+            | Ok o ->
+              let rng = Mcf_util.Rng.create 7 in
+              let inputs =
+                List.map
+                  (fun (ts : Mcf_ir.Chain.tensor_spec) ->
+                    let shape =
+                      Array.of_list
+                        (List.map (fun (a : Mcf_ir.Axis.t) -> a.size) ts.taxes)
+                    in
+                    (ts.tname, Mcf_tensor.Tensor.random rng shape))
+                  (Mcf_ir.Chain.input_tensors chain)
+              in
+              let got = Mcf_interp.Interp.run o.best.lowered.program ~inputs in
+              let want = Mcf_interp.Interp.reference chain ~inputs in
+              let diff = Mcf_tensor.Tensor.max_abs_diff got want in
+              Printf.printf
+                "schedule %s\nmax |fused - reference| = %.3g  ->  %s\n"
+                (Mcf_ir.Candidate.to_string o.best.cand)
+                diff
+                (if Mcf_tensor.Tensor.approx_equal ~tol:1e-3 got want then
+                   "PASS"
+                 else "FAIL");
+              Ok ()))
   in
-  let term = Term.(term_result (const run $ device_arg $ workload_arg)) in
+  let term =
+    Term.(term_result (const run $ verbose_arg $ obs_term $ device_arg
+                       $ workload_arg))
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Numerically verify a tuned schedule on a scaled-down instance")

@@ -1,3 +1,10 @@
+let log_src = Logs.Src.create "mcfuser.codegen" ~doc:"MCFuser code generation"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let c_compiles = Mcf_obs.Metrics.counter "codegen.compiles"
+let c_rejected = Mcf_obs.Metrics.counter "codegen.rejected"
+
 type error =
   | Invalid_schedule of Mcf_ir.Program.invalid
   | Launch_impossible of { smem : int; limit : int }
@@ -8,13 +15,19 @@ let string_of_error = function
     Printf.sprintf "kernel needs %d B shared memory, device block limit is %d B"
       smem limit
 
+let reject e =
+  Mcf_obs.Metrics.incr c_rejected;
+  Log.debug (fun m -> m "candidate rejected: %s" (string_of_error e));
+  Error e
+
 let compile (spec : Mcf_gpu.Spec.t) (l : Mcf_ir.Lower.t) =
+  Mcf_obs.Metrics.incr c_compiles;
   match l.validity with
-  | Error i -> Error (Invalid_schedule i)
+  | Error i -> reject (Invalid_schedule i)
   | Ok () ->
     let smem = Alloc.actual_bytes spec l in
     if smem > spec.smem_per_block then
-      Error (Launch_impossible { smem; limit = spec.smem_per_block })
+      reject (Launch_impossible { smem; limit = spec.smem_per_block })
     else Ok (Mcf_ir.Lower.to_kernel l ~smem_bytes:smem)
 
 let compile_candidate ?rule1 ?dead_loop_elim ?hoisting spec chain cand =

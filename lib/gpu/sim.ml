@@ -1,3 +1,11 @@
+let log_src = Logs.Src.create "mcfuser.sim" ~doc:"MCFuser GPU simulator"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let c_runs = Mcf_obs.Metrics.counter "sim.runs"
+let c_errors = Mcf_obs.Metrics.counter "sim.errors"
+let h_time_s = Mcf_obs.Metrics.histogram "sim.time_s"
+
 type bound_by = Memory | Compute | Overhead
 
 type verdict = {
@@ -86,10 +94,17 @@ let noise_factor spec (k : Kernel.t) =
   in
   1.0 +. (0.06 *. (Mcf_util.Hashing.to_unit_float h -. 0.5))
 
+let reject e k =
+  Mcf_obs.Metrics.incr c_errors;
+  Log.debug (fun m ->
+      m "%s does not launch: %s" k.Kernel.kname (string_of_error e));
+  Error e
+
 let run ?(noise = true) (spec : Spec.t) (k : Kernel.t) =
-  if k.blocks <= 0 then Error Empty_grid
+  Mcf_obs.Metrics.incr c_runs;
+  if k.blocks <= 0 then reject Empty_grid k
   else if k.smem_bytes > spec.smem_per_block then
-    Error (Smem_overflow { used = k.smem_bytes; limit = spec.smem_per_block })
+    reject (Smem_overflow { used = k.smem_bytes; limit = spec.smem_per_block }) k
   else begin
     let occ = occupancy spec k in
     let in_flight = min k.blocks (occ * spec.sm_count) in
@@ -151,6 +166,7 @@ let run ?(noise = true) (spec : Spec.t) (k : Kernel.t) =
     let overhead_s = spec.launch_overhead_s +. iter_over in
     let raw = spec.launch_overhead_s +. body_s in
     let time_s = if noise then raw *. noise_factor spec k else raw in
+    Mcf_obs.Metrics.observe h_time_s time_s;
     let bound =
       if mem_s >= comp_s && mem_s >= overhead_s then Memory
       else if comp_s >= overhead_s then Compute

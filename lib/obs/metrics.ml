@@ -1,0 +1,227 @@
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
+
+(* Buckets hold exponents [emin, emax]; index 0 is the underflow bucket
+   (v <= 0), the last index catches overflow (v > 2^emax, incl. inf). *)
+let emin = -40
+let emax = 40
+let n_buckets = emax - emin + 3
+
+type histogram = {
+  hlock : Mutex.t;
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let lock = Mutex.create ()
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let register name make select =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+        match select m with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Mcf_obs.Metrics: %S already registered as another kind" name))
+      | None ->
+        let m, v = make () in
+        Hashtbl.add registry name m;
+        v)
+
+let counter name =
+  register name
+    (fun () ->
+      let c = Atomic.make 0 in
+      (Counter c, c))
+    (function Counter c -> Some c | Gauge _ | Histogram _ -> None)
+
+let incr c = Atomic.incr c
+let add c n = ignore (Atomic.fetch_and_add c n)
+let value c = Atomic.get c
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = Atomic.make 0.0 in
+      (Gauge g, g))
+    (function Gauge g -> Some g | Counter _ | Histogram _ -> None)
+
+let set g v = Atomic.set g v
+let gauge_value g = Atomic.get g
+
+let histogram name =
+  register name
+    (fun () ->
+      let h =
+        { hlock = Mutex.create ();
+          counts = Array.make n_buckets 0;
+          count = 0;
+          sum = 0.0;
+          min = infinity;
+          max = neg_infinity }
+      in
+      (Histogram h, h))
+    (function Histogram h -> Some h | Counter _ | Gauge _ -> None)
+
+(* Bucket of [v]: upper bound 2^e with 2^(e-1) < v <= 2^e, so exact powers
+   of two sit at the top of their own bucket. *)
+let bucket_index v =
+  if v <= 0.0 then 0
+  else if v = infinity then n_buckets - 1
+  else begin
+    let m, e = Float.frexp v in
+    let e = if m = 0.5 then e - 1 else e in
+    if e < emin then 1
+    else if e > emax then n_buckets - 1
+    else e - emin + 1
+  end
+
+let observe h v =
+  if not (Float.is_nan v) then begin
+    Mutex.lock h.hlock;
+    h.counts.(bucket_index v) <- h.counts.(bucket_index v) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min then h.min <- v;
+    if v > h.max then h.max <- v;
+    Mutex.unlock h.hlock
+  end
+
+type hist_summary = {
+  hcount : int;
+  hsum : float;
+  hmin : float;
+  hmax : float;
+  hbuckets : (float * int) list;
+}
+
+let bucket_bound i =
+  if i = 0 then 0.0
+  else if i = n_buckets - 1 then infinity
+  else Float.ldexp 1.0 (i - 1 + emin)
+
+let summary h =
+  Mutex.lock h.hlock;
+  let r =
+    { hcount = h.count;
+      hsum = h.sum;
+      hmin = h.min;
+      hmax = h.max;
+      hbuckets =
+        Array.to_list h.counts
+        |> List.mapi (fun i c -> (bucket_bound i, c))
+        |> List.filter (fun (_, c) -> c > 0) }
+  in
+  Mutex.unlock h.hlock;
+  r
+
+let counter_value name =
+  match with_lock (fun () -> Hashtbl.find_opt registry name) with
+  | Some (Counter c) -> Atomic.get c
+  | Some (Gauge _ | Histogram _) | None -> 0
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Atomic.set c 0
+          | Gauge g -> Atomic.set g 0.0
+          | Histogram h ->
+            Mutex.lock h.hlock;
+            Array.fill h.counts 0 n_buckets 0;
+            h.count <- 0;
+            h.sum <- 0.0;
+            h.min <- infinity;
+            h.max <- neg_infinity;
+            Mutex.unlock h.hlock)
+        registry)
+
+let sorted_metrics () =
+  with_lock (fun () -> Hashtbl.fold (fun k m acc -> (k, m) :: acc) registry [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let to_json () =
+  let open Mcf_util.Json in
+  let counters, gauges, histograms =
+    List.fold_left
+      (fun (cs, gs, hs) (name, m) ->
+        match m with
+        | Counter c -> ((name, num_of_int (Atomic.get c)) :: cs, gs, hs)
+        | Gauge g -> (cs, (name, Num (Atomic.get g)) :: gs, hs)
+        | Histogram h ->
+          let s = summary h in
+          let j =
+            Obj
+              [ ("count", num_of_int s.hcount);
+                ("sum", Num s.hsum);
+                ("min", Num (if s.hcount = 0 then 0.0 else s.hmin));
+                ("max", Num (if s.hcount = 0 then 0.0 else s.hmax));
+                ("buckets",
+                 List
+                   (List.map
+                      (fun (bound, c) ->
+                        Obj [ ("le", Num bound); ("count", num_of_int c) ])
+                      s.hbuckets)) ]
+          in
+          (cs, gs, (name, j) :: hs))
+      ([], [], [])
+      (* fold reverses; the registry dump is sorted ascending, so fold from
+         the sorted list and re-reverse each group *)
+      (sorted_metrics ())
+  in
+  Obj
+    [ ("counters", Obj (List.rev counters));
+      ("gauges", Obj (List.rev gauges));
+      ("histograms", Obj (List.rev histograms)) ]
+
+let render_table () =
+  let tbl = Mcf_util.Table.create ~headers:[ "metric"; "value" ] in
+  let fmt_bound name b =
+    if b = infinity then "inf"
+    else if Filename.check_suffix name "_s" then Mcf_util.Table.fmt_time_s b
+    else Printf.sprintf "%g" b
+  in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c ->
+        let v = Atomic.get c in
+        if v <> 0 then Mcf_util.Table.add_row tbl [ name; string_of_int v ]
+      | Gauge g ->
+        let v = Atomic.get g in
+        if v <> 0.0 then
+          Mcf_util.Table.add_row tbl [ name; Printf.sprintf "%.6g" v ]
+      | Histogram h ->
+        let s = summary h in
+        if s.hcount > 0 then begin
+          Mcf_util.Table.add_row tbl
+            [ name;
+              Printf.sprintf "n=%d mean=%s [%s, %s]" s.hcount
+                (fmt_bound name (s.hsum /. float_of_int s.hcount))
+                (fmt_bound name s.hmin) (fmt_bound name s.hmax) ];
+          List.iter
+            (fun (bound, c) ->
+              Mcf_util.Table.add_row tbl
+                [ Printf.sprintf "  <= %s" (fmt_bound name bound);
+                  string_of_int c ])
+            s.hbuckets
+        end)
+    (sorted_metrics ());
+  Mcf_util.Table.render tbl

@@ -1,0 +1,59 @@
+(** Process-wide metrics registry: counters, gauges, log-scale histograms.
+
+    Metrics are always on — a counter bump is one atomic add, cheap enough
+    for every hot path in the tuner — and strictly observational: nothing
+    in the search ever reads them back, so enabling/disabling observability
+    cannot perturb tuning results.  All operations are thread/domain-safe;
+    counter totals are deterministic under {!Mcf_util.Parallel.map}.
+
+    Naming convention: [<subsystem>.<what>] with subsystems matching the
+    per-library log sources — [space.*], [explore.*], [sim.*], [cache.*],
+    [codegen.*], [tuner.*]. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Register (or fetch) a counter by name.  Raises [Invalid_argument] if
+    the name is already registered as a different metric kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : string -> histogram
+(** Log-scale histogram: one bucket per power of two.  An observation [v]
+    lands in the bucket with upper bound [2^e] such that
+    [2^(e-1) < v <= 2^e]; non-positive values land in an underflow
+    bucket, [infinity] in an overflow bucket, NaN is dropped. *)
+
+val observe : histogram -> float -> unit
+
+type hist_summary = {
+  hcount : int;
+  hsum : float;
+  hmin : float;  (** [infinity] when empty. *)
+  hmax : float;  (** [neg_infinity] when empty. *)
+  hbuckets : (float * int) list;
+      (** Non-empty buckets as (upper bound, count), ascending; the
+          underflow bucket reports bound [0.], overflow [infinity]. *)
+}
+
+val summary : histogram -> hist_summary
+
+val counter_value : string -> int
+(** By name; [0] when the counter was never registered. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations survive). *)
+
+val to_json : unit -> Mcf_util.Json.t
+(** Deterministic snapshot: metrics sorted by name, grouped by kind. *)
+
+val render_table : unit -> string
+(** Pretty dump of all non-zero metrics via {!Mcf_util.Table}. *)

@@ -1,0 +1,75 @@
+type entry = {
+  path : string list;
+  count : int;
+  total_s : float;
+}
+
+let on = Atomic.make false
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+let enabled () = Atomic.get on
+
+type cell = {
+  cpath : string list;
+  mutable ccount : int;
+  mutable ctotal_s : float;
+}
+
+let lock = Mutex.create ()
+let table : (string, cell) Hashtbl.t = Hashtbl.create 32
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let reset () = with_lock (fun () -> Hashtbl.reset table)
+
+let record ~path dur_s =
+  let key = String.concat "/" path in
+  with_lock (fun () ->
+      let cell =
+        match Hashtbl.find_opt table key with
+        | Some c -> c
+        | None ->
+          let c = { cpath = path; ccount = 0; ctotal_s = 0.0 } in
+          Hashtbl.add table key c;
+          c
+      in
+      cell.ccount <- cell.ccount + 1;
+      cell.ctotal_s <- cell.ctotal_s +. dur_s)
+
+let entries () =
+  let cells = with_lock (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) table []) in
+  cells
+  |> List.map (fun c -> { path = c.cpath; count = c.ccount; total_s = c.ctotal_s })
+  |> List.sort (fun a b -> compare a.path b.path)
+
+let render () =
+  let es = entries () in
+  let tbl = Mcf_util.Table.create ~headers:[ "phase"; "calls"; "total"; "self" ] in
+  let child_total (e : entry) =
+    Mcf_util.Listx.sum_by
+      (fun (c : entry) ->
+        (* immediate children only: parent path plus one component *)
+        if
+          List.length c.path = List.length e.path + 1
+          && Mcf_util.Listx.take (List.length e.path) c.path = e.path
+        then c.total_s
+        else 0.0)
+      es
+  in
+  List.iter
+    (fun e ->
+      let depth = List.length e.path - 1 in
+      let name =
+        String.make (2 * depth) ' '
+        ^ (match List.rev e.path with last :: _ -> last | [] -> "")
+      in
+      let self = e.total_s -. child_total e in
+      Mcf_util.Table.add_row tbl
+        [ name;
+          string_of_int e.count;
+          Mcf_util.Table.fmt_time_s e.total_s;
+          Mcf_util.Table.fmt_time_s self ])
+    es;
+  Mcf_util.Table.render tbl

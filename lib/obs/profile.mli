@@ -1,0 +1,30 @@
+(** Per-phase wall-clock aggregation.
+
+    When enabled (the CLI's [--profile] flag), every {!Trace.with_span}
+    and {!Trace.timed} call folds its duration into a table keyed by the
+    span's full path ([tuner.tune/tuner.explore/...]), regardless of
+    whether trace recording is on.  The result is a cheap always-additive
+    phase breakdown that shares its measurement source with the trace
+    file, so the two can never disagree. *)
+
+type entry = {
+  path : string list;  (** Root-first span ancestry, self included. *)
+  count : int;
+  total_s : float;  (** Wall-clock, children included. *)
+}
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all accumulated phases (the enable flag is untouched). *)
+
+val record : path:string list -> float -> unit
+(** Fold one completed span into the table.  Thread/domain-safe. *)
+
+val entries : unit -> entry list
+(** Sorted by path, so a parent precedes its children. *)
+
+val render : unit -> string
+(** Pretty table (phase tree, calls, total, self) via {!Mcf_util.Table}. *)

@@ -1,0 +1,185 @@
+type arg =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type event = {
+  name : string;
+  path : string list;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  args : (string * arg) list;
+}
+
+let recording = Atomic.make false
+let t0 = Atomic.make 0.0
+let lock = Mutex.create ()
+
+(* Spans keep a start-order sequence number so that [events] stays in
+   start order even when consecutive spans land on the same microsecond
+   timestamp. *)
+let seq = Atomic.make 0
+
+let buffer : (int * event) list ref = ref []
+
+(* Innermost-first stack of enclosing span names, one per domain. *)
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let now () = Unix.gettimeofday ()
+
+let enabled () = Atomic.get recording
+
+let active () = enabled () || Profile.enabled ()
+
+let reset () =
+  Mutex.lock lock;
+  buffer := [];
+  Mutex.unlock lock
+
+let start () =
+  reset ();
+  Atomic.set t0 (now ());
+  Atomic.set recording true
+
+let stop () = Atomic.set recording false
+
+let events () =
+  Mutex.lock lock;
+  let es = !buffer in
+  Mutex.unlock lock;
+  List.sort
+    (fun (sa, a) (sb, b) ->
+      match Float.compare a.ts_us b.ts_us with
+      | 0 -> Int.compare sa sb
+      | c -> c)
+    es
+  |> List.map snd
+
+let no_args () = []
+
+(* The full span machinery; only reached when [active ()]. *)
+let record_span args name f =
+  let stack = Domain.DLS.get stack_key in
+  let path = List.rev (name :: !stack) in
+  stack := name :: !stack;
+  let my_seq = Atomic.fetch_and_add seq 1 in
+  let begin_s = now () in
+  let finish () =
+    let dur_s = now () -. begin_s in
+    stack := List.tl !stack;
+    if Profile.enabled () then Profile.record ~path dur_s;
+    if Atomic.get recording then begin
+      let ev =
+        { name;
+          path;
+          ts_us = (begin_s -. Atomic.get t0) *. 1e6;
+          dur_us = dur_s *. 1e6;
+          tid = (Domain.self () :> int);
+          args = args () }
+      in
+      Mutex.lock lock;
+      buffer := (my_seq, ev) :: !buffer;
+      Mutex.unlock lock
+    end;
+    dur_s
+  in
+  let dur = ref 0.0 in
+  let r = Fun.protect ~finally:(fun () -> dur := finish ()) f in
+  (r, !dur)
+
+let with_span ?(args = no_args) name f =
+  if not (active ()) then f () else fst (record_span args name f)
+
+let timed ?(args = no_args) name f =
+  if not (active ()) then begin
+    let begin_s = now () in
+    let r = f () in
+    (r, now () -. begin_s)
+  end
+  else record_span args name f
+
+let observe_timed hist f =
+  if not (active ()) then f ()
+  else begin
+    let begin_s = now () in
+    let r = f () in
+    Metrics.observe hist (now () -. begin_s);
+    r
+  end
+
+(* --- export ---------------------------------------------------------------- *)
+
+let json_of_arg = function
+  | Str s -> Mcf_util.Json.Str s
+  | Int i -> Mcf_util.Json.num_of_int i
+  | Float v -> Mcf_util.Json.Num v
+  | Bool b -> Mcf_util.Json.Bool b
+
+let to_chrome_json () =
+  let open Mcf_util.Json in
+  let event_json e =
+    let base =
+      [ ("name", Str e.name);
+        ("cat", Str "mcfuser");
+        ("ph", Str "X");
+        ("ts", Num e.ts_us);
+        ("dur", Num e.dur_us);
+        ("pid", num_of_int 1);
+        ("tid", num_of_int e.tid) ]
+    in
+    let args =
+      match e.args with
+      | [] -> []
+      | kvs -> [ ("args", Obj (List.map (fun (k, v) -> (k, json_of_arg v)) kvs)) ]
+    in
+    Obj (base @ args)
+  in
+  Obj
+    [ ("traceEvents", List (List.map event_json (events ())));
+      ("displayTimeUnit", Str "ms") ]
+
+let flame () =
+  let es = events () in
+  let table : (string, string list * int ref * float ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun e ->
+      let key = String.concat "/" e.path in
+      match Hashtbl.find_opt table key with
+      | Some (_, count, total) ->
+        Stdlib.incr count;
+        total := !total +. e.dur_us
+      | None -> Hashtbl.add table key (e.path, ref 1, ref e.dur_us))
+    es;
+  let rows =
+    Hashtbl.fold (fun _ (path, c, t) acc -> (path, !c, !t) :: acc) table []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let child_total path =
+    Mcf_util.Listx.sum_by
+      (fun (p, _, t) ->
+        if
+          List.length p = List.length path + 1
+          && Mcf_util.Listx.take (List.length path) p = path
+        then t
+        else 0.0)
+      rows
+  in
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (path, count, total_us) ->
+      let depth = List.length path - 1 in
+      let name = match List.rev path with last :: _ -> last | [] -> "" in
+      let self_us = total_us -. child_total path in
+      Buffer.add_string buf
+        (Printf.sprintf "%-48s %7d calls  total %10s  self %10s\n"
+           (String.make (2 * depth) ' ' ^ name)
+           count
+           (Mcf_util.Table.fmt_time_s (total_us *. 1e-6))
+           (Mcf_util.Table.fmt_time_s (self_us *. 1e-6))))
+    rows;
+  Buffer.contents buf

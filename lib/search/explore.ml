@@ -1,6 +1,14 @@
 let log_src = Logs.Src.create "mcfuser.search" ~doc:"MCFuser exploration"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+module Trace = Mcf_obs.Trace
+
+let c_runs = Mcf_obs.Metrics.counter "explore.runs"
+let c_generations = Mcf_obs.Metrics.counter "explore.generations"
+let c_estimated = Mcf_obs.Metrics.counter "explore.estimated"
+let c_measured = Mcf_obs.Metrics.counter "explore.measured"
+let h_estimate_s = Mcf_obs.Metrics.histogram "explore.estimate_s"
+let h_measure_s = Mcf_obs.Metrics.histogram "explore.measure_s"
 
 type params = {
   population : int;
@@ -55,6 +63,7 @@ let run ?(params = default_params) ?(estimator = default_estimator) ~rng ~clock
   match entries with
   | [] -> None
   | _ ->
+    Mcf_obs.Metrics.incr c_runs;
     let pool = Array.of_list entries in
     let estimates = Hashtbl.create 256 in
     let n_estimated = ref 0 in
@@ -64,7 +73,8 @@ let run ?(params = default_params) ?(estimator = default_estimator) ~rng ~clock
       | Some v -> v
       | None ->
         incr n_estimated;
-        let v = estimator spec e in
+        Mcf_obs.Metrics.incr c_estimated;
+        let v = Trace.observe_timed h_estimate_s (fun () -> estimator spec e) in
         Hashtbl.add estimates key v;
         v
     in
@@ -74,9 +84,11 @@ let run ?(params = default_params) ?(estimator = default_estimator) ~rng ~clock
       match Hashtbl.find_opt measured key with
       | Some r -> r
       | None ->
+        Mcf_obs.Metrics.incr c_measured;
         let r =
-          measure ~clock ~compile_cost_s:params.compile_cost_s
-            ~repeats:params.measure_repeats spec e
+          Trace.observe_timed h_measure_s (fun () ->
+              measure ~clock ~compile_cost_s:params.compile_cost_s
+                ~repeats:params.measure_repeats spec e)
         in
         Hashtbl.add measured key r;
         r
@@ -152,6 +164,10 @@ let run ?(params = default_params) ?(estimator = default_estimator) ~rng ~clock
     let converged = ref false in
     while (not !converged) && !generations < params.max_generations do
       incr generations;
+      Mcf_obs.Metrics.incr c_generations;
+      Trace.with_span "explore.generation"
+        ~args:(fun () -> [ ("gen", Trace.Int !generations) ])
+      @@ fun () ->
       let scored =
         Array.map (fun e -> (e, estimate e)) !population
       in

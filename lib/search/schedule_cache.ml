@@ -1,5 +1,12 @@
 open Mcf_ir
 
+let log_src = Logs.Src.create "mcfuser.cache" ~doc:"MCFuser schedule cache"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let c_hits = Mcf_obs.Metrics.counter "cache.hits"
+let c_misses = Mcf_obs.Metrics.counter "cache.misses"
+
 type entry = {
   echain : string;
   edevice : string;
@@ -156,10 +163,20 @@ let load ~chains path =
   end
 
 let tune_with_cache ~cache_file (spec : Mcf_gpu.Spec.t) chain =
-  let cache = load ~chains:[ chain ] cache_file in
+  let module Trace = Mcf_obs.Trace in
+  let cache =
+    Trace.with_span "cache.load" (fun () -> load ~chains:[ chain ] cache_file)
+  in
   match lookup cache ~chain ~device:spec.name with
-  | Some entry -> Ok (None, entry)
+  | Some entry ->
+    Mcf_obs.Metrics.incr c_hits;
+    Log.info (fun m ->
+        m "hit: %s on %s -> %s" entry.echain entry.edevice
+          (serialize_candidate entry.ecand));
+    Ok (None, entry)
   | None -> (
+    Mcf_obs.Metrics.incr c_misses;
+    Log.info (fun m -> m "miss: %s on %s, tuning" chain.Chain.cname spec.name);
     match Tuner.tune spec chain with
     | Error e -> Error e
     | Ok outcome ->
@@ -169,5 +186,6 @@ let tune_with_cache ~cache_file (spec : Mcf_gpu.Spec.t) chain =
           ecand = outcome.best.cand;
           etime_s = outcome.kernel_time_s }
       in
-      save (add cache entry) cache_file;
+      Trace.with_span "cache.save" (fun () ->
+          save (add cache entry) cache_file);
       Ok (Some outcome, entry))

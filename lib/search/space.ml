@@ -1,5 +1,18 @@
 open Mcf_ir
 
+let log_src = Logs.Src.create "mcfuser.space" ~doc:"MCFuser search-space construction"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let c_enumerations = Mcf_obs.Metrics.counter "space.enumerations"
+let c_tilings_raw = Mcf_obs.Metrics.counter "space.tilings_raw"
+let c_candidates_lowered = Mcf_obs.Metrics.counter "space.candidates_lowered"
+let c_pruned_rule1 = Mcf_obs.Metrics.counter "space.pruned_rule1"
+let c_pruned_rule2 = Mcf_obs.Metrics.counter "space.pruned_rule2"
+let c_pruned_rule4 = Mcf_obs.Metrics.counter "space.pruned_rule4"
+let c_pruned_invalid = Mcf_obs.Metrics.counter "space.pruned_invalid"
+let c_candidates_valid = Mcf_obs.Metrics.counter "space.candidates_valid"
+
 type options = {
   rule1 : bool;
   rule2 : bool;
@@ -112,55 +125,92 @@ let raw_cardinality (chain : Chain.t) =
   float_of_int tiling_count *. tile_count
 
 let enumerate ?(options = default_options) (spec : Mcf_gpu.Spec.t) chain =
-  let opts = options in
-  let raw_ts = all_tilings opts chain in
-  let ts1 = if opts.rule1 then apply_rule1 chain raw_ts else raw_ts in
-  let ts2 = if opts.rule2 then apply_rule2 chain ts1 else ts1 in
-  let choices = tile_choices opts chain in
-  let combos = Mcf_util.Listx.cartesian (List.map snd choices) in
-  let names = List.map fst choices in
-  let candidates_rule3 =
-    float_of_int (List.length ts2) *. float_of_int (List.length combos)
-  in
-  (* Lowering every surviving (expression, tile-vector) point is the
-     enumeration hot path; it is a pure per-candidate map and runs on all
-     domains (order-preserving, so the space is deterministic). *)
-  let points =
-    List.concat_map (fun tiling -> List.map (fun c -> (tiling, c)) combos) ts2
-  in
-  let evaluated =
-    Mcf_util.Parallel.map
-      (fun (tiling, combo) ->
-        let cand = Candidate.make tiling (List.combine names combo) in
-        let lowered =
-          Lower.lower ~rule1:opts.rule1 ~dead_loop_elim:opts.dead_loop_elim
-            ~hoisting:opts.hoisting ~elem_bytes:spec.elem_bytes chain cand
-        in
-        let rule4_ok =
-          (not opts.rule4)
-          || Mcf_model.Shmem.within_budget spec ~slack:opts.shmem_slack lowered
-        in
-        if not rule4_ok then `Pruned_rule4
-        else if Result.is_error lowered.validity then `Invalid
-        else `Entry { cand; lowered })
-      points
-  in
-  let survivors =
-    List.filter_map
-      (function `Entry e -> Some e | `Pruned_rule4 | `Invalid -> None)
-      evaluated
-  in
-  let n_rule4 =
-    List.length
-      (List.filter (function `Pruned_rule4 -> false | _ -> true) evaluated)
-  in
-  let funnel =
-    { tilings_raw = List.length raw_ts;
-      tilings_rule1 = List.length ts1;
-      tilings_rule2 = List.length ts2;
-      candidates_raw = raw_cardinality chain;
-      candidates_rule3;
-      candidates_rule4 = n_rule4;
-      candidates_valid = List.length survivors }
-  in
-  (survivors, funnel)
+  let module Trace = Mcf_obs.Trace in
+  Trace.with_span "space.enumerate"
+    ~args:(fun () -> [ ("chain", Trace.Str chain.Chain.cname) ])
+    (fun () ->
+      let opts = options in
+      Mcf_obs.Metrics.incr c_enumerations;
+      let raw_ts = Trace.with_span "space.tilings" (fun () -> all_tilings opts chain) in
+      let ts1 =
+        if opts.rule1 then
+          Trace.with_span "space.rule1" (fun () -> apply_rule1 chain raw_ts)
+        else raw_ts
+      in
+      let ts2 =
+        if opts.rule2 then
+          Trace.with_span "space.rule2" (fun () -> apply_rule2 chain ts1)
+        else ts1
+      in
+      let choices =
+        Trace.with_span "space.rule3" (fun () -> tile_choices opts chain)
+      in
+      let combos = Mcf_util.Listx.cartesian (List.map snd choices) in
+      let names = List.map fst choices in
+      let candidates_rule3 =
+        float_of_int (List.length ts2) *. float_of_int (List.length combos)
+      in
+      (* Lowering every surviving (expression, tile-vector) point is the
+         enumeration hot path; it is a pure per-candidate map and runs on all
+         domains (order-preserving, so the space is deterministic). *)
+      let points =
+        List.concat_map (fun tiling -> List.map (fun c -> (tiling, c)) combos) ts2
+      in
+      let evaluated =
+        Trace.with_span "space.lower"
+          ~args:(fun () -> [ ("points", Trace.Int (List.length points)) ])
+          (fun () ->
+            Mcf_util.Parallel.map
+              (fun (tiling, combo) ->
+                let cand = Candidate.make tiling (List.combine names combo) in
+                let lowered =
+                  Lower.lower ~rule1:opts.rule1
+                    ~dead_loop_elim:opts.dead_loop_elim ~hoisting:opts.hoisting
+                    ~elem_bytes:spec.elem_bytes chain cand
+                in
+                let rule4_ok =
+                  (not opts.rule4)
+                  || Mcf_model.Shmem.within_budget spec ~slack:opts.shmem_slack
+                       lowered
+                in
+                if not rule4_ok then `Pruned_rule4
+                else if Result.is_error lowered.validity then `Invalid
+                else `Entry { cand; lowered })
+              points)
+      in
+      let survivors =
+        List.filter_map
+          (function `Entry e -> Some e | `Pruned_rule4 | `Invalid -> None)
+          evaluated
+      in
+      let n_rule4 =
+        List.length
+          (List.filter (function `Pruned_rule4 -> false | _ -> true) evaluated)
+      in
+      let funnel =
+        { tilings_raw = List.length raw_ts;
+          tilings_rule1 = List.length ts1;
+          tilings_rule2 = List.length ts2;
+          candidates_raw = raw_cardinality chain;
+          candidates_rule3;
+          candidates_rule4 = n_rule4;
+          candidates_valid = List.length survivors }
+      in
+      (* Funnel counters: how many points each pruning stage removed,
+         accumulated across enumerations. *)
+      Mcf_obs.Metrics.add c_tilings_raw funnel.tilings_raw;
+      Mcf_obs.Metrics.add c_pruned_rule1
+        (funnel.tilings_raw - funnel.tilings_rule1);
+      Mcf_obs.Metrics.add c_pruned_rule2
+        (funnel.tilings_rule1 - funnel.tilings_rule2);
+      Mcf_obs.Metrics.add c_candidates_lowered (List.length points);
+      Mcf_obs.Metrics.add c_pruned_rule4
+        (List.length points - funnel.candidates_rule4);
+      Mcf_obs.Metrics.add c_pruned_invalid
+        (funnel.candidates_rule4 - funnel.candidates_valid);
+      Mcf_obs.Metrics.add c_candidates_valid funnel.candidates_valid;
+      Log.debug (fun m ->
+          m "%s: %d tilings -> %d exprs, %d points -> %d valid candidates"
+            chain.Chain.cname funnel.tilings_raw funnel.tilings_rule2
+            (List.length points) funnel.candidates_valid);
+      (survivors, funnel))

@@ -1,3 +1,5 @@
+module Trace = Mcf_obs.Trace
+
 type outcome = {
   chain : Mcf_ir.Chain.t;
   spec : Mcf_gpu.Spec.t;
@@ -8,6 +10,7 @@ type outcome = {
   search_stats : Explore.stats;
   tuning_virtual_s : float;
   tuning_wall_s : float;
+  phases : (string * float) list;
 }
 
 type error = No_viable_candidate
@@ -20,6 +23,8 @@ let default_seed (spec : Mcf_gpu.Spec.t) (chain : Mcf_ir.Chain.t) =
 
 module Log = (val Logs.src_log Explore.log_src : Logs.LOG)
 
+let c_tunes = Mcf_obs.Metrics.counter "tuner.tunes"
+
 let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
     (chain : Mcf_ir.Chain.t) =
   let seed =
@@ -27,18 +32,36 @@ let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
   in
   let rng = Mcf_util.Rng.create seed in
   let clock = Mcf_gpu.Clock.create () in
+  Mcf_obs.Metrics.incr c_tunes;
+  (* Every phase is timed through the same [Trace.timed] call that emits
+     its span, so the breakdown below, the trace file and [tuning_wall_s]
+     share one measurement and can never disagree. *)
+  let phases = ref [] in
+  let phase name f =
+    let r, dur_s = Trace.timed name f in
+    phases := (name, dur_s) :: !phases;
+    r
+  in
   let run () =
-    let entries, funnel = Space.enumerate ?options spec chain in
+    let entries, funnel =
+      phase "tuner.enumerate" (fun () -> Space.enumerate ?options spec chain)
+    in
     Log.info (fun m ->
         m "%s on %s: %d candidates after pruning (raw %.3g)"
           chain.Mcf_ir.Chain.cname spec.name funnel.candidates_valid
           funnel.candidates_raw);
     (* Framework start-up: partitioning, space generation, IR round-trips. *)
     Mcf_gpu.Clock.charge clock 4.0;
-    match Explore.run ?params ?estimator ~rng ~clock spec entries with
+    match
+      phase "tuner.explore" (fun () ->
+          Explore.run ?params ?estimator ~rng ~clock spec entries)
+    with
     | None -> Error No_viable_candidate
     | Some { best; best_time_s; stats } -> (
-      match Mcf_codegen.Compile.compile spec best.lowered with
+      match
+        phase "tuner.codegen" (fun () ->
+            Mcf_codegen.Compile.compile spec best.lowered)
+      with
       | Error _ -> Error No_viable_candidate
       | Ok kernel ->
         Log.info (fun m ->
@@ -54,10 +77,19 @@ let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
             funnel;
             search_stats = stats;
             tuning_virtual_s = Mcf_gpu.Clock.elapsed_s clock;
-            tuning_wall_s = 0.0 })
+            tuning_wall_s = 0.0;
+            phases = [] })
   in
-  let result, wall = Mcf_gpu.Clock.with_wall_clock run in
-  Result.map (fun o -> { o with tuning_wall_s = wall }) result
+  let result, wall =
+    Trace.timed "tuner.tune"
+      ~args:(fun () ->
+        [ ("chain", Trace.Str chain.Mcf_ir.Chain.cname);
+          ("device", Trace.Str spec.name) ])
+      run
+  in
+  Result.map
+    (fun o -> { o with tuning_wall_s = wall; phases = List.rev !phases })
+    result
 
 let pseudo_code o = Mcf_ir.Program.to_string o.best.lowered.program
 

@@ -14,7 +14,15 @@ type outcome = {
   funnel : Space.funnel;
   search_stats : Explore.stats;
   tuning_virtual_s : float;  (** Compile + device-measurement accounting. *)
-  tuning_wall_s : float;  (** Real OCaml wall-clock of the tuner. *)
+  tuning_wall_s : float;
+      (** Real OCaml wall-clock of the tuner, taken from the [tuner.tune]
+          root span ({!Mcf_obs.Trace.timed}) so the trace file and every
+          report derive from one measurement. *)
+  phases : (string * float) list;
+      (** Wall-clock breakdown: the root span's direct children
+          ([tuner.enumerate], [tuner.explore], [tuner.codegen]) in
+          execution order, in seconds.  Their sum is at most
+          [tuning_wall_s]; the remainder is untimed glue. *)
 }
 
 type error =

@@ -1,0 +1,33 @@
+(** Minimal JSON tree, printer and parser.
+
+    Just enough JSON for the observability layer: the tracer serializes
+    Chrome [trace_event] files through {!to_string}, the metrics registry
+    dumps deterministic snapshots, and tests / the [--trace] self-check
+    parse the output back with {!parse}.  No dependency on external JSON
+    packages; no streaming. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** Keys are emitted in list order. *)
+
+val num_of_int : int -> t
+
+val to_string : t -> string
+(** Compact (no whitespace) rendering.  Deterministic: integral floats
+    with magnitude below 2^53 print without a decimal point, other
+    numbers as shortest round-trip decimal; strings are escaped per RFC
+    8259 ([\uXXXX] for control characters). *)
+
+val parse : string -> (t, string) result
+(** Strict recursive-descent parse of one JSON value (surrounding
+    whitespace allowed, trailing garbage rejected).  Escapes including
+    [\uXXXX] are decoded (surrogate pairs to UTF-8).  Errors carry a
+    byte offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] finds the first binding of [k]; [None] for
+    non-objects or missing keys. *)

@@ -1,0 +1,46 @@
+Profiling a tune run: --profile appends a per-phase wall-clock table and
+a metrics dump, --trace writes a Chrome trace_event file.  Timings vary
+run to run, so only the deterministic parts are pinned here.
+
+The headline output is unchanged by the flags (observability must not
+perturb the deterministic tuner):
+
+  $ mcfuser tune G1 --trace trace.json --profile > out 2> err
+  $ head -2 out
+  workload  G1 on A100
+  best      mnkh {h=32 k=32 m=16 n=256}
+
+The tune report gains a phase-breakdown line:
+
+  $ grep -o 'phases    enumerate' out
+  phases    enumerate
+
+The profile table nests every pipeline phase under the tuner root:
+
+  $ grep '# per-phase wall-clock' out
+  # per-phase wall-clock
+  $ for p in tuner.tune tuner.enumerate space.enumerate space.tilings \
+  >   space.rule1 space.rule2 space.rule3 space.lower tuner.explore \
+  >   explore.generation tuner.codegen; do
+  >   grep -q "$p" out || echo "missing $p"
+  > done
+
+The metrics dump carries the funnel and search counters (their values
+are deterministic for a fixed workload/device seed):
+
+  $ grep '# metrics' out
+  # metrics
+  $ grep -E 'space\.tilings_raw|space\.candidates_valid|explore\.measured|sim\.runs|codegen\.compiles' out | tr -s ' '
+  | codegen.compiles | 33 |
+  | explore.measured | 32 |
+  | sim.runs | 32 |
+  | space.candidates_valid | 493 |
+  | space.tilings_raw | 26 |
+
+The trace file is valid Chrome trace_event JSON (the CLI parses it back
+before writing and fails otherwise):
+
+  $ head -c 15 trace.json
+  {"traceEvents":
+  $ sed 's/([0-9]* spans)/(N spans)/' err
+  trace: wrote trace.json (N spans)

@@ -1,0 +1,429 @@
+(* Tests for the observability layer: the span tracer (nesting, Chrome
+   JSON export, exception safety, zero-cost-when-off), the metrics
+   registry (log-scale histogram bucketing, counter determinism under
+   domains), the profile aggregator, the minimal JSON codec, and the
+   end-to-end invariants that tie tuner outcomes to the counters the
+   pipeline bumps along the way. *)
+
+module Trace = Mcf_obs.Trace
+module Metrics = Mcf_obs.Metrics
+module Profile = Mcf_obs.Profile
+module Json = Mcf_util.Json
+
+let a100 = Mcf_gpu.Spec.a100
+
+(* Trace/Profile state is process-global; make each test start clean. *)
+let clean () =
+  Trace.stop ();
+  Trace.reset ();
+  Profile.disable ();
+  Profile.reset ()
+
+(* --- Json ------------------------------------------------------------------- *)
+
+let sample_json =
+  Json.Obj
+    [ ("s", Json.Str "a\"b\\c\n\t\x01");
+      ("i", Json.num_of_int (-42));
+      ("f", Json.Num 1.5);
+      ("big", Json.Num 1.0e100);
+      ("null", Json.Null);
+      ("flags", Json.List [ Json.Bool true; Json.Bool false ]);
+      ("empty_o", Json.Obj []);
+      ("empty_l", Json.List []) ]
+
+let test_json_roundtrip () =
+  match Json.parse (Json.to_string sample_json) with
+  | Ok v ->
+    Alcotest.(check string)
+      "roundtrip" (Json.to_string sample_json) (Json.to_string v)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_integral_floats () =
+  Alcotest.(check string) "integral" "3" (Json.to_string (Json.Num 3.0));
+  Alcotest.(check string) "negative" "-7" (Json.to_string (Json.Num (-7.0)));
+  Alcotest.(check string) "non-integral" "2.5" (Json.to_string (Json.Num 2.5));
+  Alcotest.(check string) "nan is null" "null"
+    (Json.to_string (Json.Num Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (Json.to_string (Json.Num Float.infinity))
+
+let test_json_parse_escapes () =
+  (match Json.parse {|"\u0041\u00e9\n"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "escapes" "A\xc3\xa9\n" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  match Json.parse {|"\ud83d\ude00"|} with
+  | Ok (Json.Str s) ->
+    Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_parse_errors () =
+  let rejects s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  List.iter rejects
+    [ "{"; "[1,]"; "{\"a\":1,}"; "1 2"; "tru"; "\"unterminated"; "";
+      "01"; "- 1"; "[1 2]"; "{\"a\" 1}"; "\"\\x\"" ]
+
+let test_json_member () =
+  Alcotest.(check (option string))
+    "present" (Some "1.5")
+    (Option.map Json.to_string (Json.member "f" sample_json));
+  Alcotest.(check bool) "absent" true (Json.member "zzz" sample_json = None);
+  Alcotest.(check bool) "non-object" true
+    (Json.member "f" (Json.List []) = None)
+
+(* --- Trace ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  clean ();
+  Trace.start ();
+  Trace.with_span "a" (fun () ->
+      Trace.with_span "b" (fun () -> ignore (Sys.opaque_identity 1)));
+  Trace.with_span "c" (fun () -> ());
+  Trace.stop ();
+  let evs = Trace.events () in
+  Alcotest.(check (list (list string)))
+    "paths in start order"
+    [ [ "a" ]; [ "a"; "b" ]; [ "c" ] ]
+    (List.map (fun (e : Trace.event) -> e.path) evs);
+  let find n = List.find (fun (e : Trace.event) -> e.name = n) evs in
+  let a = find "a" and b = find "b" and c = find "c" in
+  Alcotest.(check bool) "child starts after parent" true (b.ts_us >= a.ts_us);
+  Alcotest.(check bool) "child nested in parent" true
+    (b.ts_us +. b.dur_us <= a.ts_us +. a.dur_us +. 1e-3);
+  Alcotest.(check bool) "parent covers child" true (a.dur_us >= b.dur_us);
+  Alcotest.(check bool) "c starts after a ends" true
+    (c.ts_us >= a.ts_us +. a.dur_us -. 1e-3)
+
+let test_span_args_and_exceptions () =
+  clean ();
+  Trace.start ();
+  (try
+     Trace.with_span "boom"
+       ~args:(fun () -> [ ("k", Trace.Int 7); ("s", Trace.Str "v") ])
+       (fun () -> failwith "expected")
+   with Failure _ -> ());
+  Trace.stop ();
+  match Trace.events () with
+  | [ e ] ->
+    Alcotest.(check string) "recorded on raise" "boom" e.name;
+    Alcotest.(check bool) "args kept" true
+      (List.mem_assoc "k" e.args && List.mem_assoc "s" e.args)
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+let test_span_zero_cost_when_off () =
+  clean ();
+  let thunks_ran = ref 0 in
+  let r =
+    Trace.with_span "off"
+      ~args:(fun () ->
+        incr thunks_ran;
+        [])
+      (fun () -> 42)
+  in
+  Alcotest.(check int) "result passes through" 42 r;
+  Alcotest.(check int) "args thunk never built" 0 !thunks_ran;
+  Alcotest.(check int) "nothing buffered" 0 (List.length (Trace.events ()))
+
+let test_timed_always_measures () =
+  clean ();
+  let r, dur = Trace.timed "t" (fun () -> "x") in
+  Alcotest.(check string) "result" "x" r;
+  Alcotest.(check bool) "duration measured while disabled" true (dur >= 0.0);
+  Alcotest.(check int) "no event buffered" 0 (List.length (Trace.events ()))
+
+let test_chrome_json_export () =
+  clean ();
+  Trace.start ();
+  Trace.with_span "outer"
+    ~args:(fun () -> [ ("n", Trace.Int 3); ("ok", Trace.Bool true) ])
+    (fun () -> Trace.with_span "inner" (fun () -> ()));
+  Trace.stop ();
+  let doc = Json.to_string (Trace.to_chrome_json ()) in
+  match Json.parse doc with
+  | Error e -> Alcotest.failf "export does not parse back: %s" e
+  | Ok v -> (
+    match Json.member "traceEvents" v with
+    | Some (Json.List evs) ->
+      Alcotest.(check int) "two events" 2 (List.length evs);
+      List.iter
+        (fun ev ->
+          List.iter
+            (fun k ->
+              if Json.member k ev = None then Alcotest.failf "missing %S" k)
+            [ "name"; "cat"; "ph"; "ts"; "dur"; "pid"; "tid" ];
+          Alcotest.(check (option string))
+            "complete event" (Some "\"X\"")
+            (Option.map Json.to_string (Json.member "ph" ev)))
+        evs;
+      let outer =
+        List.find
+          (fun ev -> Json.member "name" ev = Some (Json.Str "outer"))
+          evs
+      in
+      Alcotest.(check (option string))
+        "args serialized"
+        (Some {|{"n":3,"ok":true}|})
+        (Option.map Json.to_string (Json.member "args" outer))
+    | _ -> Alcotest.fail "no traceEvents array")
+
+(* --- Metrics ---------------------------------------------------------------- *)
+
+let test_counter_basics () =
+  let c = Metrics.counter "test.counter_basics" in
+  let v0 = Metrics.value c in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "incr + add" (v0 + 5) (Metrics.value c);
+  Alcotest.(check int) "by name"
+    (Metrics.value c)
+    (Metrics.counter_value "test.counter_basics");
+  Alcotest.(check int) "unknown name is 0" 0
+    (Metrics.counter_value "test.never_registered");
+  Alcotest.(check bool) "same name, same counter" true
+    (Metrics.value (Metrics.counter "test.counter_basics") = Metrics.value c)
+
+let test_kind_mismatch_rejected () =
+  ignore (Metrics.counter "test.kind_clash");
+  Alcotest.check_raises "histogram over counter"
+    (Invalid_argument
+       "Mcf_obs.Metrics: \"test.kind_clash\" already registered as another \
+        kind")
+    (fun () -> ignore (Metrics.histogram "test.kind_clash"))
+
+let test_gauge () =
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set g 2.5;
+  Metrics.set g (-1.25);
+  Alcotest.(check (float 0.0)) "last write wins" (-1.25)
+    (Metrics.gauge_value g)
+
+let test_counter_determinism_under_domains () =
+  let c = Metrics.counter "test.parallel_counter" in
+  let v0 = Metrics.value c in
+  let n = 1000 in
+  let out =
+    Mcf_util.Parallel.map ~domains:4
+      (fun i ->
+        Metrics.incr c;
+        i * 2)
+      (List.init n Fun.id)
+  in
+  Alcotest.(check int) "all increments land" (v0 + n) (Metrics.value c);
+  Alcotest.(check (list int))
+    "map output still deterministic"
+    (List.init n (fun i -> i * 2))
+    out
+
+let test_histogram_bucketing () =
+  let h = Metrics.histogram "test.hist_buckets" in
+  (* Buckets are (2^(e-1), 2^e]: exact powers of two sit at their own
+     upper bound, values just above spill into the next bucket. *)
+  List.iter (Metrics.observe h)
+    [ 0.0; -3.0; 1.0; 2.0; 2.5; 0.75; Float.infinity; Float.nan ];
+  let s = Metrics.summary h in
+  Alcotest.(check int) "NaN dropped from count" 7 s.hcount;
+  Alcotest.(check (float 1e-9)) "min" (-3.0) s.hmin;
+  Alcotest.(check (float 0.0)) "max" Float.infinity s.hmax;
+  Alcotest.(check bool) "sum is inf (contains inf)" true
+    (s.hsum = Float.infinity);
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "bucket layout"
+    [ (0.0, 2);  (* 0.0 and -3.0: underflow *)
+      (1.0, 2);  (* 0.75 and 1.0: (0.5, 1] *)
+      (2.0, 1);  (* 2.0 exactly on its bound *)
+      (4.0, 1);  (* 2.5 *)
+      (Float.infinity, 1) ]
+    s.hbuckets
+
+let test_histogram_empty () =
+  let h = Metrics.histogram "test.hist_empty" in
+  let s = Metrics.summary h in
+  Alcotest.(check int) "count" 0 s.hcount;
+  Alcotest.(check (float 0.0)) "min" Float.infinity s.hmin;
+  Alcotest.(check (float 0.0)) "max" Float.neg_infinity s.hmax;
+  Alcotest.(check bool) "no buckets" true (s.hbuckets = [])
+
+let test_metrics_json_deterministic () =
+  let j1 = Json.to_string (Metrics.to_json ()) in
+  let j2 = Json.to_string (Metrics.to_json ()) in
+  Alcotest.(check string) "stable snapshot" j1 j2;
+  match Json.parse j1 with
+  | Ok v ->
+    Alcotest.(check bool) "has counters section" true
+      (Json.member "counters" v <> None)
+  | Error e -> Alcotest.failf "snapshot does not parse: %s" e
+
+(* --- Profile ---------------------------------------------------------------- *)
+
+let test_profile_aggregates () =
+  clean ();
+  Profile.enable ();
+  for _ = 1 to 3 do
+    Trace.with_span "p" (fun () -> Trace.with_span "q" (fun () -> ()))
+  done;
+  Profile.disable ();
+  (match Profile.entries () with
+  | [ p; q ] ->
+    Alcotest.(check (list string)) "parent first" [ "p" ] p.path;
+    Alcotest.(check (list string)) "child keyed by path" [ "p"; "q" ] q.path;
+    Alcotest.(check int) "parent count" 3 p.count;
+    Alcotest.(check int) "child count" 3 q.count;
+    Alcotest.(check bool) "parent covers child" true (p.total_s >= q.total_s)
+  | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es));
+  Alcotest.(check int) "no trace buffered while profiling" 0
+    (List.length (Trace.events ()));
+  clean ()
+
+(* --- End-to-end invariants -------------------------------------------------- *)
+
+let test_tuner_metric_invariants () =
+  clean ();
+  Metrics.reset ();
+  let chain = Mcf_ir.Chain.gemm_chain ~m:256 ~n:128 ~k:64 ~h:64 () in
+  match Mcf_search.Tuner.tune a100 chain with
+  | Error _ -> Alcotest.fail "tuner failed"
+  | Ok o ->
+    let cv = Metrics.counter_value in
+    Alcotest.(check int) "valid candidates counted"
+      o.funnel.candidates_valid
+      (cv "space.candidates_valid");
+    Alcotest.(check int) "raw tilings counted" o.funnel.tilings_raw
+      (cv "space.tilings_raw");
+    Alcotest.(check int) "estimator calls counted" o.search_stats.estimated
+      (cv "explore.estimated");
+    Alcotest.(check int) "measurements counted" o.search_stats.measured
+      (cv "explore.measured");
+    Alcotest.(check int) "one sim run per measurement"
+      o.search_stats.measured (cv "sim.runs");
+    (* one compile per measurement plus the final winning kernel *)
+    Alcotest.(check int) "compiles = measured + 1"
+      (o.search_stats.measured + 1)
+      (cv "codegen.compiles");
+    Alcotest.(check bool) "generations counted" true
+      (cv "explore.generations" > 0);
+    Alcotest.(check int) "one tune" 1 (cv "tuner.tunes");
+    Alcotest.(check bool) "phase sum within wall clock" true
+      (List.fold_left (fun acc (_, d) -> acc +. d) 0.0 o.phases
+      <= o.tuning_wall_s +. 1e-6);
+    Alcotest.(check (list string))
+      "phases in execution order"
+      [ "tuner.enumerate"; "tuner.explore"; "tuner.codegen" ]
+      (List.map fst o.phases)
+
+let test_tuner_trace_covers_pipeline () =
+  clean ();
+  Trace.start ();
+  let chain = Mcf_ir.Chain.gemm_chain ~m:256 ~n:128 ~k:64 ~h:64 () in
+  (match Mcf_search.Tuner.tune a100 chain with
+  | Error _ -> Alcotest.fail "tuner failed"
+  | Ok _ -> ());
+  Trace.stop ();
+  let names =
+    List.sort_uniq compare
+      (List.map (fun (e : Trace.event) -> e.name) (Trace.events ()))
+  in
+  List.iter
+    (fun n ->
+      if not (List.mem n names) then Alcotest.failf "span %S missing" n)
+    [ "tuner.tune"; "tuner.enumerate"; "space.enumerate"; "space.tilings";
+      "space.rule1"; "space.rule2"; "space.rule3"; "space.lower";
+      "tuner.explore"; "explore.generation"; "tuner.codegen" ];
+  (* every span nests under the root *)
+  List.iter
+    (fun (e : Trace.event) ->
+      Alcotest.(check string)
+        (e.name ^ " rooted at tuner.tune") "tuner.tune" (List.hd e.path))
+    (Trace.events ());
+  clean ()
+
+let test_cache_counters () =
+  clean ();
+  Metrics.reset ();
+  let chain = Mcf_ir.Chain.gemm_chain ~m:256 ~n:128 ~k:64 ~h:64 () in
+  let file = Filename.temp_file "mcf_obs_cache" ".tsv" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      (match Mcf_search.Schedule_cache.tune_with_cache ~cache_file:file a100
+               chain
+       with
+      | Ok (Some _, _) -> ()
+      | Ok (None, _) -> Alcotest.fail "first call must miss"
+      | Error _ -> Alcotest.fail "tuner failed");
+      match Mcf_search.Schedule_cache.tune_with_cache ~cache_file:file a100
+              chain
+      with
+      | Ok (None, _) ->
+        Alcotest.(check int) "one miss" 1 (Metrics.counter_value "cache.misses");
+        Alcotest.(check int) "one hit" 1 (Metrics.counter_value "cache.hits");
+        Alcotest.(check int) "hits + misses = lookups" 2
+          (Metrics.counter_value "cache.hits"
+          + Metrics.counter_value "cache.misses")
+      | Ok (Some _, _) -> Alcotest.fail "second call must hit"
+      | Error _ -> Alcotest.fail "tuner failed")
+
+let test_tracing_does_not_perturb_tuning () =
+  clean ();
+  let chain = Mcf_ir.Chain.gemm_chain ~m:256 ~n:128 ~k:64 ~h:64 () in
+  let run () =
+    match Mcf_search.Tuner.tune a100 chain with
+    | Ok o ->
+      (Mcf_ir.Candidate.to_string o.best.cand, o.kernel_time_s,
+       o.search_stats.measured)
+    | Error _ -> Alcotest.fail "tuner failed"
+  in
+  let plain = run () in
+  Trace.start ();
+  Profile.enable ();
+  let traced = run () in
+  clean ();
+  Alcotest.(check bool) "identical outcome with tracing on" true
+    (plain = traced)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "json",
+        [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "integral floats" `Quick
+            test_json_integral_floats;
+          Alcotest.test_case "escapes" `Quick test_json_parse_escapes;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "member" `Quick test_json_member ] );
+      ( "trace",
+        [ Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "args + exceptions" `Quick
+            test_span_args_and_exceptions;
+          Alcotest.test_case "zero-cost when off" `Quick
+            test_span_zero_cost_when_off;
+          Alcotest.test_case "timed always measures" `Quick
+            test_timed_always_measures;
+          Alcotest.test_case "chrome export" `Quick test_chrome_json_export ] );
+      ( "metrics",
+        [ Alcotest.test_case "counters" `Quick test_counter_basics;
+          Alcotest.test_case "kind mismatch" `Quick
+            test_kind_mismatch_rejected;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "parallel counters" `Quick
+            test_counter_determinism_under_domains;
+          Alcotest.test_case "histogram buckets" `Quick
+            test_histogram_bucketing;
+          Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+          Alcotest.test_case "json snapshot" `Quick
+            test_metrics_json_deterministic ] );
+      ( "profile",
+        [ Alcotest.test_case "aggregates by path" `Quick
+            test_profile_aggregates ] );
+      ( "pipeline",
+        [ Alcotest.test_case "tuner counters" `Quick
+            test_tuner_metric_invariants;
+          Alcotest.test_case "trace covers pipeline" `Quick
+            test_tuner_trace_covers_pipeline;
+          Alcotest.test_case "cache hit/miss" `Quick test_cache_counters;
+          Alcotest.test_case "no perturbation" `Quick
+            test_tracing_does_not_perturb_tuning ] ) ]
