@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples quick clean fmt trace-demo check
+.PHONY: all build test bench examples quick clean fmt trace-demo check \
+	bench-search bench-search-smoke
 
 all: build
 
@@ -21,10 +22,23 @@ trace-demo:
 	@test -s /tmp/mcfuser-trace.json
 	@echo "trace-demo: /tmp/mcfuser-trace.json ok (open in ui.perfetto.dev)"
 
-check: build fmt test trace-demo
+check: build fmt test trace-demo bench-search-smoke
 
 bench:
 	dune exec bench/main.exe
+
+# Search-throughput benchmark: enumeration points/s + tuning wall seconds
+# per workload at --jobs 1 vs N, written to BENCH_search.json.  The smoke
+# variant (1 small workload) runs under `make check` so regressions in
+# the parallel path break tier-1.
+bench-search:
+	dune exec bench/main.exe -- --mode search --out BENCH_search.json
+
+bench-search-smoke:
+	dune exec bench/main.exe -- --mode search --smoke \
+	  --out /tmp/mcfuser-bench-search-smoke.json
+	@test -s /tmp/mcfuser-bench-search-smoke.json
+	@echo "bench-search-smoke: /tmp/mcfuser-bench-search-smoke.json ok"
 
 quick:
 	dune exec bench/main.exe -- --quick --no-micro

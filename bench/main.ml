@@ -9,7 +9,11 @@
      dune exec bench/main.exe -- --quick      # reduced Ansor trial budget
      dune exec bench/main.exe -- --no-micro   # skip the Bechamel suite
      dune exec bench/main.exe -- --trace FILE # Chrome trace of the run
-     dune exec bench/main.exe -- --profile    # phase table + metrics dump *)
+     dune exec bench/main.exe -- --profile    # phase table + metrics dump
+
+   Search-throughput mode (the tuner's hot path, see `make bench-search`):
+     dune exec bench/main.exe -- --mode search --out BENCH_search.json
+     dune exec bench/main.exe -- --mode search --jobs 4 --smoke *)
 
 let hr = String.make 78 '='
 
@@ -133,6 +137,177 @@ let run_micro () =
     tests;
   print_string (Mcf_util.Table.render tbl)
 
+(* --- search-throughput benchmark (--mode search) ------------------------ *)
+
+(* Enumeration + estimation dominate real tuning wall time (codegen and
+   the simulator are virtual-clock); this mode measures exactly that hot
+   path, per workload and per pool size, and doubles as an end-to-end
+   determinism check: the tuner outcome must be bit-identical at every
+   jobs setting. *)
+
+let search_workloads ~smoke =
+  let gemm name =
+    match Mcf_workloads.Configs.find_gemm name with
+    | Some g -> (name, Mcf_workloads.Configs.gemm_chain g)
+    | None -> failwith ("unknown gemm workload " ^ name)
+  in
+  let attn name =
+    match Mcf_workloads.Configs.find_attention name with
+    | Some s -> (name, Mcf_workloads.Configs.attention s)
+    | None -> failwith ("unknown attention workload " ^ name)
+  in
+  if smoke then [ ("smoke", Mcf_ir.Chain.gemm_chain ~m:256 ~n:128 ~k:64 ~h:64 ()) ]
+  else [ gemm "G1"; gemm "G4"; gemm "G10"; attn "S9"; attn "S3" ]
+
+(* S3 (Bert-Large) is the largest attention workload of Table III. *)
+let largest_workload ~smoke = if smoke then "smoke" else "S3"
+
+let time_best ~reps f =
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    last := Some r
+  done;
+  (Option.get !last, !best)
+
+let outcome_fingerprint (o : Mcf_search.Tuner.outcome) =
+  let f = o.funnel in
+  let s = o.search_stats in
+  Printf.sprintf "%s|%.17g|%d/%d/%d/%g/%g/%d/%d|%d/%d/%d"
+    (Mcf_ir.Candidate.key o.best.cand)
+    o.kernel_time_s f.tilings_raw f.tilings_rule1 f.tilings_rule2
+    f.candidates_raw f.candidates_rule3 f.candidates_rule4 f.candidates_valid
+    s.generations s.estimated s.measured
+
+let run_search_bench ~jobs ~smoke ~out =
+  let spec = Mcf_gpu.Spec.a100 in
+  let jobs_list = List.sort_uniq compare [ 1; jobs ] in
+  let reps = if smoke then 1 else 2 in
+  let num = Mcf_util.Json.num_of_int in
+  let results =
+    List.map
+      (fun (name, chain) ->
+        Printf.printf "%s\n[search] %s\n%s\n%!" hr name hr;
+        let funnel = ref None in
+        let fingerprints = ref [] in
+        let enum_rows, tune_rows =
+          List.split
+            (List.map
+               (fun j ->
+                 Mcf_util.Pool.set_jobs j;
+                 ignore (Mcf_util.Pool.get ());
+                 let (_, f), enum_s =
+                   time_best ~reps (fun () ->
+                       Mcf_search.Space.enumerate spec chain)
+                 in
+                 funnel := Some f;
+                 let points = f.Mcf_search.Space.candidates_rule3 in
+                 let points_per_s = points /. Float.max enum_s 1e-9 in
+                 let t0 = Unix.gettimeofday () in
+                 let outcome =
+                   match Mcf_search.Tuner.tune spec chain with
+                   | Ok o -> o
+                   | Error _ -> failwith ("tuning failed for " ^ name)
+                 in
+                 let tune_s = Unix.gettimeofday () -. t0 in
+                 fingerprints := outcome_fingerprint outcome :: !fingerprints;
+                 let explore_s =
+                   match List.assoc_opt "tuner.explore" outcome.phases with
+                   | Some s -> s
+                   | None -> nan
+                 in
+                 let stats = outcome.search_stats in
+                 Printf.printf
+                   "  jobs=%d  enumerate %.3fs (%.0f points/s)  tune %.3fs  \
+                    estimates %d (%.0f/s)\n%!"
+                   j enum_s points_per_s tune_s stats.estimated
+                   (float_of_int stats.estimated /. Float.max explore_s 1e-9);
+                 ( Mcf_util.Json.Obj
+                     [ ("jobs", num j);
+                       ("wall_s", Num enum_s);
+                       ("points_per_s", Num points_per_s) ],
+                   Mcf_util.Json.Obj
+                     [ ("jobs", num j);
+                       ("wall_s", Num tune_s);
+                       ("explore_wall_s", Num explore_s);
+                       ("estimated", num stats.estimated);
+                       ("estimates_per_s",
+                        Num (float_of_int stats.estimated
+                             /. Float.max explore_s 1e-9));
+                       ("measured", num stats.measured) ] ))
+               jobs_list)
+        in
+        let f = Option.get !funnel in
+        let identical =
+          match !fingerprints with
+          | [] -> true
+          | fp :: rest -> List.for_all (String.equal fp) rest
+        in
+        if not identical then
+          Printf.eprintf
+            "WARNING: %s: tuner outcome differs across --jobs settings!\n%!"
+            name;
+        let wall_of = function
+          | Mcf_util.Json.Obj kvs -> (
+            match List.assoc_opt "wall_s" kvs with
+            | Some (Mcf_util.Json.Num v) -> v
+            | _ -> nan)
+          | _ -> nan
+        in
+        let speedup =
+          match (enum_rows, List.rev enum_rows) with
+          | first :: _, last :: _ when List.length enum_rows > 1 ->
+            wall_of first /. Float.max (wall_of last) 1e-9
+          | _ -> 1.0
+        in
+        ( name,
+          speedup,
+          Mcf_util.Json.Obj
+            [ ("name", Str name);
+              ("chain", Str chain.Mcf_ir.Chain.cname);
+              ("points", Num f.Mcf_search.Space.candidates_rule3);
+              ("lowered", num f.Mcf_search.Space.candidates_rule4);
+              ("valid", num f.Mcf_search.Space.candidates_valid);
+              ("enumerate", List enum_rows);
+              ("enumerate_speedup", Num speedup);
+              ("tune", List tune_rows);
+              ("identical_across_jobs", Bool identical) ] ))
+      (search_workloads ~smoke)
+  in
+  Mcf_obs.Poolstats.sync ();
+  let largest = largest_workload ~smoke in
+  let largest_speedup =
+    List.fold_left
+      (fun acc (name, s, _) -> if name = largest then s else acc)
+      1.0 results
+  in
+  let doc =
+    Mcf_util.Json.Obj
+      [ ("bench", Str "search");
+        ("device", Str spec.name);
+        ("smoke", Bool smoke);
+        ("jobs", List (List.map num jobs_list));
+        ("cores", num (Domain.recommended_domain_count ()));
+        ("workloads", List (List.map (fun (_, _, j) -> j) results));
+        ("largest_workload", Str largest);
+        ("largest_enumerate_speedup", Num largest_speedup) ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Mcf_util.Json.to_string doc);
+      output_char oc '\n');
+  Printf.printf "\nwrote %s (largest workload %s: %.2fx enumeration speedup \
+                 at %d jobs on %d core(s))\n"
+    out largest largest_speedup
+    (List.fold_left max 1 jobs_list)
+    (Domain.recommended_domain_count ())
+
 let write_trace path =
   Mcf_obs.Trace.stop ();
   let doc = Mcf_util.Json.to_string (Mcf_obs.Trace.to_chrome_json ()) in
@@ -156,8 +331,17 @@ let write_trace path =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse only quick micro trace profile = function
-    | [] -> (only, quick, micro, trace, profile)
+  let only = ref None in
+  let quick = ref false in
+  let micro = ref true in
+  let trace = ref None in
+  let profile = ref false in
+  let mode = ref `Experiments in
+  let out = ref "BENCH_search.json" in
+  let jobs = ref (max 4 (Mcf_util.Pool.default_jobs ())) in
+  let smoke = ref false in
+  let rec parse = function
+    | [] -> ()
     | "--list" :: _ ->
       List.iter
         (fun (e : Mcf_experiments.Registry.experiment) ->
@@ -165,30 +349,63 @@ let () =
         Mcf_experiments.Registry.all;
       exit 0
     | "--only" :: spec :: rest ->
-      parse (Some (String.split_on_char ',' spec)) quick micro trace profile rest
-    | "--quick" :: rest -> parse only true micro trace profile rest
-    | "--no-micro" :: rest -> parse only quick false trace profile rest
-    | "--trace" :: path :: rest -> parse only quick micro (Some path) profile rest
-    | "--profile" :: rest -> parse only quick micro trace true rest
+      only := Some (String.split_on_char ',' spec);
+      parse rest
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--no-micro" :: rest ->
+      micro := false;
+      parse rest
+    | "--trace" :: path :: rest ->
+      trace := Some path;
+      parse rest
+    | "--profile" :: rest ->
+      profile := true;
+      parse rest
+    | "--mode" :: "search" :: rest ->
+      mode := `Search;
+      parse rest
+    | "--mode" :: m :: _ ->
+      Printf.printf "unknown mode %S (available: search)\n" m;
+      exit 1
+    | "--out" :: path :: rest ->
+      out := path;
+      parse rest
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some v when v >= 1 ->
+        jobs := v;
+        parse rest
+      | Some _ | None ->
+        Printf.printf "bad --jobs value %S\n" n;
+        exit 1)
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
     | arg :: _ ->
       Printf.printf "unknown argument %S (try --list)\n" arg;
       exit 1
   in
-  let only, quick, micro, trace, profile =
-    parse None false true None false args
-  in
-  if quick then Mcf_baselines.Ansor.trials := 200;
-  if profile then Mcf_obs.Profile.enable ();
-  if trace <> None then Mcf_obs.Trace.start ();
-  let ids =
-    match only with Some ids -> ids | None -> Mcf_experiments.Registry.ids ()
-  in
+  parse args;
+  if !quick then Mcf_baselines.Ansor.trials := 200;
+  if !profile then Mcf_obs.Profile.enable ();
+  if !trace <> None then Mcf_obs.Trace.start ();
   let t0 = Unix.gettimeofday () in
-  run_experiments ids;
-  if micro && only = None then run_micro ();
+  (match !mode with
+  | `Search -> run_search_bench ~jobs:!jobs ~smoke:!smoke ~out:!out
+  | `Experiments ->
+    let ids =
+      match !only with
+      | Some ids -> ids
+      | None -> Mcf_experiments.Registry.ids ()
+    in
+    run_experiments ids;
+    if !micro && !only = None then run_micro ());
   Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0);
-  (match trace with Some path -> write_trace path | None -> ());
-  if profile then begin
+  (match !trace with Some path -> write_trace path | None -> ());
+  if !profile then begin
+    Mcf_obs.Poolstats.sync ();
     Printf.printf "\n# per-phase wall-clock\n";
     print_string (Mcf_obs.Profile.render ());
     Printf.printf "\n# metrics\n";

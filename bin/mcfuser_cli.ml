@@ -94,6 +94,7 @@ let setup_logs verbose =
 type obs = {
   trace : string option;
   profile : bool;
+  jobs : int option;
 }
 
 let obs_term =
@@ -111,7 +112,17 @@ let obs_term =
     in
     Arg.(value & flag & info [ "profile" ] ~doc)
   in
-  Term.(const (fun trace profile -> { trace; profile }) $ trace_arg $ profile_arg)
+  let jobs_arg =
+    let doc =
+      "Size of the worker-domain pool used for parallel enumeration and \
+       estimation (default: $(b,MCFUSER_JOBS) or the machine's core count, \
+       capped at 8).  Results are identical for any value."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  Term.(
+    const (fun trace profile jobs -> { trace; profile; jobs })
+    $ trace_arg $ profile_arg $ jobs_arg)
 
 let write_trace path =
   Mcf_obs.Trace.stop ();
@@ -137,6 +148,7 @@ let write_trace path =
       Ok ())
 
 let with_obs obs f =
+  Option.iter Mcf_util.Pool.set_jobs obs.jobs;
   if obs.profile then Mcf_obs.Profile.enable ();
   if obs.trace <> None then Mcf_obs.Trace.start ();
   let result = f () in
@@ -144,6 +156,7 @@ let with_obs obs f =
     match obs.trace with None -> Ok () | Some path -> write_trace path
   in
   if obs.profile then begin
+    Mcf_obs.Poolstats.sync ();
     Printf.printf "\n# per-phase wall-clock\n";
     print_string (Mcf_obs.Profile.render ());
     Printf.printf "\n# metrics\n";

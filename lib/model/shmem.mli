@@ -17,3 +17,30 @@ val estimate_bytes : Mcf_ir.Lower.t -> int
 val within_budget : Mcf_gpu.Spec.t -> slack:float -> Mcf_ir.Lower.t -> bool
 (** Rule 4: [estimate <= slack x Shm_max] with the paper's slack of 1.2
     absorbing estimation error. *)
+
+val footprint_of_candidate :
+  ?rule1:bool ->
+  ?dead_loop_elim:bool ->
+  elem_bytes:int ->
+  Mcf_ir.Chain.t ->
+  Mcf_ir.Candidate.t ->
+  int
+(** Closed-form eq. (1): equals
+    [estimate_bytes (Lower.lower ?rule1 ?dead_loop_elim ~elem_bytes chain
+    cand)] without building the program, by replaying only the structural
+    steps of lowering (grid split, dead-loop splicing, Compute scope
+    descent).  [rule1] and [dead_loop_elim] must match the flags later
+    passed to [Lower.lower]; hoisting does not affect the estimate.  Used
+    by [Mcf_search.Space] as a rule-4 precheck so violating points are
+    rejected before the (much costlier) lowering.  The agreement is
+    enforced property-test-style in [test/test_model.ml]. *)
+
+val precheck_within_budget :
+  Mcf_gpu.Spec.t ->
+  slack:float ->
+  ?rule1:bool ->
+  ?dead_loop_elim:bool ->
+  Mcf_ir.Chain.t ->
+  Mcf_ir.Candidate.t ->
+  bool
+(** {!within_budget} on {!footprint_of_candidate}. *)

@@ -1,0 +1,15 @@
+let g_domains = Metrics.gauge "pool.domains"
+let g_spawned = Metrics.gauge "pool.spawned"
+let g_jobs = Metrics.gauge "pool.jobs"
+let g_chunks = Metrics.gauge "pool.chunks"
+let g_steals = Metrics.gauge "pool.steals"
+let g_idle_s = Metrics.gauge "pool.idle_s"
+
+let sync () =
+  let s = Mcf_util.Pool.stats () in
+  Metrics.set g_domains (float_of_int s.Mcf_util.Pool.domains);
+  Metrics.set g_spawned (float_of_int s.spawned);
+  Metrics.set g_jobs (float_of_int s.jobs);
+  Metrics.set g_chunks (float_of_int s.chunks);
+  Metrics.set g_steals (float_of_int s.steals);
+  Metrics.set g_idle_s (float_of_int s.idle_ns *. 1e-9)

@@ -1,0 +1,11 @@
+(** Domain-pool scheduler counters as metrics gauges.
+
+    [Mcf_util.Pool] cannot push into the metrics registry (dependency
+    direction: [mcf_obs] sits on top of [mcf_util]), so the pool exposes
+    raw cumulative counters and this module pulls a snapshot into gauges
+    ([pool.domains], [pool.spawned], [pool.jobs], [pool.chunks],
+    [pool.steals], [pool.idle_s]).  Gauge writes are idempotent, so call
+    {!sync} from any metrics dump site. *)
+
+val sync : unit -> unit
+(** Copy the current {!Mcf_util.Pool.stats} snapshot into the gauges. *)

@@ -65,46 +65,54 @@ let run ?(params = default_params) ?(estimator = default_estimator) ~rng ~clock
   | _ ->
     Mcf_obs.Metrics.incr c_runs;
     let pool = Array.of_list entries in
-    let estimates = Hashtbl.create 256 in
-    let n_estimated = ref 0 in
-    let estimate (e : Space.entry) =
-      let key = Mcf_ir.Candidate.key e.cand in
-      match Hashtbl.find_opt estimates key with
-      | Some v -> v
-      | None ->
-        incr n_estimated;
-        Mcf_obs.Metrics.incr c_estimated;
-        let v = Trace.observe_timed h_estimate_s (fun () -> estimator spec e) in
-        Hashtbl.add estimates key v;
-        v
+    let n = Array.length pool in
+    (* Candidates are identified by their pool index from here on: the
+       interner assigns ids in pool order, so [intern] of [pool.(i).cand]
+       is [i], and every later hot-loop lookup (estimates, measurements,
+       sort comparators) is an array index or an int-keyed table instead
+       of a candidate-key string hash. *)
+    let interner = Mcf_ir.Candidate.Interner.create (2 * n) in
+    Array.iter
+      (fun (e : Space.entry) ->
+        ignore (Mcf_ir.Candidate.Interner.intern interner e.cand))
+      pool;
+    (* Batched estimate pass: the whole pruned space is scored once, in
+       parallel on the shared domain pool (the estimator must be pure —
+       every estimator in the tree is analytic).  The old code reached the
+       same coverage lazily through the seeding ranking, but re-ran the
+       string-keyed cache lookup inside every sort comparator. *)
+    let estimates =
+      Trace.with_span "explore.estimate"
+        ~args:(fun () -> [ ("points", Trace.Int n) ])
+        (fun () ->
+          Mcf_util.Pool.map_array (Mcf_util.Pool.get ())
+            (fun e ->
+              Trace.observe_timed h_estimate_s (fun () -> estimator spec e))
+            pool)
     in
-    let measured = Hashtbl.create 64 in
-    let measure_once (e : Space.entry) =
-      let key = Mcf_ir.Candidate.key e.cand in
-      match Hashtbl.find_opt measured key with
+    Mcf_obs.Metrics.add c_estimated n;
+    let estimate id = estimates.(id) in
+    let measured : (int, float option) Hashtbl.t = Hashtbl.create 64 in
+    let measure_once id =
+      match Hashtbl.find_opt measured id with
       | Some r -> r
       | None ->
         Mcf_obs.Metrics.incr c_measured;
         let r =
           Trace.observe_timed h_measure_s (fun () ->
               measure ~clock ~compile_cost_s:params.compile_cost_s
-                ~repeats:params.measure_repeats spec e)
+                ~repeats:params.measure_repeats spec pool.(id))
         in
-        Hashtbl.add measured key r;
+        Hashtbl.add measured id r;
         r
     in
-    (* entry lookup for mutation: same tiling, one axis's tile stepped *)
-    let by_key = Hashtbl.create (Array.length pool) in
-    Array.iter
-      (fun (e : Space.entry) ->
-        Hashtbl.replace by_key (Mcf_ir.Candidate.key e.cand) e)
-      pool;
-    let mutate (e : Space.entry) =
+    let mutate id =
+      let e : Space.entry = pool.(id) in
       let cand = e.cand in
       let axes = Array.of_list cand.Mcf_ir.Candidate.tiles in
       let tries = Array.length axes * 2 in
       let rec attempt i =
-        if i >= tries then e
+        if i >= tries then id
         else begin
           let name, tile = Mcf_util.Rng.pick rng axes in
           let axis = Mcf_ir.Chain.axis e.lowered.program.Mcf_ir.Program.chain name in
@@ -123,8 +131,8 @@ let run ?(params = default_params) ?(estimator = default_estimator) ~rng ~clock
                 cand.tiles
             in
             let cand' = Mcf_ir.Candidate.make cand.tiling tiles in
-            match Hashtbl.find_opt by_key (Mcf_ir.Candidate.key cand') with
-            | Some e' -> e'
+            match Mcf_ir.Candidate.Interner.find interner cand' with
+            | Some id' -> id'
             | None -> attempt (i + 1) (* mutation left the pruned space *)
           end
         end
@@ -142,20 +150,21 @@ let run ?(params = default_params) ?(estimator = default_estimator) ~rng ~clock
       Mcf_ir.Lower.total_traffic_bytes e.lowered
       *. ((blocks +. float_of_int spec.Mcf_gpu.Spec.sm_count) /. blocks)
     in
-    let top_by keyf =
-      let ranked = Array.copy pool in
-      Array.sort
-        (fun (a : Space.entry) (b : Space.entry) ->
-          Float.compare (keyf a) (keyf b))
-        ranked;
-      Array.sub ranked 0 (min params.top_k (Array.length ranked))
+    let traffic = Array.map traffic_rank pool in
+    (* Ranking keys are precomputed arrays, so the comparator is two array
+       reads — no estimator (or string hash) inside the O(n log n) sort. *)
+    let top_ids_by key_of =
+      let ranked = Array.init n Fun.id in
+      Array.sort (fun a b -> Float.compare key_of.(a) key_of.(b)) ranked;
+      Array.sub ranked 0 (min params.top_k n)
     in
+    let pool_ids = Array.init n Fun.id in
     let sample_population () =
-      let n = min params.population (Array.length pool) in
-      let seeds = Array.append (top_by estimate) (top_by traffic_rank) in
-      Array.init n (fun i ->
+      let size = min params.population n in
+      let seeds = Array.append (top_ids_by estimates) (top_ids_by traffic) in
+      Array.init size (fun i ->
           if i < Array.length seeds then seeds.(i)
-          else Mcf_util.Rng.pick rng pool)
+          else Mcf_util.Rng.pick rng pool_ids)
     in
     let population = ref (sample_population ()) in
     let best = ref None in
@@ -169,7 +178,7 @@ let run ?(params = default_params) ?(estimator = default_estimator) ~rng ~clock
         ~args:(fun () -> [ ("gen", Trace.Int !generations) ])
       @@ fun () ->
       let scored =
-        Array.map (fun e -> (e, estimate e)) !population
+        Array.map (fun id -> (id, estimate id)) !population
       in
       Array.sort (fun (_, a) (_, b) -> Float.compare a b) scored;
       (* Measure the best-estimated candidates not measured yet; re-measuring
@@ -177,20 +186,18 @@ let run ?(params = default_params) ?(estimator = default_estimator) ~rng ~clock
          When the population has gone stale (mutation keeps revisiting the
          measured elite), march down the global estimate ranking instead so
          every generation still buys fresh information. *)
-      let unmeasured (e : Space.entry) =
-        not (Hashtbl.mem measured (Mcf_ir.Candidate.key e.cand))
-      in
+      let unmeasured id = not (Hashtbl.mem measured id) in
       let fresh =
-        Array.to_list scored |> List.filter (fun (e, _) -> unmeasured e)
+        Array.to_list scored |> List.filter (fun (id, _) -> unmeasured id)
       in
       let topk = Mcf_util.Listx.take params.top_k fresh in
       let topk =
         if List.length topk >= params.top_k then topk
         else begin
           let ranked_pool =
-            Array.to_list pool
+            Array.to_list pool_ids
             |> List.filter unmeasured
-            |> List.map (fun e -> (e, estimate e))
+            |> List.map (fun id -> (id, estimate id))
             |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
           in
           topk
@@ -199,25 +206,25 @@ let run ?(params = default_params) ?(estimator = default_estimator) ~rng ~clock
       in
       let results =
         List.filter_map
-          (fun (e, _) ->
-            Option.map (fun t -> (e, t)) (measure_once e))
+          (fun (id, _) ->
+            Option.map (fun t -> (id, t)) (measure_once id))
           topk
       in
       Log.debug (fun m ->
           m "generation %d: measured %d fresh candidates (best this round: %s)"
             !generations (List.length results)
             (match Mcf_util.Listx.min_by snd results with
-            | Some (e, t) ->
+            | Some (id, t) ->
               Printf.sprintf "%s at %.2fus"
-                (Mcf_ir.Candidate.to_string e.Space.cand)
+                (Mcf_ir.Candidate.to_string pool.(id).Space.cand)
                 (t *. 1e6)
             | None -> "none"));
       (match Mcf_util.Listx.min_by snd results with
       | None -> () (* nothing measurable this round; mutate and go on *)
-      | Some (e, t) -> (
+      | Some (id, t) -> (
         match !best with
         | Some (_, bt) when Float.abs (t -. bt) < params.epsilon *. bt ->
-          if t < bt then best := Some (e, t);
+          if t < bt then best := Some (id, t);
           (* measurement noise alone can fake a plateau; require two
              consecutive converged rounds before stopping *)
           incr plateaus;
@@ -225,8 +232,8 @@ let run ?(params = default_params) ?(estimator = default_estimator) ~rng ~clock
             converged := true
         | Some (_, bt) ->
           plateaus := 0;
-          if t < bt then best := Some (e, t)
-        | None -> best := Some (e, t)));
+          if t < bt then best := Some (id, t)
+        | None -> best := Some (id, t)));
       if not !converged then begin
         let weights =
           Array.map (fun (_, est) -> 1.0 /. Float.max est 1e-12) scored
@@ -240,11 +247,11 @@ let run ?(params = default_params) ?(estimator = default_estimator) ~rng ~clock
       end
     done;
     Option.map
-      (fun (e, t) ->
-        { best = e;
+      (fun (id, t) ->
+        { best = pool.(id);
           best_time_s = t;
           stats =
             { generations = !generations;
-              estimated = !n_estimated;
+              estimated = n;
               measured = Hashtbl.length measured } })
       !best

@@ -135,13 +135,22 @@ let load ~chains path =
   if not (Sys.file_exists path) then empty
   else begin
     let ic = open_in path in
-    let entries = ref empty in
+    (* Dedup through a hashtable keyed by (chain, device) — the old
+       list-rebuilding [add] per line made loading O(n^2).  The result
+       keeps [add]'s semantics: latest occurrence per key wins, entries
+       ordered most-recently-seen first. *)
+    let by_key : (string * string, int * entry) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let lineno = ref 0 in
+    let malformed = ref 0 in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
         try
           while true do
             let line = input_line ic in
+            incr lineno;
             match String.split_on_char '|' line with
             | [ echain; edevice; cand_s; time_s ] -> (
               match
@@ -153,13 +162,25 @@ let load ~chains path =
               | Some chain, Some etime_s -> (
                 match parse_candidate chain cand_s with
                 | Ok ecand ->
-                  entries := add !entries { echain; edevice; ecand; etime_s }
-                | Error _ -> ())
-              | _ -> ())
-            | _ -> ()
+                  let e = { echain; edevice; ecand; etime_s } in
+                  Hashtbl.replace by_key (key e) (!lineno, e)
+                | Error _ -> incr malformed)
+              | None, Some _ ->
+                (* a record for a chain we were not asked about: well
+                   formed, just out of scope for this load *)
+                ()
+              | _, None -> incr malformed)
+            | _ -> incr malformed
           done
         with End_of_file -> ());
-    !entries
+    if !malformed > 0 then
+      Log.warn (fun m ->
+          m "%s: skipped %d malformed line%s out of %d" path !malformed
+            (if !malformed = 1 then "" else "s")
+            !lineno);
+    Hashtbl.fold (fun _ v acc -> v :: acc) by_key []
+    |> List.sort (fun (a, _) (b, _) -> compare (b : int) a)
+    |> List.map snd
   end
 
 let tune_with_cache ~cache_file (spec : Mcf_gpu.Spec.t) chain =

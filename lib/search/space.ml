@@ -150,19 +150,62 @@ let enumerate ?(options = default_options) (spec : Mcf_gpu.Spec.t) chain =
       let candidates_rule3 =
         float_of_int (List.length ts2) *. float_of_int (List.length combos)
       in
-      (* Lowering every surviving (expression, tile-vector) point is the
-         enumeration hot path; it is a pure per-candidate map and runs on all
-         domains (order-preserving, so the space is deterministic). *)
-      let points =
-        List.concat_map (fun tiling -> List.map (fun c -> (tiling, c)) combos) ts2
+      (* The space is indexed virtually: rank r <-> (expression r / |combos|,
+         tile vector r mod |combos|); the point list is never materialized.
+         Enumeration is then staged — a closed-form rule-4 precheck rejects
+         most points from the tiling alone, and only the survivors pay for a
+         full lowering.  Both stages are pure per-rank maps and run on the
+         shared domain pool (order-preserving, so the space stays
+         deterministic whatever the pool size). *)
+      let ts2_arr = Array.of_list ts2 in
+      let combos_arr = Array.of_list combos in
+      let n_combos = Array.length combos_arr in
+      let total = Array.length ts2_arr * n_combos in
+      let cand_of r =
+        Candidate.make ts2_arr.(r / n_combos)
+          (List.combine names combos_arr.(r mod n_combos))
       in
+      let pool = Mcf_util.Pool.get () in
+      (* Stage 1: eq. (1) straight from (tiling, tiles), no Lower.lower.
+         Exactness against the lowered estimate is enforced by the sweep in
+         test_model.ml; the post-lowering check below stays as a backstop. *)
+      let survivor_ranks =
+        Trace.with_span "space.precheck"
+          ~args:(fun () -> [ ("points", Trace.Int total) ])
+          (fun () ->
+            if not opts.rule4 then Array.init total Fun.id
+            else begin
+              let ok =
+                Mcf_util.Pool.init pool total (fun r ->
+                    Mcf_model.Shmem.precheck_within_budget spec
+                      ~slack:opts.shmem_slack ~rule1:opts.rule1
+                      ~dead_loop_elim:opts.dead_loop_elim chain (cand_of r))
+              in
+              let n_ok =
+                Array.fold_left (fun n b -> if b then n + 1 else n) 0 ok
+              in
+              let ranks = Array.make n_ok 0 in
+              let j = ref 0 in
+              Array.iteri
+                (fun r b ->
+                  if b then begin
+                    ranks.(!j) <- r;
+                    incr j
+                  end)
+                ok;
+              ranks
+            end)
+      in
+      (* Stage 2: lower only the survivors, in parallel chunks straight into
+         an array. *)
       let evaluated =
         Trace.with_span "space.lower"
-          ~args:(fun () -> [ ("points", Trace.Int (List.length points)) ])
+          ~args:(fun () ->
+            [ ("points", Trace.Int (Array.length survivor_ranks)) ])
           (fun () ->
-            Mcf_util.Parallel.map
-              (fun (tiling, combo) ->
-                let cand = Candidate.make tiling (List.combine names combo) in
+            Mcf_util.Pool.map_array pool
+              (fun r ->
+                let cand = cand_of r in
                 let lowered =
                   Lower.lower ~rule1:opts.rule1
                     ~dead_loop_elim:opts.dead_loop_elim ~hoisting:opts.hoisting
@@ -176,16 +219,18 @@ let enumerate ?(options = default_options) (spec : Mcf_gpu.Spec.t) chain =
                 if not rule4_ok then `Pruned_rule4
                 else if Result.is_error lowered.validity then `Invalid
                 else `Entry { cand; lowered })
-              points)
+              survivor_ranks)
       in
       let survivors =
-        List.filter_map
-          (function `Entry e -> Some e | `Pruned_rule4 | `Invalid -> None)
-          evaluated
+        Array.to_list evaluated
+        |> List.filter_map (function
+             | `Entry e -> Some e
+             | `Pruned_rule4 | `Invalid -> None)
       in
       let n_rule4 =
-        List.length
-          (List.filter (function `Pruned_rule4 -> false | _ -> true) evaluated)
+        Array.fold_left
+          (fun n -> function `Pruned_rule4 -> n | `Invalid | `Entry _ -> n + 1)
+          0 evaluated
       in
       let funnel =
         { tilings_raw = List.length raw_ts;
@@ -203,14 +248,14 @@ let enumerate ?(options = default_options) (spec : Mcf_gpu.Spec.t) chain =
         (funnel.tilings_raw - funnel.tilings_rule1);
       Mcf_obs.Metrics.add c_pruned_rule2
         (funnel.tilings_rule1 - funnel.tilings_rule2);
-      Mcf_obs.Metrics.add c_candidates_lowered (List.length points);
-      Mcf_obs.Metrics.add c_pruned_rule4
-        (List.length points - funnel.candidates_rule4);
+      Mcf_obs.Metrics.add c_candidates_lowered (Array.length survivor_ranks);
+      Mcf_obs.Metrics.add c_pruned_rule4 (total - funnel.candidates_rule4);
       Mcf_obs.Metrics.add c_pruned_invalid
         (funnel.candidates_rule4 - funnel.candidates_valid);
       Mcf_obs.Metrics.add c_candidates_valid funnel.candidates_valid;
       Log.debug (fun m ->
-          m "%s: %d tilings -> %d exprs, %d points -> %d valid candidates"
-            chain.Chain.cname funnel.tilings_raw funnel.tilings_rule2
-            (List.length points) funnel.candidates_valid);
+          m "%s: %d tilings -> %d exprs, %d points (%d lowered) -> %d valid \
+             candidates"
+            chain.Chain.cname funnel.tilings_raw funnel.tilings_rule2 total
+            (Array.length survivor_ranks) funnel.candidates_valid);
       (survivors, funnel))

@@ -1,32 +1,14 @@
-let default_domains () =
-  max 1 (min 8 (Domain.recommended_domain_count ()))
+(* Compatibility shim over Pool.  [map ?domains] used to spawn fresh
+   domains per call; it now borrows the persistent global pool (or a
+   temporary pool when an explicit domain count is requested). *)
+
+let default_domains = Pool.default_jobs
 
 let map_array ?domains f arr =
-  let n = Array.length arr in
-  let d = match domains with Some d -> d | None -> default_domains () in
-  let d = max 1 (min d n) in
-  if d = 1 || n < 32 then Array.map f arr
-  else begin
-    (* chunk bounds: contiguous, covering, order-preserving *)
-    let chunk = (n + d - 1) / d in
-    let results = Array.make d (Ok [||]) in
-    let worker i () =
-      let lo = i * chunk in
-      let hi = min n (lo + chunk) in
-      results.(i) <-
-        (try Ok (Array.init (hi - lo) (fun j -> f arr.(lo + j)))
-         with e -> Error e)
-    in
-    let handles =
-      List.init (d - 1) (fun i -> Domain.spawn (worker (i + 1)))
-    in
-    worker 0 ();
-    List.iter Domain.join handles;
-    Array.iter (function Error e -> raise e | Ok _ -> ()) results;
-    Array.concat
-      (Array.to_list
-         (Array.map (function Ok a -> a | Error _ -> assert false) results))
-  end
+  match domains with
+  | None -> Pool.map_array (Pool.get ()) f arr
+  | Some d when d <= 1 -> Array.map f arr
+  | Some d -> Pool.with_pool ~jobs:d (fun p -> Pool.map_array p f arr)
 
 let map ?domains f l =
   Array.to_list (map_array ?domains f (Array.of_list l))

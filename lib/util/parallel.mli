@@ -1,20 +1,19 @@
 (** Deterministic data parallelism on OCaml 5 domains.
 
-    The compiler's hot loops — lowering thousands of candidates during
-    space enumeration, sampling candidates for the accuracy experiments —
-    are pure per-element maps, so they parallelize trivially: the input is
-    split into contiguous chunks, one domain maps each chunk, and results
-    are concatenated in order.  Output is bit-identical to the sequential
-    map regardless of the domain count. *)
+    Thin compatibility layer over {!Pool}: [map ?domains:None] runs on
+    the persistent global pool ({!Pool.get}), while an explicit
+    [?domains] spins up a temporary pool for that one call.  New code
+    should use {!Pool} directly.  Output is bit-identical to the
+    sequential map regardless of the domain count. *)
 
 val default_domains : unit -> int
-(** [min 8 (Domain.recommended_domain_count ())], at least 1. *)
+(** Alias of {!Pool.default_jobs}. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map.  [domains <= 1] (or a short list) runs
     sequentially.  The function must not rely on shared mutable state.
-    If [f] raises in any domain, the exception is re-raised after all
-    domains are joined. *)
+    If [f] raises in any domain, an exception raised by some element is
+    re-raised in the caller. *)
 
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Array counterpart of {!map}. *)

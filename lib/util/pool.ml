@@ -1,0 +1,300 @@
+(* Persistent work-stealing domain pool.  See pool.mli for the contract.
+
+   A job is a chunked index range [0, n).  Chunks are dealt contiguously
+   to per-participant deques; the owner pops from the front, thieves
+   steal from the back (classic work-stealing ends, here guarded by a
+   per-deque mutex — chunk counts are tiny, a handful per participant,
+   so an sophisticated lock-free deque would buy nothing).  Workers park
+   on a condition variable between jobs; the caller publishes a job by
+   bumping [epoch] and broadcasting. *)
+
+(* --- process-wide cumulative counters (see stats) ----------------------- *)
+
+let spawned_total = Atomic.make 0
+let jobs_total = Atomic.make 0
+let chunks_total = Atomic.make 0
+let steals_total = Atomic.make 0
+let idle_ns_total = Atomic.make 0
+
+type stats = {
+  domains : int;
+  spawned : int;
+  jobs : int;
+  chunks : int;
+  steals : int;
+  idle_ns : int;
+}
+
+(* --- deques ------------------------------------------------------------- *)
+
+type chunk = { clo : int; chi : int }
+
+type deque = { dm : Mutex.t; mutable items : chunk list (* front = owner *) }
+
+let deque_pop d =
+  Mutex.lock d.dm;
+  let r =
+    match d.items with
+    | [] -> None
+    | c :: tl ->
+      d.items <- tl;
+      Some c
+  in
+  Mutex.unlock d.dm;
+  r
+
+let deque_steal d =
+  Mutex.lock d.dm;
+  let r =
+    match List.rev d.items with
+    | [] -> None
+    | c :: rtl ->
+      d.items <- List.rev rtl;
+      Some c
+  in
+  Mutex.unlock d.dm;
+  r
+
+(* --- jobs --------------------------------------------------------------- *)
+
+type job = {
+  jrun : int -> int -> unit;
+  jdeques : deque array;
+  jpending : int Atomic.t;  (* chunks not yet executed *)
+  jfail : exn option Atomic.t;  (* first exception wins (CAS) *)
+  jm : Mutex.t;
+  jdone : Condition.t;  (* caller waits here for stragglers *)
+}
+
+type t = {
+  size : int;
+  mutable workers : unit Domain.t list;
+  lock : Mutex.t;
+  work_cv : Condition.t;
+  mutable job : job option;
+  mutable epoch : int;
+  mutable quit : bool;
+}
+
+(* True while the current domain is executing a pool task: nested calls
+   must run sequentially instead of waiting on the pool they occupy. *)
+let in_task = Domain.DLS.new_key (fun () -> false)
+
+let run_chunks job me =
+  let nd = Array.length job.jdeques in
+  let mine = job.jdeques.(me) in
+  let steal () =
+    let rec try_victim i =
+      if i >= nd then None
+      else
+        let v = (me + i) mod nd in
+        match deque_steal job.jdeques.(v) with
+        | Some c ->
+          Atomic.incr steals_total;
+          Some c
+        | None -> try_victim (i + 1)
+    in
+    try_victim 1
+  in
+  let exec c =
+    (* After a failure, drain remaining chunks without running them so
+       the caller is released promptly. *)
+    (if Atomic.get job.jfail = None then
+       try job.jrun c.clo c.chi
+       with e -> ignore (Atomic.compare_and_set job.jfail None (Some e)));
+    Atomic.incr chunks_total;
+    if Atomic.fetch_and_add job.jpending (-1) = 1 then begin
+      Mutex.lock job.jm;
+      Condition.broadcast job.jdone;
+      Mutex.unlock job.jm
+    end
+  in
+  let rec loop () =
+    match (match deque_pop mine with Some c -> Some c | None -> steal ()) with
+    | None -> ()
+    | Some c ->
+      exec c;
+      loop ()
+  in
+  Domain.DLS.set in_task true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_task false) loop
+
+let worker t me () =
+  let seen = ref 0 in
+  Mutex.lock t.lock;
+  let rec loop () =
+    if t.quit then Mutex.unlock t.lock
+    else if t.epoch <> !seen then begin
+      seen := t.epoch;
+      let job = t.job in
+      Mutex.unlock t.lock;
+      (match job with Some j -> run_chunks j me | None -> ());
+      Mutex.lock t.lock;
+      loop ()
+    end
+    else begin
+      Condition.wait t.work_cv t.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let create ?domains () =
+  let size =
+    match domains with
+    | Some d -> max 1 d
+    | None -> default_jobs ()
+  in
+  let t =
+    { size;
+      workers = [];
+      lock = Mutex.create ();
+      work_cv = Condition.create ();
+      job = None;
+      epoch = 0;
+      quit = false }
+  in
+  t.workers <- List.init (size - 1) (fun i -> Domain.spawn (worker t (i + 1)));
+  Atomic.fetch_and_add spawned_total (size - 1) |> ignore;
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.quit <- true;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let size t = t.size
+
+let with_pool ~jobs f =
+  let p = create ~domains:jobs () in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* Below this many items the chunking/wakeup overhead outweighs any
+   parallel speedup; matches the old Parallel.map threshold. *)
+let min_items = 32
+
+let run_range t n body =
+  if n <= 0 then ()
+  else if t.size = 1 || t.quit || n < min_items || Domain.DLS.get in_task then
+    body 0 n
+  else begin
+    Atomic.incr jobs_total;
+    (* A few chunks per participant so fast participants can steal the
+       tail from slow ones without per-element scheduling overhead. *)
+    let csize = max 1 ((n + (t.size * 4) - 1) / (t.size * 4)) in
+    let nchunks = (n + csize - 1) / csize in
+    let deques =
+      Array.init t.size (fun _ -> { dm = Mutex.create (); items = [] })
+    in
+    for j = nchunks - 1 downto 0 do
+      let w = j * t.size / nchunks in
+      deques.(w).items <-
+        { clo = j * csize; chi = min n ((j + 1) * csize) } :: deques.(w).items
+    done;
+    let job =
+      { jrun = body;
+        jdeques = deques;
+        jpending = Atomic.make nchunks;
+        jfail = Atomic.make None;
+        jm = Mutex.create ();
+        jdone = Condition.create () }
+    in
+    Mutex.lock t.lock;
+    t.job <- Some job;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.lock;
+    run_chunks job 0;
+    if Atomic.get job.jpending > 0 then begin
+      let t0 = now_ns () in
+      Mutex.lock job.jm;
+      while Atomic.get job.jpending > 0 do
+        Condition.wait job.jdone job.jm
+      done;
+      Mutex.unlock job.jm;
+      Atomic.fetch_and_add idle_ns_total (now_ns () - t0) |> ignore
+    end;
+    match Atomic.get job.jfail with Some e -> raise e | None -> ()
+  end
+
+let map_array t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    (* Computing the first element up front gives Array.make a value of
+       the right type (no Obj.magic) and keeps float arrays unboxed. *)
+    let first = f arr.(0) in
+    let res = Array.make n first in
+    run_range t (n - 1) (fun lo hi ->
+        for i = lo to hi - 1 do
+          res.(i + 1) <- f arr.(i + 1)
+        done);
+    res
+  end
+
+let init t n f =
+  if n <= 0 then [||]
+  else begin
+    let first = f 0 in
+    let res = Array.make n first in
+    run_range t (n - 1) (fun lo hi ->
+        for i = lo to hi - 1 do
+          res.(i + 1) <- f (i + 1)
+        done);
+    res
+  end
+
+let map t f l = Array.to_list (map_array t f (Array.of_list l))
+
+(* --- the shared global pool --------------------------------------------- *)
+
+let requested = ref None
+
+let env_jobs () =
+  match Sys.getenv_opt "MCFUSER_JOBS" with
+  | None -> None
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some j -> Some (max 1 j)
+    | None -> None)
+
+let jobs () =
+  match !requested with
+  | Some j -> j
+  | None -> ( match env_jobs () with Some j -> j | None -> default_jobs ())
+
+let set_jobs j = requested := Some (max 1 j)
+
+let global = ref None
+let global_lock = Mutex.create ()
+
+let get () =
+  Mutex.lock global_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock global_lock)
+    (fun () ->
+      let want = jobs () in
+      match !global with
+      | Some p when p.size = want -> p
+      | prev ->
+        (match prev with Some p -> shutdown p | None -> ());
+        let p = create ~domains:want () in
+        global := Some p;
+        p)
+
+let () =
+  at_exit (fun () -> match !global with Some p -> shutdown p | None -> ())
+
+let stats () =
+  { domains = (match !global with Some p -> p.size | None -> 0);
+    spawned = Atomic.get spawned_total;
+    jobs = Atomic.get jobs_total;
+    chunks = Atomic.get chunks_total;
+    steals = Atomic.get steals_total;
+    idle_ns = Atomic.get idle_ns_total }

@@ -1,0 +1,96 @@
+(** Persistent work-stealing domain pool.
+
+    {!Parallel.map} used to spawn (and join) fresh domains on every call,
+    which puts domain startup on the tuner's hot path: a single
+    [Tuner.tune] run calls into the parallel layer hundreds of times.  A
+    pool spawns its worker domains once and reuses them for every job.
+
+    Scheduling is chunked and dynamic: each job is split into contiguous
+    index ranges (a few per domain), the ranges are dealt to per-domain
+    deques, and each participant pops work from its own deque front while
+    idle participants steal from the back of a victim's deque.  The
+    calling domain takes part in the job, so a pool of size 1 spawns no
+    domains at all and runs inline.
+
+    All [map] functions are deterministic and order-preserving: the
+    result is bit-identical to the sequential map whatever the pool size,
+    provided [f] is pure.  If [f] raises in any participant, one of the
+    raised exceptions is re-raised in the caller after the job drains;
+    remaining chunks are skipped (each element of the input is applied at
+    most once).
+
+    Nested calls from inside a pool task run sequentially rather than
+    deadlocking on the shared pool. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns a pool with [domains] participants
+    ([domains - 1] worker domains plus the caller).  Defaults to
+    {!jobs}[ ()].  Values are clamped to at least 1. *)
+
+val shutdown : t -> unit
+(** Terminate and join the pool's worker domains.  Idempotent.  Using the
+    pool after [shutdown] runs jobs sequentially in the caller. *)
+
+val size : t -> int
+(** Number of participants (worker domains + the calling domain). *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a temporary pool of [jobs]
+    participants, shutting it down afterwards (also on exceptions). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map over a list. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map over an array. *)
+
+val init : t -> int -> (int -> 'a) -> 'a array
+(** [init p n f] is a parallel [Array.init n f].  Useful for indexed
+    virtual spaces where materializing the input would defeat the point. *)
+
+val run_range : t -> int -> (int -> int -> unit) -> unit
+(** [run_range p n body] partitions [\[0, n)] into chunks and calls
+    [body lo hi] for each chunk [\[lo, hi)], in parallel.  [body] must
+    only write to disjoint state per index (e.g. distinct array cells). *)
+
+(** {1 The shared global pool}
+
+    Library code ({!Mcf_search.Space}, {!Mcf_search.Explore}) uses one
+    process-wide pool so domains are spawned once per process.  Its size
+    is, in order of precedence: the last {!set_jobs} call, the
+    [MCFUSER_JOBS] environment variable, then
+    [min 8 (Domain.recommended_domain_count ())]. *)
+
+val get : unit -> t
+(** The global pool, (re)spawned on demand to match {!jobs}[ ()]. *)
+
+val set_jobs : int -> unit
+(** Override the global pool size (e.g. from a [--jobs] CLI flag).
+    Takes effect at the next {!get}; clamped to at least 1. *)
+
+val jobs : unit -> int
+(** The currently configured global pool size. *)
+
+val default_jobs : unit -> int
+(** [max 1 (min 8 (Domain.recommended_domain_count ()))] — the value used
+    when neither {!set_jobs} nor [MCFUSER_JOBS] is in effect. *)
+
+(** {1 Stats}
+
+    Process-wide cumulative scheduler counters, for the observability
+    layer ([Mcf_obs.Poolstats] pulls these into the metrics registry;
+    [mcf_util] cannot depend on [mcf_obs]). *)
+
+type stats = {
+  domains : int;  (** size of the live global pool (0 before first use) *)
+  spawned : int;  (** worker domains spawned over the process lifetime *)
+  jobs : int;  (** parallel jobs submitted (sequential runs excluded) *)
+  chunks : int;  (** chunks executed across all jobs *)
+  steals : int;  (** chunks obtained from another participant's deque *)
+  idle_ns : int;
+      (** caller nanoseconds spent waiting on straggler workers *)
+}
+
+val stats : unit -> stats

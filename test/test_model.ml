@@ -161,6 +161,78 @@ let prop_model_positive =
       t > 0.0 && Float.is_finite t
       && Mcf_model.Shmem.estimate_bytes l > 0)
 
+(* --- rule-4 precheck: closed-form footprint vs lowered estimate -----------
+
+   Space rejects candidates with [Shmem.footprint_of_candidate] before
+   lowering, so the precheck must agree with [estimate_bytes] on the
+   lowered program for *every* point of the space (a false reject would
+   silently shrink the funnel).  Exhaustive sweep: all tilings x all tile
+   combos x all (rule1, dead_loop_elim) flag pairs. *)
+
+let check_precheck_agrees ~name chain =
+  let tilings = Tiling.enumerate chain in
+  let choices =
+    List.map
+      (fun (a : Axis.t) ->
+        List.map (fun t -> (a.Axis.name, t)) (Candidate.tile_options a.size))
+      chain.Chain.axes
+  in
+  let combos = Mcf_util.Listx.cartesian choices in
+  let checked = ref 0 in
+  List.iter
+    (fun (rule1, dle) ->
+      List.iter
+        (fun tiling ->
+          List.iter
+            (fun tiles ->
+              let c = Candidate.make tiling tiles in
+              let l =
+                Lower.lower ~rule1 ~dead_loop_elim:dle ~elem_bytes:2 chain c
+              in
+              let want = Mcf_model.Shmem.estimate_bytes l in
+              let got =
+                Mcf_model.Shmem.footprint_of_candidate ~rule1
+                  ~dead_loop_elim:dle ~elem_bytes:2 chain c
+              in
+              incr checked;
+              if got <> want then
+                Alcotest.failf
+                  "%s: footprint %d <> lowered estimate %d for %s (rule1=%b \
+                   dead_loop_elim=%b)"
+                  name got want (Candidate.key c) rule1 dle;
+              let budget_full =
+                Mcf_model.Shmem.within_budget a100 ~slack:1.2 l
+              in
+              let budget_pre =
+                Mcf_model.Shmem.precheck_within_budget a100 ~slack:1.2 ~rule1
+                  ~dead_loop_elim:dle chain c
+              in
+              if budget_pre <> budget_full then
+                Alcotest.failf "%s: precheck verdict %b <> full verdict %b for %s"
+                  name budget_pre budget_full (Candidate.key c))
+            combos)
+        tilings)
+    [ (true, true); (true, false); (false, true); (false, false) ];
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: swept a non-trivial space (%d points)" name !checked)
+    true (!checked > 1000)
+
+let test_precheck_gemm () =
+  check_precheck_agrees ~name:"gemm"
+    (Chain.gemm_chain ~m:128 ~n:64 ~k:32 ~h:32 ())
+
+let test_precheck_attention () =
+  check_precheck_agrees ~name:"attention"
+    (Chain.attention ~heads:2 ~m:64 ~n:64 ~k:32 ~h:32 ())
+
+let test_precheck_gemm3 () =
+  check_precheck_agrees ~name:"gemm3"
+    (Chain.gemm_chain3 ~m:48 ~n:32 ~k:32 ~h:32 ~p:32 ())
+
+let test_precheck_mlp () =
+  check_precheck_agrees ~name:"mlp"
+    (Chain.mlp_chain ~m:64 ~n:64 ~k:32 ~h:32 ())
+
 let () =
   Alcotest.run "mcf_model"
     [ ( "shmem (eq 1)",
@@ -186,6 +258,12 @@ let () =
           Alcotest.test_case "ranks obvious cases" `Quick
             test_perf_ranks_obvious_cases;
           Alcotest.test_case "single-block alpha" `Quick test_perf_grid_of_one ]
+      );
+      ( "rule-4 precheck",
+        [ Alcotest.test_case "gemm chain" `Quick test_precheck_gemm;
+          Alcotest.test_case "attention" `Quick test_precheck_attention;
+          Alcotest.test_case "3-gemm chain" `Quick test_precheck_gemm3;
+          Alcotest.test_case "mlp (unary epilogue)" `Quick test_precheck_mlp ]
       );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_model_positive ] ) ]

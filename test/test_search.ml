@@ -261,6 +261,36 @@ let test_tuner_pseudo_and_triton () =
     Alcotest.(check bool) "triton source generated" true
       (String.length triton > 0)
 
+let test_tuner_jobs_equality () =
+  (* ISSUE 2 acceptance: the tuner's outcome must be bit-identical whatever
+     the global pool size -- same best candidate, same funnel, same RNG
+     stream (hence same search stats). *)
+  let saved = Mcf_util.Pool.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Mcf_util.Pool.set_jobs saved)
+    (fun () ->
+      let run jobs chain =
+        Mcf_util.Pool.set_jobs jobs;
+        match Mcf_search.Tuner.tune ~seed:7 a100 chain with
+        | Error _ -> Alcotest.fail "tuner failed"
+        | Ok o -> o
+      in
+      List.iter
+        (fun (name, chain) ->
+          let a = run 1 chain in
+          let b = run 4 chain in
+          Alcotest.(check string) (name ^ ": best candidate")
+            (Candidate.key a.Mcf_search.Tuner.best.cand)
+            (Candidate.key b.Mcf_search.Tuner.best.cand);
+          Alcotest.(check (float 0.0)) (name ^ ": kernel time")
+            a.kernel_time_s b.kernel_time_s;
+          Alcotest.(check (float 0.0)) (name ^ ": virtual tuning time")
+            a.tuning_virtual_s b.tuning_virtual_s;
+          Alcotest.(check bool) (name ^ ": funnel") true (a.funnel = b.funnel);
+          Alcotest.(check bool) (name ^ ": search stats") true
+            (a.search_stats = b.search_stats))
+        [ ("gemm", small_gemm); ("attention", attn) ])
+
 (* --- Schedule_cache ----------------------------------------------------------- *)
 
 let test_cache_candidate_roundtrip () =
@@ -398,7 +428,9 @@ let () =
             test_tuner_subsumes_chimera_space;
           Alcotest.test_case "mlp chain" `Quick test_tuner_mlp_chain;
           Alcotest.test_case "renders output" `Quick
-            test_tuner_pseudo_and_triton ] );
+            test_tuner_pseudo_and_triton;
+          Alcotest.test_case "identical at jobs 1 vs 4" `Quick
+            test_tuner_jobs_equality ] );
       ( "schedule-cache",
         [ Alcotest.test_case "candidate roundtrip" `Quick
             test_cache_candidate_roundtrip;

@@ -329,6 +329,102 @@ let test_parallel_empty () =
 let test_default_domains () =
   Alcotest.(check bool) "at least one" true (Parallel.default_domains () >= 1)
 
+(* --- Pool ---------------------------------------------------------------- *)
+
+let test_pool_map_matches_sequential () =
+  let l = List.init 1000 (fun i -> i) in
+  let f x = (x * 7) - 3 in
+  let seq = List.map f l in
+  Pool.with_pool ~jobs:1 (fun p ->
+      Alcotest.(check (list int)) "jobs=1" seq (Pool.map p f l));
+  Pool.with_pool ~jobs:4 (fun p ->
+      Alcotest.(check (list int)) "jobs=4" seq (Pool.map p f l))
+
+let test_pool_map_array_and_init () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let a = Array.init 257 (fun i -> i) in
+      Alcotest.(check (array int)) "map_array" (Array.map succ a)
+        (Pool.map_array p succ a);
+      Alcotest.(check (array int)) "init" (Array.init 300 (fun i -> i * i))
+        (Pool.init p 300 (fun i -> i * i));
+      (* result may use the flat float-array representation; spot-check a
+         cell computed by a worker chunk *)
+      let fl = Pool.map_array p float_of_int a in
+      Alcotest.(check (float 1e-9)) "float cells" 256.0 fl.(256))
+
+let test_pool_empty_singleton () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      Alcotest.(check (list int)) "empty list" [] (Pool.map p succ []);
+      Alcotest.(check (array int)) "empty array" [||] (Pool.map_array p succ [||]);
+      Alcotest.(check (array int)) "init 0" [||] (Pool.init p 0 succ);
+      Alcotest.(check (list int)) "singleton list" [ 2 ] (Pool.map p succ [ 1 ]);
+      Alcotest.(check (array int)) "singleton array" [| 2 |]
+        (Pool.map_array p succ [| 1 |]))
+
+let test_pool_exception () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
+          ignore
+            (Pool.map_array p
+               (fun x -> if x = 913 then failwith "boom" else x)
+               (Array.init 2000 (fun i -> i))));
+      Alcotest.(check (array int)) "pool usable after a failed job"
+        (Array.init 100 succ)
+        (Pool.map_array p succ (Array.init 100 (fun i -> i))))
+
+let test_pool_nested_sequential () =
+  (* Calls from inside a pool task must fall back to sequential execution
+     instead of deadlocking on the shared deques. *)
+  Pool.with_pool ~jobs:4 (fun p ->
+      let got =
+        Pool.map_array p
+          (fun i -> Array.fold_left ( + ) 0 (Pool.init p 64 (fun j -> i + j)))
+          (Array.init 128 (fun i -> i))
+      in
+      let want =
+        Array.init 128 (fun i ->
+            Array.fold_left ( + ) 0 (Array.init 64 (fun j -> i + j)))
+      in
+      Alcotest.(check (array int)) "nested map" want got)
+
+let test_pool_run_range_covers () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      Pool.run_range p n (fun lo hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      Alcotest.(check (array int)) "each index exactly once" (Array.make n 1)
+        hits)
+
+let test_pool_global_and_stats () =
+  let saved = Pool.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_jobs saved)
+    (fun () ->
+      Pool.set_jobs 3;
+      Alcotest.(check int) "set_jobs round-trip" 3 (Pool.jobs ());
+      let p = Pool.get () in
+      Alcotest.(check int) "global pool size" 3 (Pool.size p);
+      let before = Pool.stats () in
+      ignore (Pool.init p 10_000 (fun i -> i land 7));
+      let after = Pool.stats () in
+      Alcotest.(check bool) "jobs counter grows" true
+        (after.Pool.jobs > before.Pool.jobs);
+      Alcotest.(check bool) "chunks counter grows" true
+        (after.Pool.chunks > before.Pool.chunks);
+      Alcotest.(check bool) "spawned covers workers" true
+        (after.Pool.spawned >= Pool.size p - 1);
+      Alcotest.(check int) "domains snapshot" 3 after.Pool.domains)
+
+let test_pool_shutdown_idempotent () =
+  let p = Pool.create ~domains:2 () in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  Alcotest.(check (list int)) "sequential after shutdown" [ 2; 3 ]
+    (Pool.map p succ [ 1; 2 ])
+
 (* --- properties ---------------------------------------------------------- *)
 
 let prop_percentile_bounded =
@@ -433,6 +529,22 @@ let () =
             test_parallel_exception;
           Alcotest.test_case "empty" `Quick test_parallel_empty;
           Alcotest.test_case "default domains" `Quick test_default_domains ] );
+      ( "pool",
+        [ Alcotest.test_case "map matches sequential" `Quick
+            test_pool_map_matches_sequential;
+          Alcotest.test_case "map_array and init" `Quick
+            test_pool_map_array_and_init;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_pool_empty_singleton;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "nested calls run sequentially" `Quick
+            test_pool_nested_sequential;
+          Alcotest.test_case "run_range covers once" `Quick
+            test_pool_run_range_covers;
+          Alcotest.test_case "global pool and stats" `Quick
+            test_pool_global_and_stats;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_percentile_bounded; prop_pearson_bounded;
