@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench examples quick clean fmt trace-demo check \
-	bench-search bench-search-smoke
+	ci-guard bench-search bench-search-smoke bench-estimate-smoke
 
 all: build
 
@@ -22,7 +22,19 @@ trace-demo:
 	@test -s /tmp/mcfuser-trace.json
 	@echo "trace-demo: /tmp/mcfuser-trace.json ok (open in ui.perfetto.dev)"
 
-check: build fmt test trace-demo bench-search-smoke
+# CI-style drift guard: formatting must be a no-op and the cram pins must
+# match byte-for-byte.  `dune build @fmt` / `dune runtest` alone would
+# auto-promote or hide drift behind a stale cache; --force + diff fails
+# loudly instead.
+ci-guard:
+	dune build @fmt 2>/dev/null || { \
+	  echo "ci-guard: dune build @fmt reports formatting drift"; exit 1; }
+	dune runtest test/cram --force || { \
+	  echo "ci-guard: cram pins drifted (inspect dune runtest test/cram)"; \
+	  exit 1; }
+	@echo "ci-guard: formatting and cram pins clean"
+
+check: build fmt test trace-demo ci-guard bench-search-smoke bench-estimate-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -39,6 +51,14 @@ bench-search-smoke:
 	  --out /tmp/mcfuser-bench-search-smoke.json
 	@test -s /tmp/mcfuser-bench-search-smoke.json
 	@echo "bench-search-smoke: /tmp/mcfuser-bench-search-smoke.json ok"
+
+# Closed-form vs lowered-walk estimation throughput only (the analytic
+# fast path's micro-section); fast enough for `make check`.
+bench-estimate-smoke:
+	dune exec bench/main.exe -- --mode search --smoke --estimate-only \
+	  --out /tmp/mcfuser-bench-estimate-smoke.json
+	@test -s /tmp/mcfuser-bench-estimate-smoke.json
+	@echo "bench-estimate-smoke: /tmp/mcfuser-bench-estimate-smoke.json ok"
 
 quick:
 	dune exec bench/main.exe -- --quick --no-micro

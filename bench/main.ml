@@ -13,7 +13,8 @@
 
    Search-throughput mode (the tuner's hot path, see `make bench-search`):
      dune exec bench/main.exe -- --mode search --out BENCH_search.json
-     dune exec bench/main.exe -- --mode search --jobs 4 --smoke *)
+     dune exec bench/main.exe -- --mode search --jobs 4 --smoke
+     dune exec bench/main.exe -- --mode search --smoke --estimate-only *)
 
 let hr = String.make 78 '='
 
@@ -71,7 +72,7 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Mcf_gpu.Sim.run spec kernel)));
     Test.make ~name:"compile-candidate"
       (Staged.stage (fun () ->
-           ignore (Mcf_codegen.Compile.compile spec entry.lowered)));
+           ignore (Mcf_codegen.Compile.compile spec (Mcf_search.Space.lowered entry))));
     Test.make ~name:"space-enumerate-G-mid"
       (Staged.stage (fun () ->
            ignore (Mcf_search.Space.enumerate spec chain)));
@@ -183,13 +184,84 @@ let outcome_fingerprint (o : Mcf_search.Tuner.outcome) =
     f.candidates_raw f.candidates_rule3 f.candidates_rule4 f.candidates_valid
     s.generations s.estimated s.measured
 
-let run_search_bench ~jobs ~smoke ~out =
+(* Closed-form vs lowered-walk estimation throughput on the largest
+   workload: the analytic fast path's headline number.  Both passes score
+   every enumerated candidate; the closed-form pass goes through a fresh
+   [Analytic.Memo] so the reported hit rate is what the search itself
+   sees. *)
+let run_estimate_bench spec ~smoke =
+  let wname = largest_workload ~smoke in
+  let chain = List.assoc wname (search_workloads ~smoke) in
+  Printf.printf "%s\n[estimate] %s: closed-form vs lowered-walk\n%s\n%!" hr
+    wname hr;
+  let entries, _ = Mcf_search.Space.enumerate spec chain in
+  let pool = Array.of_list entries in
+  let n = Array.length pool in
+  if n = 0 then failwith ("empty candidate space for " ^ wname);
+  let ctx = pool.(0).Mcf_search.Space.ctx in
+  let reps = if smoke then 2 else 3 in
+  let (), lowered_s =
+    time_best ~reps (fun () ->
+        Array.iter
+          (fun (e : Mcf_search.Space.entry) ->
+            let l =
+              Mcf_ir.Lower.lower ~rule1:ctx.Mcf_search.Space.rule1
+                ~dead_loop_elim:ctx.Mcf_search.Space.dead_loop_elim
+                ~hoisting:ctx.Mcf_search.Space.hoisting
+                ~elem_bytes:ctx.Mcf_search.Space.elem_bytes
+                ctx.Mcf_search.Space.chain e.cand
+            in
+            ignore (Mcf_model.Perf.estimate spec l))
+          pool)
+  in
+  let hits0 = Mcf_obs.Metrics.counter_value "model.memo.hits" in
+  let misses0 = Mcf_obs.Metrics.counter_value "model.memo.misses" in
+  let (), closed_s =
+    time_best ~reps (fun () ->
+        let memo =
+          Mcf_model.Analytic.Memo.create ~rule1:ctx.Mcf_search.Space.rule1
+            ~dead_loop_elim:ctx.Mcf_search.Space.dead_loop_elim
+            ~hoisting:ctx.Mcf_search.Space.hoisting
+            ~elem_bytes:ctx.Mcf_search.Space.elem_bytes
+            ctx.Mcf_search.Space.chain
+        in
+        Array.iter
+          (fun (e : Mcf_search.Space.entry) ->
+            ignore (Mcf_model.Analytic.Memo.estimate memo spec e.cand))
+          pool)
+  in
+  let hits = Mcf_obs.Metrics.counter_value "model.memo.hits" - hits0 in
+  let misses = Mcf_obs.Metrics.counter_value "model.memo.misses" - misses0 in
+  let hit_rate =
+    float_of_int hits /. Float.max 1.0 (float_of_int (hits + misses))
+  in
+  let fn = float_of_int n in
+  let closed_per_s = fn /. Float.max closed_s 1e-9 in
+  let lowered_per_s = fn /. Float.max lowered_s 1e-9 in
+  let speedup = closed_per_s /. Float.max lowered_per_s 1e-9 in
+  Printf.printf
+    "  %d candidates: closed-form %.0f/s, lowered walk %.0f/s (%.1fx), memo \
+     hit rate %.1f%%\n%!"
+    n closed_per_s lowered_per_s speedup (100.0 *. hit_rate);
+  let num = Mcf_util.Json.num_of_int in
+  Mcf_util.Json.Obj
+    [ ("workload", Str wname);
+      ("candidates", num n);
+      ("closed_form_per_s", Num closed_per_s);
+      ("lowered_walk_per_s", Num lowered_per_s);
+      ("speedup", Num speedup);
+      ("memo_hits", num hits);
+      ("memo_misses", num misses);
+      ("memo_hit_rate", Num hit_rate) ]
+
+let run_search_bench ~jobs ~smoke ~estimate_only ~out =
   let spec = Mcf_gpu.Spec.a100 in
   let jobs_list = List.sort_uniq compare [ 1; jobs ] in
-  let reps = if smoke then 1 else 2 in
+  let reps = if smoke then 3 else 2 in
   let num = Mcf_util.Json.num_of_int in
   let results =
-    List.map
+    if estimate_only then []
+    else List.map
       (fun (name, chain) ->
         Printf.printf "%s\n[search] %s\n%s\n%!" hr name hr;
         let funnel = ref None in
@@ -278,6 +350,7 @@ let run_search_bench ~jobs ~smoke ~out =
               ("identical_across_jobs", Bool identical) ] ))
       (search_workloads ~smoke)
   in
+  let estimate_json = run_estimate_bench spec ~smoke in
   Mcf_obs.Poolstats.sync ();
   let largest = largest_workload ~smoke in
   let largest_speedup =
@@ -293,6 +366,7 @@ let run_search_bench ~jobs ~smoke ~out =
         ("jobs", List (List.map num jobs_list));
         ("cores", num (Domain.recommended_domain_count ()));
         ("workloads", List (List.map (fun (_, _, j) -> j) results));
+        ("estimate", estimate_json);
         ("largest_workload", Str largest);
         ("largest_enumerate_speedup", Num largest_speedup) ]
   in
@@ -302,11 +376,25 @@ let run_search_bench ~jobs ~smoke ~out =
     (fun () ->
       output_string oc (Mcf_util.Json.to_string doc);
       output_char oc '\n');
-  Printf.printf "\nwrote %s (largest workload %s: %.2fx enumeration speedup \
-                 at %d jobs on %d core(s))\n"
-    out largest largest_speedup
-    (List.fold_left max 1 jobs_list)
-    (Domain.recommended_domain_count ())
+  if estimate_only then Printf.printf "\nwrote %s (estimate section only)\n" out
+  else begin
+    Printf.printf "\nwrote %s (largest workload %s: %.2fx enumeration \
+                   speedup at %d jobs on %d core(s))\n"
+      out largest largest_speedup
+      (List.fold_left max 1 jobs_list)
+      (Domain.recommended_domain_count ());
+    (* Smoke gate for the pool regression: enumeration at the requested
+       --jobs must not lose more than noise to the sequential run now
+       that the global pool is clamped to the hardware. *)
+    if smoke && largest_speedup < 0.9 then begin
+      Printf.eprintf
+        "FAIL: enumeration at %d jobs is %.2fx the 1-job throughput \
+         (threshold 0.9)\n%!"
+        (List.fold_left max 1 jobs_list)
+        largest_speedup;
+      exit 1
+    end
+  end
 
 let write_trace path =
   Mcf_obs.Trace.stop ();
@@ -340,6 +428,7 @@ let () =
   let out = ref "BENCH_search.json" in
   let jobs = ref (max 4 (Mcf_util.Pool.default_jobs ())) in
   let smoke = ref false in
+  let estimate_only = ref false in
   let rec parse = function
     | [] -> ()
     | "--list" :: _ ->
@@ -383,6 +472,9 @@ let () =
     | "--smoke" :: rest ->
       smoke := true;
       parse rest
+    | "--estimate-only" :: rest ->
+      estimate_only := true;
+      parse rest
     | arg :: _ ->
       Printf.printf "unknown argument %S (try --list)\n" arg;
       exit 1
@@ -393,7 +485,9 @@ let () =
   if !trace <> None then Mcf_obs.Trace.start ();
   let t0 = Unix.gettimeofday () in
   (match !mode with
-  | `Search -> run_search_bench ~jobs:!jobs ~smoke:!smoke ~out:!out
+  | `Search ->
+    run_search_bench ~jobs:!jobs ~smoke:!smoke ~estimate_only:!estimate_only
+      ~out:!out
   | `Experiments ->
     let ids =
       match !only with

@@ -315,7 +315,7 @@ let dot_cmd =
             | Error Mcf_search.Tuner.No_viable_candidate ->
               Error (`Msg "no viable candidate")
             | Ok o ->
-              print_string (Mcf_ir.Program.to_dot o.best.lowered.program);
+              print_string (Mcf_ir.Program.to_dot (Mcf_search.Space.lowered o.best).program);
               Ok ()))
   in
   let term =
@@ -339,14 +339,14 @@ let explain_cmd =
               Error (`Msg "no viable candidate")
             | Ok o ->
               print_string (Mcf_gpu.Sim.explain spec o.kernel);
-              let b = Mcf_model.Perf.breakdown spec o.best.lowered in
+              let b = Mcf_model.Perf.breakdown spec (Mcf_search.Space.lowered o.best) in
               Printf.printf
                 "\nanalytical model (eqs. 2-5): %.2f us = (mem %.2f + comp %.2f) \
                  x alpha %.3f\n"
                 (b.t_total *. 1e6) (b.t_mem *. 1e6) (b.t_comp *. 1e6) b.alpha;
               Printf.printf
                 "shared memory: eq. (1) estimate %d B, actual allocation %d B\n"
-                (Mcf_model.Shmem.estimate_bytes o.best.lowered)
+                (Mcf_model.Shmem.estimate_bytes (Mcf_search.Space.lowered o.best))
                 o.kernel.smem_bytes;
               Ok ()))
   in
@@ -421,7 +421,7 @@ let schedule_cmd =
               Printf.printf "\n# generated Triton kernel\n";
               print_string (Mcf_search.Tuner.triton_source o);
               Printf.printf "\n# launch stub\n";
-              print_string (Mcf_codegen.Emit.launch_stub o.best.lowered.program);
+              print_string (Mcf_codegen.Emit.launch_stub (Mcf_search.Space.lowered o.best).program);
               Printf.printf "\n# TIR view (SV-B round trip)\n";
               print_string
                 (Mcf_ir.Tir.pretty
@@ -577,7 +577,7 @@ let verify_cmd =
                     (ts.tname, Mcf_tensor.Tensor.random rng shape))
                   (Mcf_ir.Chain.input_tensors chain)
               in
-              let got = Mcf_interp.Interp.run o.best.lowered.program ~inputs in
+              let got = Mcf_interp.Interp.run (Mcf_search.Space.lowered o.best).program ~inputs in
               let want = Mcf_interp.Interp.reference chain ~inputs in
               let diff = Mcf_tensor.Tensor.max_abs_diff got want in
               Printf.printf

@@ -18,7 +18,7 @@ let space_options =
 
 let measure ~clock spec (entry : Mcf_search.Space.entry) =
   Mcf_gpu.Clock.charge_compile clock ~toolchain_s:tvm_compile_s;
-  match Mcf_codegen.Compile.compile spec entry.lowered with
+  match Mcf_codegen.Compile.compile spec (Mcf_search.Space.lowered entry) with
   | Error _ -> None
   | Ok kernel -> (
     match Mcf_gpu.Sim.run spec (derate kernel) with
@@ -40,7 +40,7 @@ let tune_fused ~rng ~clock spec chain =
     let predict (e : Mcf_search.Space.entry) =
       match !model with
       | None -> Mcf_util.Rng.float rng 1.0
-      | Some m -> Xgb.predict m (Xgb.feature_vector e.lowered)
+      | Some m -> Xgb.predict m (Xgb.feature_vector (Mcf_search.Space.lowered e))
     in
     while !budget > 0 do
       let round = min trials_per_round !budget in
@@ -78,7 +78,7 @@ let tune_fused ~rng ~clock spec chain =
           (fun _ (e, r) acc ->
             match r with
             | Some (_, t) ->
-              ((Xgb.feature_vector e.Mcf_search.Space.lowered, log t) :: acc)
+              ((Xgb.feature_vector (Mcf_search.Space.lowered e), log t) :: acc)
             | None -> acc)
           results []
       in

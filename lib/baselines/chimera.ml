@@ -4,11 +4,21 @@ let space_options =
     dead_loop_elim = false }
 
 (* Chimera's objective: minimize data movement under its block execution
-   layout; it accounts parallel occupancy but not redundant computation. *)
+   layout; it accounts parallel occupancy but not redundant computation.
+   Evaluated closed-form (no lowering) — traffic and block count from
+   [Analytic] are bit-equal to the lowered walk's. *)
 let data_movement_estimator (spec : Mcf_gpu.Spec.t) (e : Mcf_search.Space.entry) =
-  let blocks = float_of_int e.lowered.Mcf_ir.Lower.blocks in
+  let ctx = e.Mcf_search.Space.ctx in
+  let ev =
+    Mcf_model.Analytic.eval_candidate ~rule1:ctx.Mcf_search.Space.rule1
+      ~dead_loop_elim:ctx.Mcf_search.Space.dead_loop_elim
+      ~hoisting:ctx.Mcf_search.Space.hoisting
+      ~elem_bytes:ctx.Mcf_search.Space.elem_bytes ctx.Mcf_search.Space.chain
+      e.cand
+  in
+  let blocks = ev.Mcf_model.Analytic.blocks in
   let alpha = (blocks +. float_of_int spec.sm_count) /. blocks in
-  Mcf_ir.Lower.total_traffic_bytes e.lowered /. spec.mem_bw *. alpha
+  ev.Mcf_model.Analytic.traffic_bytes /. spec.mem_bw *. alpha
 
 let tune spec (chain : Mcf_ir.Chain.t) =
   let seed =
@@ -31,7 +41,7 @@ let tune spec (chain : Mcf_ir.Chain.t) =
     with
     | None -> Error (Backend.Unsupported "no viable candidate")
     | Some { best; best_time_s; _ } -> (
-      match Mcf_codegen.Compile.compile spec best.lowered with
+      match Mcf_codegen.Compile.compile spec (Mcf_search.Space.lowered best) with
       | Error e -> Error (Backend.Unsupported (Mcf_codegen.Compile.string_of_error e))
       | Ok kernel ->
         Ok

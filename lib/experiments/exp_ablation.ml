@@ -32,22 +32,32 @@ let workload_mix () =
           (Mcf_workloads.Configs.find_attention name))
       [ "S2"; "S5"; "S9" ]
 
+(* Closed-form (no lowering): bit-equal to
+   [Perf.breakdown spec (Space.lowered e)] minus the alpha factor. *)
 let no_alpha_estimator spec (e : Mcf_search.Space.entry) =
-  let b = Mcf_model.Perf.breakdown spec e.Mcf_search.Space.lowered in
+  let ctx = e.Mcf_search.Space.ctx in
+  let b =
+    Mcf_model.Analytic.breakdown ~rule1:ctx.Mcf_search.Space.rule1
+      ~dead_loop_elim:ctx.Mcf_search.Space.dead_loop_elim
+      ~hoisting:ctx.Mcf_search.Space.hoisting spec ctx.Mcf_search.Space.chain
+      e.cand
+  in
   b.t_mem +. b.t_comp
 
-(* Pick the model's argmin over the whole space, one final measurement. *)
+(* Pick the model's argmin over the whole space, one final measurement.
+   The argmin is found closed-form; only the winner is ever lowered. *)
 let model_only spec chain =
   let entries, _ = Mcf_search.Space.enumerate spec chain in
   let best =
     Mcf_util.Listx.min_by
-      (fun (e : Mcf_search.Space.entry) -> Mcf_model.Perf.estimate spec e.lowered)
+      (fun (e : Mcf_search.Space.entry) ->
+        Mcf_model.Analytic.estimate spec chain e.cand)
       entries
   in
   match best with
   | None -> { kernel_time_s = None; tuning_s = None }
   | Some e -> (
-    match Mcf_codegen.Compile.compile spec e.lowered with
+    match Mcf_codegen.Compile.compile spec (Mcf_search.Space.lowered e) with
     | Error _ -> { kernel_time_s = None; tuning_s = Some 4.0 }
     | Ok kernel -> (
       match Mcf_gpu.Sim.run spec kernel with

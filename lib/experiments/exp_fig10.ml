@@ -27,8 +27,9 @@ let compute ?(per_workload = 300) (spec : Mcf_gpu.Spec.t) =
       let n = min per_workload (Array.length arr) in
       for i = 0 to n - 1 do
         let e = arr.(i) in
-        let est = Mcf_model.Shmem.estimate_bytes e.lowered in
-        let actual = Mcf_codegen.Alloc.actual_bytes spec e.lowered in
+        let l = Mcf_search.Space.lowered e in
+        let est = Mcf_model.Shmem.estimate_bytes l in
+        let actual = Mcf_codegen.Alloc.actual_bytes spec l in
         points := (est, actual) :: !points
       done)
     (sample_chains ());

@@ -22,10 +22,12 @@ let compute ?(samples = 250) (spec : Mcf_gpu.Spec.t) =
         Mcf_util.Rng.shuffle rng arr;
         let n = min samples (Array.length arr) in
         let points = ref [] in
+        (* Estimates are closed-form; only the sampled entries that reach
+           compilation get lowered (lazily, by [Space.lowered]). *)
         for i = 0 to n - 1 do
           let e = arr.(i) in
-          let est = Mcf_model.Perf.estimate spec e.lowered in
-          match Mcf_codegen.Compile.compile spec e.lowered with
+          let est = Mcf_model.Analytic.estimate spec chain e.cand in
+          match Mcf_codegen.Compile.compile spec (Mcf_search.Space.lowered e) with
           | Error _ -> ()
           | Ok kernel -> (
             match Mcf_gpu.Sim.run spec kernel with

@@ -201,7 +201,12 @@ let of_program ~elem_bytes (program : Program.t) =
     stmt_trips_total;
     validity = Program.validate program }
 
+let lower_calls = Atomic.make 0
+
+let calls () = Atomic.get lower_calls
+
 let lower ?rule1 ?dead_loop_elim ?hoisting ~elem_bytes chain cand =
+  Atomic.incr lower_calls;
   of_program ~elem_bytes
     (Program.build ?rule1 ?dead_loop_elim ?hoisting chain cand)
 

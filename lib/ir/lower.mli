@@ -65,6 +65,11 @@ val lower :
 (** Build, optimize and account a candidate.  The switches mirror
     {!Program.build}. *)
 
+val calls : unit -> int
+(** Process-wide cumulative {!lower} invocation count.  The analytic fast
+    path exists so lowering runs only for measured/codegen candidates;
+    tests assert that by diffing this counter around a tune. *)
+
 val of_program : elem_bytes:int -> Program.t -> t
 (** Account an already-built program. *)
 

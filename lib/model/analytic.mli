@@ -1,0 +1,115 @@
+(** Closed-form analytical model: eqs. (2)-(5) without lowering.
+
+    [breakdown spec chain cand] equals
+    [Perf.breakdown spec (Lower.lower ... chain cand)] bit-for-bit, but is
+    computed straight from [(chain, tiling, tiles)] by replaying the
+    structural passes of {!Mcf_ir.Program.build} (grid split, dead-loop
+    splicing, scope placement, hoisting) on a symbolic loop-nest skeleton
+    — the same move {!Shmem.footprint_of_candidate} makes for the rule-4
+    precheck, extended to the whole performance model.  This is what lets
+    the search estimate thousands of candidates without materializing a
+    single lowered program (the paper's tuning-time win, Table IV).
+
+    Exactness holds because every aggregate the lowered walk computes is a
+    sum/product of integer-valued floats far below 2^53 — exact and
+    order-independent — and the per-term arithmetic here mirrors
+    {!Mcf_ir.Lower} operator-for-operator.  test_model.ml asserts
+    bit-equality of all four breakdown fields and the validity verdict
+    across workloads x flag combos. *)
+
+(** Symbolic program summary: placed-statement paths and structural facts.
+    Depends on the tiling expression and on which trip counts equal 1 —
+    never on tile magnitudes, which enter only at {!evaluate} time. *)
+type summary
+
+val summarize :
+  ?rule1:bool ->
+  ?dead_loop_elim:bool ->
+  ?hoisting:bool ->
+  Mcf_ir.Chain.t ->
+  Mcf_ir.Candidate.t ->
+  summary
+(** Replay {!Mcf_ir.Program.build}'s structural decisions symbolically.
+    The switches mirror [Program.build]. *)
+
+type eval = {
+  bytes_per_block : float;  (** = [Lower.bytes_per_block]. *)
+  flops_per_block : float;  (** = [Lower.flops_per_block]. *)
+  blocks : float;  (** = [float_of_int (Program.grid_blocks ...)]. *)
+  traffic_bytes : float;  (** = [Lower.total_traffic_bytes]. *)
+  everdict : (unit, Mcf_ir.Program.invalid) result;
+      (** = [Program.validate] — the softmax-legality verdict. *)
+}
+
+val evaluate : elem_bytes:int -> summary -> Mcf_ir.Candidate.t -> eval
+(** Numeric evaluation of a summary for a concrete tile vector. *)
+
+val breakdown_of_eval : Mcf_gpu.Spec.t -> eval -> Perf.breakdown
+
+val eval_candidate :
+  ?rule1:bool ->
+  ?dead_loop_elim:bool ->
+  ?hoisting:bool ->
+  elem_bytes:int ->
+  Mcf_ir.Chain.t ->
+  Mcf_ir.Candidate.t ->
+  eval
+
+val breakdown :
+  ?rule1:bool ->
+  ?dead_loop_elim:bool ->
+  ?hoisting:bool ->
+  Mcf_gpu.Spec.t ->
+  Mcf_ir.Chain.t ->
+  Mcf_ir.Candidate.t ->
+  Perf.breakdown
+(** [= Perf.breakdown spec (Lower.lower ... chain cand)], closed form. *)
+
+val estimate :
+  ?rule1:bool ->
+  ?dead_loop_elim:bool ->
+  ?hoisting:bool ->
+  Mcf_gpu.Spec.t ->
+  Mcf_ir.Chain.t ->
+  Mcf_ir.Candidate.t ->
+  float
+(** [t_total] only. *)
+
+val verdict :
+  ?rule1:bool ->
+  ?dead_loop_elim:bool ->
+  ?hoisting:bool ->
+  Mcf_ir.Chain.t ->
+  Mcf_ir.Candidate.t ->
+  (unit, Mcf_ir.Program.invalid) result
+(** The softmax-legality verdict alone (= [(Lower.lower ...).validity]). *)
+
+(** Summary memoization for search hot loops.
+
+    Keyed by the rule-1 canonical per-block sub-tiling expression (the
+    full expression when rule 1 is off) plus the trip=1 mask over the
+    chain's axes — exactly the inputs the summary depends on.  Hits and
+    misses are surfaced as the [model.memo.hits] / [model.memo.misses]
+    counters.  Domain-safe: lookups take a mutex, summaries are computed
+    outside it (pure, so a racing duplicate is only wasted work). *)
+module Memo : sig
+  type t
+
+  val create :
+    ?rule1:bool ->
+    ?dead_loop_elim:bool ->
+    ?hoisting:bool ->
+    elem_bytes:int ->
+    Mcf_ir.Chain.t ->
+    t
+  (** One memo per (chain, flags) — the key does not encode the flags, so
+      never share an instance across flag settings. *)
+
+  val summary : t -> Mcf_ir.Candidate.t -> summary
+
+  val eval : t -> Mcf_ir.Candidate.t -> eval
+
+  val breakdown : t -> Mcf_gpu.Spec.t -> Mcf_ir.Candidate.t -> Perf.breakdown
+
+  val estimate : t -> Mcf_gpu.Spec.t -> Mcf_ir.Candidate.t -> float
+end

@@ -44,7 +44,7 @@ type result = {
 
 let measure ~clock ~compile_cost_s ~repeats spec (entry : Space.entry) =
   Mcf_gpu.Clock.charge_compile clock ~toolchain_s:compile_cost_s;
-  match Mcf_codegen.Compile.compile spec entry.lowered with
+  match Mcf_codegen.Compile.compile spec (Space.lowered entry) with
   | Error _ ->
     (* A failed compile still costs toolchain time but no device time. *)
     None
@@ -55,11 +55,7 @@ let measure ~clock ~compile_cost_s ~repeats spec (entry : Space.entry) =
       Mcf_gpu.Clock.charge_measure clock ~kernel_time_s:v.time_s ~repeats;
       Some v.time_s)
 
-let default_estimator spec (e : Space.entry) =
-  Mcf_model.Perf.estimate spec e.lowered
-
-let run ?(params = default_params) ?(estimator = default_estimator) ~rng ~clock
-    spec entries =
+let run ?(params = default_params) ?estimator ~rng ~clock spec entries =
   match entries with
   | [] -> None
   | _ ->
@@ -77,19 +73,43 @@ let run ?(params = default_params) ?(estimator = default_estimator) ~rng ~clock
         ignore (Mcf_ir.Candidate.Interner.intern interner e.cand))
       pool;
     (* Batched estimate pass: the whole pruned space is scored once, in
-       parallel on the shared domain pool (the estimator must be pure —
-       every estimator in the tree is analytic).  The old code reached the
-       same coverage lazily through the seeding ranking, but re-ran the
-       string-keyed cache lookup inside every sort comparator. *)
-    let estimates =
+       parallel on the shared domain pool.  By default the score is the
+       closed-form analytical model (no lowering, summaries memoized per
+       sub-tiling); a custom estimator (Chimera's data-movement objective)
+       replaces the score but the traffic ranking below stays closed-form
+       either way.  Estimators must be pure. *)
+    let ctx = pool.(0).Space.ctx in
+    let memo =
+      Mcf_model.Analytic.Memo.create ~rule1:ctx.Space.rule1
+        ~dead_loop_elim:ctx.Space.dead_loop_elim ~hoisting:ctx.Space.hoisting
+        ~elem_bytes:ctx.Space.elem_bytes ctx.Space.chain
+    in
+    let sm_countf = float_of_int spec.Mcf_gpu.Spec.sm_count in
+    let scored_pool =
       Trace.with_span "explore.estimate"
         ~args:(fun () -> [ ("points", Trace.Int n) ])
         (fun () ->
-          Mcf_util.Pool.map_array (Mcf_util.Pool.get ())
-            (fun e ->
-              Trace.observe_timed h_estimate_s (fun () -> estimator spec e))
+          Mcf_util.Pool.map_array ~min_chunk_work:64 (Mcf_util.Pool.get ())
+            (fun (e : Space.entry) ->
+              Trace.observe_timed h_estimate_s (fun () ->
+                  let ev = Mcf_model.Analytic.Memo.eval memo e.cand in
+                  let est =
+                    match estimator with
+                    | None ->
+                      (Mcf_model.Analytic.breakdown_of_eval spec ev)
+                        .Mcf_model.Perf.t_total
+                    | Some f -> f spec e
+                  in
+                  let traffic =
+                    ev.Mcf_model.Analytic.traffic_bytes
+                    *. ((ev.Mcf_model.Analytic.blocks +. sm_countf)
+                       /. ev.Mcf_model.Analytic.blocks)
+                  in
+                  (est, traffic)))
             pool)
     in
+    let estimates = Array.map fst scored_pool in
+    let traffic = Array.map snd scored_pool in
     Mcf_obs.Metrics.add c_estimated n;
     let estimate id = estimates.(id) in
     let measured : (int, float option) Hashtbl.t = Hashtbl.create 64 in
@@ -115,7 +135,7 @@ let run ?(params = default_params) ?(estimator = default_estimator) ~rng ~clock
         if i >= tries then id
         else begin
           let name, tile = Mcf_util.Rng.pick rng axes in
-          let axis = Mcf_ir.Chain.axis e.lowered.program.Mcf_ir.Program.chain name in
+          let axis = Mcf_ir.Chain.axis e.ctx.Space.chain name in
           let options =
             Array.of_list (Mcf_ir.Candidate.tile_options axis.Mcf_ir.Axis.size)
           in
@@ -141,18 +161,13 @@ let run ?(params = default_params) ?(estimator = default_estimator) ~rng ~clock
     in
     (* Initial population: uniform random (Algorithm 1 line 1) plus the
        global top-k under two free rankings — the analytical model and its
-       pure data-movement component.  Estimating the whole pruned space
-       costs microseconds, and seeding both rankings guarantees the search
-       dominates any single-objective analytical strategy (in particular
-       Chimera's) over the same space. *)
-    let traffic_rank (e : Space.entry) =
-      let blocks = float_of_int e.lowered.Mcf_ir.Lower.blocks in
-      Mcf_ir.Lower.total_traffic_bytes e.lowered
-      *. ((blocks +. float_of_int spec.Mcf_gpu.Spec.sm_count) /. blocks)
-    in
-    let traffic = Array.map traffic_rank pool in
-    (* Ranking keys are precomputed arrays, so the comparator is two array
-       reads — no estimator (or string hash) inside the O(n log n) sort. *)
+       pure data-movement component (both computed in the single pass
+       above).  Estimating the whole pruned space costs microseconds, and
+       seeding both rankings guarantees the search dominates any
+       single-objective analytical strategy (in particular Chimera's) over
+       the same space.  Ranking keys are precomputed arrays, so the
+       comparator is two array reads — no estimator (or string hash)
+       inside the O(n log n) sort. *)
     let top_ids_by key_of =
       let ranked = Array.init n Fun.id in
       Array.sort (fun a b -> Float.compare key_of.(a) key_of.(b)) ranked;

@@ -52,8 +52,10 @@ val run :
   Space.entry list ->
   result option
 (** [None] when no candidate in the space compiles and launches.
-    [estimator] defaults to the analytical model of eqs. (2)-(5); the
-    Chimera baseline substitutes its data-movement-only objective. *)
+    [estimator] defaults to the analytical model of eqs. (2)-(5),
+    evaluated closed-form through {!Mcf_model.Analytic.Memo} (no entry is
+    lowered for estimation); the Chimera baseline substitutes its
+    data-movement-only objective. *)
 
 val measure :
   clock:Mcf_gpu.Clock.t ->

@@ -36,10 +36,38 @@ let default_options =
     max_padding = 0.05;
     shmem_slack = 1.2 }
 
+type ctx = {
+  chain : Chain.t;
+  rule1 : bool;
+  dead_loop_elim : bool;
+  hoisting : bool;
+  elem_bytes : int;
+}
+
 type entry = {
   cand : Candidate.t;
-  lowered : Lower.t;
+  ctx : ctx;
+  cell : Lower.t Mcf_util.Once.t;
 }
+
+let lowered e = Mcf_util.Once.force e.cell
+
+(* Lowering is deferred until someone actually needs the materialized
+   program — measurement, codegen, a baseline's feature extractor.  The
+   estimate path never does (the closed-form [Mcf_model.Analytic] covers
+   it), so a tune lowers tens of candidates instead of the whole valid
+   space.  The [space.lower] span and counter now meter exactly those
+   forces. *)
+let make_entry ctx cand =
+  { cand;
+    ctx;
+    cell =
+      Mcf_util.Once.make (fun () ->
+          Mcf_obs.Trace.with_span "space.lower" (fun () ->
+              Mcf_obs.Metrics.incr c_candidates_lowered;
+              Lower.lower ~rule1:ctx.rule1 ~dead_loop_elim:ctx.dead_loop_elim
+                ~hoisting:ctx.hoisting ~elem_bytes:ctx.elem_bytes ctx.chain
+                cand)) }
 
 type funnel = {
   tilings_raw : int;
@@ -168,7 +196,7 @@ let enumerate ?(options = default_options) (spec : Mcf_gpu.Spec.t) chain =
       let pool = Mcf_util.Pool.get () in
       (* Stage 1: eq. (1) straight from (tiling, tiles), no Lower.lower.
          Exactness against the lowered estimate is enforced by the sweep in
-         test_model.ml; the post-lowering check below stays as a backstop. *)
+         test_model.ml, so no post-lowering backstop is needed. *)
       let survivor_ranks =
         Trace.with_span "space.precheck"
           ~args:(fun () -> [ ("points", Trace.Int total) ])
@@ -176,7 +204,7 @@ let enumerate ?(options = default_options) (spec : Mcf_gpu.Spec.t) chain =
             if not opts.rule4 then Array.init total Fun.id
             else begin
               let ok =
-                Mcf_util.Pool.init pool total (fun r ->
+                Mcf_util.Pool.init ~min_chunk_work:64 pool total (fun r ->
                     Mcf_model.Shmem.precheck_within_budget spec
                       ~slack:opts.shmem_slack ~rule1:opts.rule1
                       ~dead_loop_elim:opts.dead_loop_elim chain (cand_of r))
@@ -196,42 +224,41 @@ let enumerate ?(options = default_options) (spec : Mcf_gpu.Spec.t) chain =
               ranks
             end)
       in
-      (* Stage 2: lower only the survivors, in parallel chunks straight into
-         an array. *)
-      let evaluated =
-        Trace.with_span "space.lower"
+      (* Stage 2: closed-form softmax-legality verdict on the survivors —
+         still no lowering (the verdict equals [(Lower.lower ...).validity]
+         by the test_model.ml sweep).  Survivor entries carry a lazy
+         lowering cell forced only by measurement or codegen. *)
+      let ctx =
+        { chain;
+          rule1 = opts.rule1;
+          dead_loop_elim = opts.dead_loop_elim;
+          hoisting = opts.hoisting;
+          elem_bytes = spec.elem_bytes }
+      in
+      let memo =
+        Mcf_model.Analytic.Memo.create ~rule1:opts.rule1
+          ~dead_loop_elim:opts.dead_loop_elim ~hoisting:opts.hoisting
+          ~elem_bytes:spec.elem_bytes chain
+      in
+      let valid =
+        Trace.with_span "space.validity"
           ~args:(fun () ->
             [ ("points", Trace.Int (Array.length survivor_ranks)) ])
           (fun () ->
-            Mcf_util.Pool.map_array pool
+            Mcf_util.Pool.map_array ~min_chunk_work:64 pool
               (fun r ->
-                let cand = cand_of r in
-                let lowered =
-                  Lower.lower ~rule1:opts.rule1
-                    ~dead_loop_elim:opts.dead_loop_elim ~hoisting:opts.hoisting
-                    ~elem_bytes:spec.elem_bytes chain cand
-                in
-                let rule4_ok =
-                  (not opts.rule4)
-                  || Mcf_model.Shmem.within_budget spec ~slack:opts.shmem_slack
-                       lowered
-                in
-                if not rule4_ok then `Pruned_rule4
-                else if Result.is_error lowered.validity then `Invalid
-                else `Entry { cand; lowered })
+                Result.is_ok
+                  (Mcf_model.Analytic.Memo.eval memo (cand_of r)).everdict)
               survivor_ranks)
       in
       let survivors =
-        Array.to_list evaluated
-        |> List.filter_map (function
-             | `Entry e -> Some e
-             | `Pruned_rule4 | `Invalid -> None)
+        Array.to_list
+          (Array.map2
+             (fun r ok -> if ok then Some (make_entry ctx (cand_of r)) else None)
+             survivor_ranks valid)
+        |> List.filter_map Fun.id
       in
-      let n_rule4 =
-        Array.fold_left
-          (fun n -> function `Pruned_rule4 -> n | `Invalid | `Entry _ -> n + 1)
-          0 evaluated
-      in
+      let n_rule4 = Array.length survivor_ranks in
       let funnel =
         { tilings_raw = List.length raw_ts;
           tilings_rule1 = List.length ts1;
@@ -248,13 +275,12 @@ let enumerate ?(options = default_options) (spec : Mcf_gpu.Spec.t) chain =
         (funnel.tilings_raw - funnel.tilings_rule1);
       Mcf_obs.Metrics.add c_pruned_rule2
         (funnel.tilings_rule1 - funnel.tilings_rule2);
-      Mcf_obs.Metrics.add c_candidates_lowered (Array.length survivor_ranks);
       Mcf_obs.Metrics.add c_pruned_rule4 (total - funnel.candidates_rule4);
       Mcf_obs.Metrics.add c_pruned_invalid
         (funnel.candidates_rule4 - funnel.candidates_valid);
       Mcf_obs.Metrics.add c_candidates_valid funnel.candidates_valid;
       Log.debug (fun m ->
-          m "%s: %d tilings -> %d exprs, %d points (%d lowered) -> %d valid \
+          m "%s: %d tilings -> %d exprs, %d points (%d checked) -> %d valid \
              candidates"
             chain.Chain.cname funnel.tilings_raw funnel.tilings_rule2 total
             (Array.length survivor_ranks) funnel.candidates_valid);

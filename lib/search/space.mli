@@ -36,10 +36,33 @@ type options = {
 val default_options : options
 (** Everything on, paper thresholds. *)
 
+(** Everything needed to lower (or analytically cost) a candidate of this
+    space: the chain, the structural-pass switches and the element width. *)
+type ctx = {
+  chain : Mcf_ir.Chain.t;
+  rule1 : bool;
+  dead_loop_elim : bool;
+  hoisting : bool;
+  elem_bytes : int;
+}
+
 type entry = {
   cand : Mcf_ir.Candidate.t;
-  lowered : Mcf_ir.Lower.t;  (** Shared by the model, codegen and search. *)
+  ctx : ctx;
+  cell : Mcf_ir.Lower.t Mcf_util.Once.t;
+      (** Lazily-forced lowering; access through {!lowered}.  Estimation
+          uses the closed-form {!Mcf_model.Analytic} instead, so only
+          candidates reaching measurement or codegen ever force it. *)
 }
+
+val lowered : entry -> Mcf_ir.Lower.t
+(** Force (once, domain-safely) and return the entry's lowered program.
+    Each first force runs under a [space.lower] trace span and bumps the
+    [space.candidates_lowered] counter. *)
+
+val make_entry : ctx -> Mcf_ir.Candidate.t -> entry
+(** Wrap a candidate with a lazy lowering cell (exposed for baselines and
+    tests that build entries outside {!enumerate}). *)
 
 type funnel = {
   tilings_raw : int;
@@ -47,7 +70,7 @@ type funnel = {
   tilings_rule2 : int;
   candidates_raw : float;  (** Raw cardinality (counted, not materialized). *)
   candidates_rule3 : float;
-  candidates_rule4 : int;  (** Survivors actually materialized. *)
+  candidates_rule4 : int;  (** Survivors of the closed-form precheck. *)
   candidates_valid : int;  (** After the softmax-legality check. *)
 }
 

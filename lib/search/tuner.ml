@@ -60,7 +60,7 @@ let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
     | Some { best; best_time_s; stats } -> (
       match
         phase "tuner.codegen" (fun () ->
-            Mcf_codegen.Compile.compile spec best.lowered)
+            Mcf_codegen.Compile.compile spec (Space.lowered best))
       with
       | Error _ -> Error No_viable_candidate
       | Ok kernel ->
@@ -91,6 +91,7 @@ let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
     (fun o -> { o with tuning_wall_s = wall; phases = List.rev !phases })
     result
 
-let pseudo_code o = Mcf_ir.Program.to_string o.best.lowered.program
+let pseudo_code o = Mcf_ir.Program.to_string (Space.lowered o.best).program
 
-let triton_source o = Mcf_codegen.Emit.triton_kernel o.best.lowered.program
+let triton_source o =
+  Mcf_codegen.Emit.triton_kernel (Space.lowered o.best).program

@@ -1,0 +1,30 @@
+type 'a state = Thunk of (unit -> 'a) | Value of 'a | Raised of exn
+
+type 'a t = { m : Mutex.t; mutable state : 'a state }
+
+let make f = { m = Mutex.create (); state = Thunk f }
+
+let force t =
+  Mutex.lock t.m;
+  match t.state with
+  | Value v ->
+    Mutex.unlock t.m;
+    v
+  | Raised e ->
+    Mutex.unlock t.m;
+    raise e
+  | Thunk f ->
+    (* The thunk runs under the mutex: concurrent forcers block until the
+       result is memoized, so [f] executes exactly once. *)
+    let r = try Ok (f ()) with e -> Error e in
+    (match r with
+    | Ok v -> t.state <- Value v
+    | Error e -> t.state <- Raised e);
+    Mutex.unlock t.m;
+    (match r with Ok v -> v | Error e -> raise e)
+
+let is_forced t =
+  Mutex.lock t.m;
+  let r = match t.state with Thunk _ -> false | Value _ | Raised _ -> true in
+  Mutex.unlock t.m;
+  r

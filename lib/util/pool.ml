@@ -180,15 +180,21 @@ let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
    parallel speedup; matches the old Parallel.map threshold. *)
 let min_items = 32
 
-let run_range t n body =
+let run_range ?(min_chunk_work = min_items) t n body =
+  let cutoff = max min_items min_chunk_work in
   if n <= 0 then ()
-  else if t.size = 1 || t.quit || n < min_items || Domain.DLS.get in_task then
+  else if t.size = 1 || t.quit || n < cutoff || Domain.DLS.get in_task then
     body 0 n
   else begin
     Atomic.incr jobs_total;
     (* A few chunks per participant so fast participants can steal the
-       tail from slow ones without per-element scheduling overhead. *)
-    let csize = max 1 ((n + (t.size * 4) - 1) / (t.size * 4)) in
+       tail from slow ones without per-element scheduling overhead — but
+       never chunks smaller than [min_chunk_work]: when per-item work is
+       tiny, handoff (deque locking, condvar wakeups) dominates any
+       speedup, so cheap jobs are dealt in coarser pieces. *)
+    let csize =
+      max (max 1 min_chunk_work) ((n + (t.size * 4) - 1) / (t.size * 4))
+    in
     let nchunks = (n + csize - 1) / csize in
     let deques =
       Array.init t.size (fun _ -> { dm = Mutex.create (); items = [] })
@@ -224,7 +230,7 @@ let run_range t n body =
     match Atomic.get job.jfail with Some e -> raise e | None -> ()
   end
 
-let map_array t f arr =
+let map_array ?min_chunk_work t f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
@@ -232,26 +238,27 @@ let map_array t f arr =
        the right type (no Obj.magic) and keeps float arrays unboxed. *)
     let first = f arr.(0) in
     let res = Array.make n first in
-    run_range t (n - 1) (fun lo hi ->
+    run_range ?min_chunk_work t (n - 1) (fun lo hi ->
         for i = lo to hi - 1 do
           res.(i + 1) <- f arr.(i + 1)
         done);
     res
   end
 
-let init t n f =
+let init ?min_chunk_work t n f =
   if n <= 0 then [||]
   else begin
     let first = f 0 in
     let res = Array.make n first in
-    run_range t (n - 1) (fun lo hi ->
+    run_range ?min_chunk_work t (n - 1) (fun lo hi ->
         for i = lo to hi - 1 do
           res.(i + 1) <- f (i + 1)
         done);
     res
   end
 
-let map t f l = Array.to_list (map_array t f (Array.of_list l))
+let map ?min_chunk_work t f l =
+  Array.to_list (map_array ?min_chunk_work t f (Array.of_list l))
 
 (* --- the shared global pool --------------------------------------------- *)
 
@@ -271,6 +278,15 @@ let jobs () =
 
 let set_jobs j = requested := Some (max 1 j)
 
+(* Oversubscribing a small machine is strictly worse than sequential for
+   the tuner's short jobs (domains contend for the same cores and the
+   caller parks on stragglers), so the *global* pool never spawns more
+   participants than the hardware offers.  Explicit [create ~domains] is
+   left unclamped: tests and callers that want oversubscription on
+   purpose can still ask for it. *)
+let effective_jobs () =
+  min (jobs ()) (max 1 (Domain.recommended_domain_count ()))
+
 let global = ref None
 let global_lock = Mutex.create ()
 
@@ -279,7 +295,7 @@ let get () =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock global_lock)
     (fun () ->
-      let want = jobs () in
+      let want = effective_jobs () in
       match !global with
       | Some p when p.size = want -> p
       | prev ->

@@ -40,38 +40,51 @@ val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] with a temporary pool of [jobs]
     participants, shutting it down afterwards (also on exceptions). *)
 
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?min_chunk_work:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map over a list. *)
 
-val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+val map_array : ?min_chunk_work:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving parallel map over an array. *)
 
-val init : t -> int -> (int -> 'a) -> 'a array
+val init : ?min_chunk_work:int -> t -> int -> (int -> 'a) -> 'a array
 (** [init p n f] is a parallel [Array.init n f].  Useful for indexed
     virtual spaces where materializing the input would defeat the point. *)
 
-val run_range : t -> int -> (int -> int -> unit) -> unit
+val run_range : ?min_chunk_work:int -> t -> int -> (int -> int -> unit) -> unit
 (** [run_range p n body] partitions [\[0, n)] into chunks and calls
     [body lo hi] for each chunk [\[lo, hi)], in parallel.  [body] must
-    only write to disjoint state per index (e.g. distinct array cells). *)
+    only write to disjoint state per index (e.g. distinct array cells).
+
+    [min_chunk_work] is the caller's per-call sequential cutoff for jobs
+    with cheap per-item work (default 32): ranges shorter than it run
+    inline in the caller, and parallel runs never deal chunks smaller
+    than it, so deque handoff cannot dominate sub-microsecond items.
+    Results are bit-identical whatever its value. *)
 
 (** {1 The shared global pool}
 
     Library code ({!Mcf_search.Space}, {!Mcf_search.Explore}) uses one
-    process-wide pool so domains are spawned once per process.  Its size
-    is, in order of precedence: the last {!set_jobs} call, the
-    [MCFUSER_JOBS] environment variable, then
-    [min 8 (Domain.recommended_domain_count ())]. *)
+    process-wide pool so domains are spawned once per process.  Its
+    requested size is, in order of precedence: the last {!set_jobs} call,
+    the [MCFUSER_JOBS] environment variable, then
+    [min 8 (Domain.recommended_domain_count ())]; the spawned size is
+    additionally clamped to [Domain.recommended_domain_count ()], so
+    [--jobs 4] on a 1-core container runs sequentially instead of
+    oversubscribing (explicit {!create} is not clamped). *)
 
 val get : unit -> t
-(** The global pool, (re)spawned on demand to match {!jobs}[ ()]. *)
+(** The global pool, (re)spawned on demand to match {!effective_jobs}[ ()]. *)
 
 val set_jobs : int -> unit
 (** Override the global pool size (e.g. from a [--jobs] CLI flag).
     Takes effect at the next {!get}; clamped to at least 1. *)
 
 val jobs : unit -> int
-(** The currently configured global pool size. *)
+(** The currently configured (requested) global pool size. *)
+
+val effective_jobs : unit -> int
+(** [min (jobs ()) (max 1 (Domain.recommended_domain_count ()))] — the
+    size the global pool is actually spawned with. *)
 
 val default_jobs : unit -> int
 (** [max 1 (min 8 (Domain.recommended_domain_count ()))] — the value used

@@ -233,6 +233,126 @@ let test_precheck_mlp () =
   check_precheck_agrees ~name:"mlp"
     (Chain.mlp_chain ~m:64 ~n:64 ~k:32 ~h:32 ())
 
+(* --- closed-form analytic model vs lowered walk ----------------------------
+
+   The search's fast path estimates candidates with [Analytic] instead of
+   [Perf.estimate ∘ Lower.lower]; the two must agree bit-for-bit on every
+   point of the space, or the tuner's ranking (and thus its outcome) would
+   drift.  Exhaustive sweep: all tilings x all tile combos x all eight
+   (rule1, dead_loop_elim, hoisting) flag combinations, asserting equality
+   of all four breakdown fields and the validity verdict. *)
+
+let check_analytic_agrees ~name chain =
+  let tilings = Tiling.enumerate chain in
+  let choices =
+    List.map
+      (fun (a : Axis.t) ->
+        List.map (fun t -> (a.Axis.name, t)) (Candidate.tile_options a.size))
+      chain.Chain.axes
+  in
+  let combos = Mcf_util.Listx.cartesian choices in
+  let flag_combos =
+    List.concat_map
+      (fun r1 ->
+        List.concat_map
+          (fun dle -> List.map (fun h -> (r1, dle, h)) [ true; false ])
+          [ true; false ])
+      [ true; false ]
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun (rule1, dle, hoisting) ->
+      List.iter
+        (fun tiling ->
+          List.iter
+            (fun tiles ->
+              let c = Candidate.make tiling tiles in
+              let l =
+                Lower.lower ~rule1 ~dead_loop_elim:dle ~hoisting ~elem_bytes:2
+                  chain c
+              in
+              let want = Mcf_model.Perf.breakdown a100 l in
+              let ev =
+                Mcf_model.Analytic.eval_candidate ~rule1 ~dead_loop_elim:dle
+                  ~hoisting ~elem_bytes:2 chain c
+              in
+              let got = Mcf_model.Analytic.breakdown_of_eval a100 ev in
+              incr checked;
+              let fail field (w : float) (g : float) =
+                Alcotest.failf
+                  "%s: analytic %s %.17g <> lowered %.17g for %s (rule1=%b \
+                   dead_loop_elim=%b hoisting=%b)"
+                  name field g w (Candidate.key c) rule1 dle hoisting
+              in
+              (* Bit-equality, not tolerance: the fast path must be a
+                 drop-in replacement for the lowered walk. *)
+              if not (Float.equal got.t_mem want.t_mem) then
+                fail "t_mem" want.t_mem got.t_mem;
+              if not (Float.equal got.t_comp want.t_comp) then
+                fail "t_comp" want.t_comp got.t_comp;
+              if not (Float.equal got.alpha want.alpha) then
+                fail "alpha" want.alpha got.alpha;
+              if not (Float.equal got.t_total want.t_total) then
+                fail "t_total" want.t_total got.t_total;
+              if ev.everdict <> l.validity then
+                Alcotest.failf
+                  "%s: analytic verdict disagrees with lowered validity for \
+                   %s (rule1=%b dead_loop_elim=%b hoisting=%b)"
+                  name (Candidate.key c) rule1 dle hoisting)
+            combos)
+        tilings)
+    flag_combos;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: swept a non-trivial space (%d points)" name !checked)
+    true (!checked > 1000)
+
+let test_analytic_gemm () =
+  check_analytic_agrees ~name:"gemm"
+    (Chain.gemm_chain ~m:128 ~n:64 ~k:32 ~h:32 ())
+
+let test_analytic_attention () =
+  check_analytic_agrees ~name:"attention"
+    (Chain.attention ~heads:2 ~m:64 ~n:64 ~k:32 ~h:32 ())
+
+let test_analytic_gemm3 () =
+  check_analytic_agrees ~name:"gemm3"
+    (Chain.gemm_chain3 ~m:48 ~n:32 ~k:32 ~h:32 ~p:32 ())
+
+let test_analytic_mlp () =
+  check_analytic_agrees ~name:"mlp"
+    (Chain.mlp_chain ~m:64 ~n:64 ~k:32 ~h:32 ())
+
+let test_analytic_memo () =
+  let chain = Chain.gemm_chain ~m:128 ~n:64 ~k:32 ~h:32 () in
+  let memo = Mcf_model.Analytic.Memo.create ~elem_bytes:2 chain in
+  let hits0 = Mcf_obs.Metrics.counter_value "model.memo.hits" in
+  let misses0 = Mcf_obs.Metrics.counter_value "model.memo.misses" in
+  let tiling = List.hd (Tiling.enumerate chain) in
+  let c1 =
+    Candidate.make tiling [ ("m", 32); ("n", 32); ("k", 16); ("h", 16) ]
+  in
+  (* Same expression and trip-1 mask, different magnitudes: must share the
+     memoized summary yet evaluate to its own numbers. *)
+  let c2 =
+    Candidate.make tiling [ ("m", 64); ("n", 32); ("k", 16); ("h", 16) ]
+  in
+  let e1 = Mcf_model.Analytic.Memo.estimate memo a100 c1 in
+  let e2 = Mcf_model.Analytic.Memo.estimate memo a100 c2 in
+  let e1' = Mcf_model.Analytic.Memo.estimate memo a100 c1 in
+  Alcotest.(check bool) "memoized result is stable" true (Float.equal e1 e1');
+  Alcotest.(check (float 1e-30))
+    "memoized estimate matches the lowered walk"
+    (Mcf_model.Perf.estimate a100 (Lower.lower ~elem_bytes:2 chain c1))
+    e1;
+  Alcotest.(check (float 1e-30))
+    "second tile vector evaluates independently"
+    (Mcf_model.Perf.estimate a100 (Lower.lower ~elem_bytes:2 chain c2))
+    e2;
+  let hits = Mcf_obs.Metrics.counter_value "model.memo.hits" - hits0 in
+  let misses = Mcf_obs.Metrics.counter_value "model.memo.misses" - misses0 in
+  Alcotest.(check int) "one summary computed" 1 misses;
+  Alcotest.(check int) "two summary hits" 2 hits
+
 let () =
   Alcotest.run "mcf_model"
     [ ( "shmem (eq 1)",
@@ -264,6 +384,13 @@ let () =
           Alcotest.test_case "attention" `Quick test_precheck_attention;
           Alcotest.test_case "3-gemm chain" `Quick test_precheck_gemm3;
           Alcotest.test_case "mlp (unary epilogue)" `Quick test_precheck_mlp ]
+      );
+      ( "analytic fast path",
+        [ Alcotest.test_case "gemm chain" `Quick test_analytic_gemm;
+          Alcotest.test_case "attention" `Quick test_analytic_attention;
+          Alcotest.test_case "3-gemm chain" `Quick test_analytic_gemm3;
+          Alcotest.test_case "mlp (unary epilogue)" `Quick test_analytic_mlp;
+          Alcotest.test_case "summary memoization" `Quick test_analytic_memo ]
       );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_model_positive ] ) ]

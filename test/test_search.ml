@@ -87,9 +87,10 @@ let test_enumerate_all_valid () =
   Alcotest.(check bool) "non-empty" true (entries <> []);
   List.iter
     (fun (e : Mcf_search.Space.entry) ->
-      Alcotest.(check bool) "validity" true (Result.is_ok e.lowered.validity);
+      let l = Mcf_search.Space.lowered e in
+      Alcotest.(check bool) "validity" true (Result.is_ok l.validity);
       Alcotest.(check bool) "rule 4 honoured" true
-        (Mcf_model.Shmem.within_budget a100 ~slack:1.2 e.lowered))
+        (Mcf_model.Shmem.within_budget a100 ~slack:1.2 l))
     entries
 
 let test_enumerate_attention_excludes_partial_softmax () =
@@ -97,7 +98,7 @@ let test_enumerate_attention_excludes_partial_softmax () =
   List.iter
     (fun (e : Mcf_search.Space.entry) ->
       Alcotest.(check bool) "no invalid softmax schedules" true
-        (Result.is_ok (Program.validate e.lowered.program)))
+        (Result.is_ok (Program.validate (Mcf_search.Space.lowered e).program)))
     entries
 
 let test_enumerate_deterministic () =
@@ -112,7 +113,7 @@ let test_enumerate_deterministic () =
 let exhaustive_best entries =
   List.filter_map
     (fun (e : Mcf_search.Space.entry) ->
-      match Mcf_codegen.Compile.compile a100 e.lowered with
+      match Mcf_codegen.Compile.compile a100 (Mcf_search.Space.lowered e) with
       | Error _ -> None
       | Ok k -> (
         match Mcf_gpu.Sim.run a100 k with
@@ -182,7 +183,8 @@ let test_measure_failure_is_none () =
   let over =
     List.find_opt
       (fun (e : Mcf_search.Space.entry) ->
-        Mcf_codegen.Alloc.actual_bytes a100 e.lowered > a100.smem_per_block)
+        Mcf_codegen.Alloc.actual_bytes a100 (Mcf_search.Space.lowered e)
+        > a100.smem_per_block)
       entries
   in
   match over with
@@ -218,7 +220,8 @@ let test_tuner_attention_valid_schedule () =
   | Error _ -> Alcotest.fail "tuner failed on attention"
   | Ok o ->
     Alcotest.(check bool) "winner is a valid schedule" true
-      (Result.is_ok (Program.validate o.best.lowered.program))
+      (Result.is_ok
+         (Program.validate (Mcf_search.Space.lowered o.best).program))
 
 let test_tuner_subsumes_chimera_space () =
   (* MCFuser's space contains Chimera's: the tuned result must not lose to
@@ -244,7 +247,8 @@ let test_tuner_mlp_chain () =
   | Error _ -> Alcotest.fail "tuner failed on mlp chain"
   | Ok o ->
     Alcotest.(check bool) "valid winner" true
-      (Result.is_ok (Program.validate o.best.lowered.program));
+      (Result.is_ok
+         (Program.validate (Mcf_search.Space.lowered o.best).program));
     Alcotest.(check bool) "beats unfused execution" true
       (match Mcf_baselines.Pytorch.backend.tune a100 mlp with
       | Ok py -> o.kernel_time_s < py.time_s
@@ -290,6 +294,18 @@ let test_tuner_jobs_equality () =
           Alcotest.(check bool) (name ^ ": search stats") true
             (a.search_stats = b.search_stats))
         [ ("gemm", small_gemm); ("attention", attn) ])
+
+let test_tuner_lowers_lazily () =
+  (* ISSUE 3 acceptance: with the closed-form model doing estimation and
+     validity, [Lower.lower] runs only for candidates that actually reach
+     measurement (the winner's codegen re-uses the memoized lowering). *)
+  let before = Mcf_ir.Lower.calls () in
+  match Mcf_search.Tuner.tune ~seed:11 a100 small_gemm with
+  | Error _ -> Alcotest.fail "tuner failed"
+  | Ok o ->
+    Alcotest.(check int) "Lower.lower calls == measured candidates"
+      o.search_stats.measured
+      (Mcf_ir.Lower.calls () - before)
 
 (* --- Schedule_cache ----------------------------------------------------------- *)
 
@@ -430,7 +446,8 @@ let () =
           Alcotest.test_case "renders output" `Quick
             test_tuner_pseudo_and_triton;
           Alcotest.test_case "identical at jobs 1 vs 4" `Quick
-            test_tuner_jobs_equality ] );
+            test_tuner_jobs_equality;
+          Alcotest.test_case "lowers lazily" `Quick test_tuner_lowers_lazily ] );
       ( "schedule-cache",
         [ Alcotest.test_case "candidate roundtrip" `Quick
             test_cache_candidate_roundtrip;

@@ -405,8 +405,22 @@ let test_pool_global_and_stats () =
     (fun () ->
       Pool.set_jobs 3;
       Alcotest.(check int) "set_jobs round-trip" 3 (Pool.jobs ());
+      (* The global pool is clamped to the hardware: asking for 3 domains
+         on a smaller machine must not oversubscribe it. *)
+      let clamped = min 3 (max 1 (Domain.recommended_domain_count ())) in
+      Alcotest.(check int) "effective_jobs clamps to cores" clamped
+        (Pool.effective_jobs ());
       let p = Pool.get () in
-      Alcotest.(check int) "global pool size" 3 (Pool.size p);
+      Alcotest.(check int) "global pool size" clamped (Pool.size p);
+      ignore (Pool.init p 10_000 (fun i -> i land 7));
+      let after = Pool.stats () in
+      Alcotest.(check int) "domains snapshot" clamped after.Pool.domains)
+
+let test_pool_stats_counters () =
+  (* Explicit [create ~domains] pools are deliberately unclamped, so the
+     counters grow even on a single-core machine. *)
+  Pool.with_pool ~jobs:3 (fun p ->
+      Alcotest.(check int) "explicit pool unclamped" 3 (Pool.size p);
       let before = Pool.stats () in
       ignore (Pool.init p 10_000 (fun i -> i land 7));
       let after = Pool.stats () in
@@ -415,8 +429,26 @@ let test_pool_global_and_stats () =
       Alcotest.(check bool) "chunks counter grows" true
         (after.Pool.chunks > before.Pool.chunks);
       Alcotest.(check bool) "spawned covers workers" true
-        (after.Pool.spawned >= Pool.size p - 1);
-      Alcotest.(check int) "domains snapshot" 3 after.Pool.domains)
+        (after.Pool.spawned >= Pool.size p - 1))
+
+let test_pool_min_chunk_work () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let a = Array.init 2000 (fun i -> i) in
+      let want = Array.map succ a in
+      (* Results are bit-identical whatever the cutoff. *)
+      List.iter
+        (fun mcw ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "min_chunk_work=%d" mcw)
+            want
+            (Pool.map_array ~min_chunk_work:mcw p succ a))
+        [ 1; 64; 512; 5000 ];
+      (* Ranges shorter than the cutoff run inline: no pool job counted. *)
+      let before = Pool.stats () in
+      ignore (Pool.init ~min_chunk_work:5000 p 2000 (fun i -> i));
+      let after = Pool.stats () in
+      Alcotest.(check int) "sequential below cutoff" before.Pool.jobs
+        after.Pool.jobs)
 
 let test_pool_shutdown_idempotent () =
   let p = Pool.create ~domains:2 () in
@@ -424,6 +456,47 @@ let test_pool_shutdown_idempotent () =
   Pool.shutdown p;
   Alcotest.(check (list int)) "sequential after shutdown" [ 2; 3 ]
     (Pool.map p succ [ 1; 2 ])
+
+(* --- Once ----------------------------------------------------------------- *)
+
+let test_once_forces_once () =
+  let calls = ref 0 in
+  let o =
+    Once.make (fun () ->
+        incr calls;
+        41 + 1)
+  in
+  Alcotest.(check bool) "not forced yet" false (Once.is_forced o);
+  Alcotest.(check int) "value" 42 (Once.force o);
+  Alcotest.(check bool) "forced" true (Once.is_forced o);
+  Alcotest.(check int) "memoized" 42 (Once.force o);
+  Alcotest.(check int) "thunk ran once" 1 !calls
+
+let test_once_memoizes_exception () =
+  let calls = ref 0 in
+  let o =
+    Once.make (fun () ->
+        incr calls;
+        failwith "boom")
+  in
+  Alcotest.check_raises "raises" (Failure "boom") (fun () ->
+      ignore (Once.force o));
+  Alcotest.check_raises "re-raises memoized" (Failure "boom") (fun () ->
+      ignore (Once.force o));
+  Alcotest.(check bool) "forced after raise" true (Once.is_forced o);
+  Alcotest.(check int) "thunk ran once" 1 !calls
+
+let test_once_cross_domain () =
+  (* Lazy.t would raise RacyLazy here; Once must serialize the forcers. *)
+  let calls = Atomic.make 0 in
+  let o =
+    Once.make (fun () ->
+        Atomic.incr calls;
+        7)
+  in
+  let ds = List.init 4 (fun _ -> Domain.spawn (fun () -> Once.force o)) in
+  List.iter (fun d -> Alcotest.(check int) "value" 7 (Domain.join d)) ds;
+  Alcotest.(check int) "single execution" 1 (Atomic.get calls)
 
 (* --- properties ---------------------------------------------------------- *)
 
@@ -543,8 +616,16 @@ let () =
             test_pool_run_range_covers;
           Alcotest.test_case "global pool and stats" `Quick
             test_pool_global_and_stats;
+          Alcotest.test_case "stats counters" `Quick test_pool_stats_counters;
+          Alcotest.test_case "min_chunk_work cutoff" `Quick
+            test_pool_min_chunk_work;
           Alcotest.test_case "shutdown idempotent" `Quick
             test_pool_shutdown_idempotent ] );
+      ( "once",
+        [ Alcotest.test_case "forces once" `Quick test_once_forces_once;
+          Alcotest.test_case "memoizes exceptions" `Quick
+            test_once_memoizes_exception;
+          Alcotest.test_case "cross-domain" `Quick test_once_cross_domain ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_percentile_bounded; prop_pearson_bounded;
