@@ -1,7 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench examples quick clean fmt trace-demo check \
-	ci-guard bench-search bench-search-smoke bench-estimate-smoke
+	ci-guard bench-search bench-search-smoke bench-estimate-smoke \
+	report-smoke
 
 all: build
 
@@ -34,7 +35,20 @@ ci-guard:
 	  exit 1; }
 	@echo "ci-guard: formatting and cram pins clean"
 
-check: build fmt test trace-demo ci-guard bench-search-smoke bench-estimate-smoke
+# Flight-recorder smoke: tune S1 with --record, render the recording, and
+# diff it against itself — any drift or regression exits non-zero, so this
+# doubles as an end-to-end check of the recorder -> report pipeline.
+report-smoke:
+	dune exec -- mcfuser tune S1 --record /tmp/mcfuser-record.jsonl \
+	  --metrics /tmp/mcfuser-metrics.json > /dev/null
+	@test -s /tmp/mcfuser-record.jsonl
+	@test -s /tmp/mcfuser-metrics.json
+	dune exec -- mcfuser report /tmp/mcfuser-record.jsonl > /dev/null
+	dune exec -- mcfuser report --diff /tmp/mcfuser-record.jsonl \
+	  /tmp/mcfuser-record.jsonl > /dev/null
+	@echo "report-smoke: record/report/diff ok (zero drift)"
+
+check: build fmt test trace-demo ci-guard bench-search-smoke bench-estimate-smoke report-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -9,6 +9,8 @@
      dune exec bench/main.exe -- --quick      # reduced Ansor trial budget
      dune exec bench/main.exe -- --no-micro   # skip the Bechamel suite
      dune exec bench/main.exe -- --trace FILE # Chrome trace of the run
+     dune exec bench/main.exe -- --record FILE  # search flight recording
+     dune exec bench/main.exe -- --metrics FILE # metrics registry as JSON
      dune exec bench/main.exe -- --profile    # phase table + metrics dump
 
    Search-throughput mode (the tuner's hot path, see `make bench-search`):
@@ -417,12 +419,36 @@ let write_trace path =
       Printf.eprintf "trace: wrote %s (%d spans)\n%!" path
         (List.length (Mcf_obs.Trace.events ())))
 
+let write_record path =
+  Mcf_obs.Recorder.stop ();
+  match Mcf_obs.Recorder.write path with
+  | Error e ->
+    Printf.eprintf "record: %s\n" e;
+    exit 1
+  | Ok n -> Printf.eprintf "record: wrote %s (%d events)\n%!" path n
+
+let write_metrics path =
+  Mcf_obs.Poolstats.sync ();
+  let doc = Mcf_util.Json.to_string (Mcf_obs.Metrics.to_json ()) in
+  match open_out path with
+  | exception Sys_error e ->
+    Printf.eprintf "metrics: cannot write %s: %s\n" path e;
+    exit 1
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc doc;
+        output_char oc '\n')
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let only = ref None in
   let quick = ref false in
   let micro = ref true in
   let trace = ref None in
+  let record = ref None in
+  let metrics = ref None in
   let profile = ref false in
   let mode = ref `Experiments in
   let out = ref "BENCH_search.json" in
@@ -448,6 +474,12 @@ let () =
       parse rest
     | "--trace" :: path :: rest ->
       trace := Some path;
+      parse rest
+    | "--record" :: path :: rest ->
+      record := Some path;
+      parse rest
+    | "--metrics" :: path :: rest ->
+      metrics := Some path;
       parse rest
     | "--profile" :: rest ->
       profile := true;
@@ -483,6 +515,7 @@ let () =
   if !quick then Mcf_baselines.Ansor.trials := 200;
   if !profile then Mcf_obs.Profile.enable ();
   if !trace <> None then Mcf_obs.Trace.start ();
+  if !record <> None then Mcf_obs.Recorder.start ();
   let t0 = Unix.gettimeofday () in
   (match !mode with
   | `Search ->
@@ -498,6 +531,8 @@ let () =
     if !micro && !only = None then run_micro ());
   Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0);
   (match !trace with Some path -> write_trace path | None -> ());
+  (match !record with Some path -> write_record path | None -> ());
+  (match !metrics with Some path -> write_metrics path | None -> ());
   if !profile then begin
     Mcf_obs.Poolstats.sync ();
     Printf.printf "\n# per-phase wall-clock\n";

@@ -11,12 +11,16 @@
      experiment  run a paper experiment by id (fig2, fig8a, ..., ablation)
      workloads   list the built-in workloads
      verify      check a tuned schedule numerically against the reference
+     report      render (or --diff) a search flight recording
 
    Every sub-command accepts the observability flags:
-     --trace FILE   write a Chrome trace_event JSON of the run (open in
-                    chrome://tracing or https://ui.perfetto.dev)
-     --profile      print a per-phase wall-clock table and a metrics dump
-                    after the sub-command's normal output *)
+     --trace FILE    write a Chrome trace_event JSON of the run (open in
+                     chrome://tracing or https://ui.perfetto.dev)
+     --record FILE   write the search flight recording (JSONL; render it
+                     with `mcfuser report`)
+     --metrics FILE  dump the full metrics registry as JSON at exit
+     --profile       print a per-phase wall-clock table and a metrics dump
+                     after the sub-command's normal output *)
 
 open Cmdliner
 
@@ -93,6 +97,8 @@ let setup_logs verbose =
 
 type obs = {
   trace : string option;
+  record : string option;
+  metrics : string option;
   profile : bool;
   jobs : int option;
 }
@@ -104,6 +110,21 @@ let obs_term =
        chrome://tracing or Perfetto)."
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let record_arg =
+    let doc =
+      "Write the search flight recording to $(docv) (JSONL, one event per \
+       line; render or diff it with $(b,mcfuser report)).  Recording never \
+       changes tuner results."
+    in
+    Arg.(value & opt (some string) None & info [ "record" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_arg =
+    let doc =
+      "Dump the full metrics registry (counters, gauges, histograms with \
+       p50/p90/p99) as JSON to $(docv) at exit."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
   in
   let profile_arg =
     let doc =
@@ -121,8 +142,9 @@ let obs_term =
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
   Term.(
-    const (fun trace profile jobs -> { trace; profile; jobs })
-    $ trace_arg $ profile_arg $ jobs_arg)
+    const (fun trace record metrics profile jobs ->
+        { trace; record; metrics; profile; jobs })
+    $ trace_arg $ record_arg $ metrics_arg $ profile_arg $ jobs_arg)
 
 let write_trace path =
   Mcf_obs.Trace.stop ();
@@ -147,13 +169,41 @@ let write_trace path =
         (List.length (Mcf_obs.Trace.events ()));
       Ok ())
 
+let write_record path =
+  Mcf_obs.Recorder.stop ();
+  match Mcf_obs.Recorder.write path with
+  | Error e -> Error (`Msg e)
+  | Ok n ->
+    Printf.eprintf "record: wrote %s (%d events)\n%!" path n;
+    Ok ()
+
+let write_metrics path =
+  Mcf_obs.Poolstats.sync ();
+  let doc = Mcf_util.Json.to_string (Mcf_obs.Metrics.to_json ()) in
+  match open_out path with
+  | exception Sys_error e -> Error (`Msg ("cannot write metrics: " ^ e))
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc doc;
+        output_char oc '\n');
+    Ok ()
+
 let with_obs obs f =
   Option.iter Mcf_util.Pool.set_jobs obs.jobs;
   if obs.profile then Mcf_obs.Profile.enable ();
   if obs.trace <> None then Mcf_obs.Trace.start ();
+  if obs.record <> None then Mcf_obs.Recorder.start ();
   let result = f () in
   let trace_result =
     match obs.trace with None -> Ok () | Some path -> write_trace path
+  in
+  let record_result =
+    match obs.record with None -> Ok () | Some path -> write_record path
+  in
+  let metrics_result =
+    match obs.metrics with None -> Ok () | Some path -> write_metrics path
   in
   if obs.profile then begin
     Mcf_obs.Poolstats.sync ();
@@ -162,7 +212,11 @@ let with_obs obs f =
     Printf.printf "\n# metrics\n";
     print_string (Mcf_obs.Metrics.render_table ())
   end;
-  match result with Error _ as e -> e | Ok () -> trace_result
+  match (result, trace_result, record_result) with
+  | (Error _ as e), _, _ -> e
+  | Ok (), (Error _ as e), _ -> e
+  | Ok (), Ok (), (Error _ as e) -> e
+  | Ok (), Ok (), Ok () -> metrics_result
 
 let with_setup device workload f =
   match spec_of_name device with
@@ -598,6 +652,70 @@ let verify_cmd =
        ~doc:"Numerically verify a tuned schedule on a scaled-down instance")
     term
 
+(* --- report -------------------------------------------------------------- *)
+
+let report_cmd =
+  let files_arg =
+    let doc =
+      "Recording file(s) written by $(b,--record): one file to render its \
+       post-mortem, two with $(b,--diff) to compare them."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc)
+  in
+  let diff_arg =
+    let doc =
+      "Compare two recordings: funnel drift, model-fidelity drift and \
+       best-measured-time regression.  Exits non-zero when the best time \
+       regresses beyond $(b,--tolerance), so it can gate CI."
+    in
+    Arg.(value & flag & info [ "diff" ] ~doc)
+  in
+  let tolerance_arg =
+    let doc = "Relative best-time regression tolerance for $(b,--diff)." in
+    Arg.(value & opt float 0.05 & info [ "tolerance" ] ~docv:"FRAC" ~doc)
+  in
+  let load path =
+    match Mcf_obs.Recorder.load path with
+    | Error e -> Error (`Msg e)
+    | Ok [] -> Error (`Msg (path ^ ": empty recording"))
+    | Ok events -> Ok events
+  in
+  let run verbose do_diff tolerance files =
+    setup_logs verbose;
+    match (do_diff, files) with
+    | false, [ path ] -> (
+      match load path with
+      | Error _ as e -> e
+      | Ok events -> (
+        match Mcf_obs.Report.render events with
+        | Error e -> Error (`Msg (path ^ ": " ^ e))
+        | Ok s ->
+          print_string s;
+          Ok ()))
+    | true, [ a; b ] -> (
+      match (load a, load b) with
+      | (Error _ as e), _ | _, (Error _ as e) -> e
+      | Ok ea, Ok eb -> (
+        match Mcf_obs.Report.diff ~tolerance ea eb with
+        | Error e -> Error (`Msg e)
+        | Ok d ->
+          print_string d.dreport;
+          if d.regression then
+            Error (`Msg "best measured time regressed beyond tolerance")
+          else Ok ()))
+    | false, _ ->
+      Error (`Msg "report expects exactly one FILE (or two with --diff)")
+    | true, _ -> Error (`Msg "report --diff expects exactly two FILEs")
+  in
+  let term =
+    Term.(term_result (const run $ verbose_arg $ diff_arg $ tolerance_arg
+                       $ files_arg))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render a search flight recording, or diff two as a CI gate")
+    term
+
 let () =
   let info =
     Cmd.info "mcfuser" ~version:"1.0.0"
@@ -609,4 +727,4 @@ let () =
        (Cmd.group info
           [ tune_cmd; chain_cmd; schedule_cmd; dot_cmd; explain_cmd;
             compare_cmd; partition_cmd; experiment_cmd; workloads_cmd;
-            verify_cmd ]))
+            verify_cmd; report_cmd ]))

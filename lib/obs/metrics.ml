@@ -108,6 +108,9 @@ type hist_summary = {
   hsum : float;
   hmin : float;
   hmax : float;
+  hp50 : float;
+  hp90 : float;
+  hp99 : float;
   hbuckets : (float * int) list;
 }
 
@@ -116,13 +119,50 @@ let bucket_bound i =
   else if i = n_buckets - 1 then infinity
   else Float.ldexp 1.0 (i - 1 + emin)
 
+(* Percentile by log-scale interpolation: walk the cumulative counts to
+   the bucket holding rank [p * count], then place the value
+   geometrically inside the (bound/2, bound] bucket — [bound/2 * 2^f]
+   for rank fraction [f], so a bucket fully consumed lands exactly on
+   its upper bound.  The edge buckets carry no scale, so the result is
+   clamped to the observed [min, max] (which also makes single-valued
+   histograms exact). *)
+let percentile counts total hmin hmax p =
+  if total = 0 then 0.0
+  else begin
+    let target = p *. float_of_int total in
+    let rec go i cum =
+      if i >= n_buckets then hmax
+      else begin
+        let c = counts.(i) in
+        let cum' = cum + c in
+        if c > 0 && float_of_int cum' >= target then begin
+          let raw =
+            if i = 0 then hmin
+            else if i = n_buckets - 1 then hmax
+            else begin
+              let f = (target -. float_of_int cum) /. float_of_int c in
+              bucket_bound i /. 2.0 *. (2.0 ** f)
+            end
+          in
+          Float.min (Float.max raw hmin) hmax
+        end
+        else go (i + 1) cum'
+      end
+    in
+    go 0 0
+  end
+
 let summary h =
   Mutex.lock h.hlock;
+  let pct = percentile h.counts h.count h.min h.max in
   let r =
     { hcount = h.count;
       hsum = h.sum;
       hmin = h.min;
       hmax = h.max;
+      hp50 = pct 0.50;
+      hp90 = pct 0.90;
+      hp99 = pct 0.99;
       hbuckets =
         Array.to_list h.counts
         |> List.mapi (fun i c -> (bucket_bound i, c))
@@ -173,6 +213,9 @@ let to_json () =
                 ("sum", Num s.hsum);
                 ("min", Num (if s.hcount = 0 then 0.0 else s.hmin));
                 ("max", Num (if s.hcount = 0 then 0.0 else s.hmax));
+                ("p50", Num s.hp50);
+                ("p90", Num s.hp90);
+                ("p99", Num s.hp99);
                 ("buckets",
                  List
                    (List.map
@@ -213,9 +256,12 @@ let render_table () =
         if s.hcount > 0 then begin
           Mcf_util.Table.add_row tbl
             [ name;
-              Printf.sprintf "n=%d mean=%s [%s, %s]" s.hcount
+              Printf.sprintf "n=%d mean=%s p50=%s p90=%s p99=%s [%s, %s]"
+                s.hcount
                 (fmt_bound name (s.hsum /. float_of_int s.hcount))
-                (fmt_bound name s.hmin) (fmt_bound name s.hmax) ];
+                (fmt_bound name s.hp50) (fmt_bound name s.hp90)
+                (fmt_bound name s.hp99) (fmt_bound name s.hmin)
+                (fmt_bound name s.hmax) ];
           List.iter
             (fun (bound, c) ->
               Mcf_util.Table.add_row tbl

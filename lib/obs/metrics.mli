@@ -39,6 +39,12 @@ type hist_summary = {
   hsum : float;
   hmin : float;  (** [infinity] when empty. *)
   hmax : float;  (** [neg_infinity] when empty. *)
+  hp50 : float;
+      (** Median estimate by log-scale bucket interpolation: the value
+          sits geometrically within its (bound/2, bound] bucket at its
+          rank fraction, clamped to [[hmin, hmax]]; [0.] when empty. *)
+  hp90 : float;
+  hp99 : float;
   hbuckets : (float * int) list;
       (** Non-empty buckets as (upper bound, count), ascending; the
           underflow bucket reports bound [0.], overflow [infinity]. *)

@@ -112,6 +112,7 @@ let run ?(params = default_params) ?estimator ~rng ~clock spec entries =
     let traffic = Array.map snd scored_pool in
     Mcf_obs.Metrics.add c_estimated n;
     let estimate id = estimates.(id) in
+    let generations = ref 0 in
     let measured : (int, float option) Hashtbl.t = Hashtbl.create 64 in
     let measure_once id =
       match Hashtbl.find_opt measured id with
@@ -124,6 +125,16 @@ let run ?(params = default_params) ?estimator ~rng ~clock spec entries =
                 ~repeats:params.measure_repeats spec pool.(id))
         in
         Hashtbl.add measured id r;
+        (* Every estimate <-> measurement pair lands in the recording;
+           this is the raw material for Mcf_obs.Fidelity. *)
+        Mcf_obs.Recorder.emit "measure" (fun () ->
+            let open Mcf_util.Json in
+            [ ("gen", num_of_int !generations);
+              ("id", num_of_int id);
+              ("cand", Str (Mcf_ir.Candidate.to_string pool.(id).Space.cand));
+              ("est", Num estimates.(id));
+              ("time_s",
+               match r with Some t -> Num t | None -> Null) ]);
         r
     in
     let mutate id =
@@ -183,7 +194,6 @@ let run ?(params = default_params) ?estimator ~rng ~clock spec entries =
     in
     let population = ref (sample_population ()) in
     let best = ref None in
-    let generations = ref 0 in
     let plateaus = ref 0 in
     let converged = ref false in
     while (not !converged) && !generations < params.max_generations do
@@ -192,6 +202,7 @@ let run ?(params = default_params) ?estimator ~rng ~clock spec entries =
       Trace.with_span "explore.generation"
         ~args:(fun () -> [ ("gen", Trace.Int !generations) ])
       @@ fun () ->
+      let best_before = !best in
       let scored =
         Array.map (fun id -> (id, estimate id)) !population
       in
@@ -249,15 +260,75 @@ let run ?(params = default_params) ?estimator ~rng ~clock spec entries =
           plateaus := 0;
           if t < bt then best := Some (id, t)
         | None -> best := Some (id, t)));
+      (* Population summary for the flight recorder: everything below is
+         derived from values already computed this round, built lazily so
+         a disabled recorder costs one atomic load. *)
+      Mcf_obs.Recorder.emit "generation" (fun () ->
+          let open Mcf_util.Json in
+          let ests = Array.map snd scored in
+          let hist =
+            List
+              (List.map
+                 (fun (bound, c) ->
+                   Obj [ ("le", Num bound); ("count", num_of_int c) ])
+                 (Mcf_obs.Fidelity.histogram ests))
+          in
+          let topk_j =
+            List
+              (List.map
+                 (fun (id, est) ->
+                   Obj
+                     [ ("cand",
+                        Str
+                          (Mcf_ir.Candidate.to_string pool.(id).Space.cand));
+                       ("est", Num est) ])
+                 topk)
+          in
+          let round_best =
+            match Mcf_util.Listx.min_by snd results with
+            | Some (_, t) -> Num t
+            | None -> Null
+          in
+          let best_j =
+            match !best with Some (_, t) -> Num t | None -> Null
+          in
+          let delta =
+            match (best_before, !best) with
+            | Some (_, b0), Some (_, b1) when b0 > 0.0 ->
+              Num ((b0 -. b1) /. b0)
+            | _ -> Null
+          in
+          [ ("gen", num_of_int !generations);
+            ("population", num_of_int (Array.length !population));
+            ("est_histogram", hist);
+            ("est_best", Num (snd scored.(0)));
+            ("topk", topk_j);
+            ("measured_new", num_of_int (List.length results));
+            ("round_best_s", round_best);
+            ("best_time_s", best_j);
+            ("delta", delta);
+            ("plateaus", num_of_int !plateaus);
+            ("converged", Bool !converged) ]);
       if not !converged then begin
         let weights =
           Array.map (fun (_, est) -> 1.0 /. Float.max est 1e-12) scored
         in
+        let changed = ref 0 in
         let next =
           Array.init (Array.length !population) (fun _ ->
               let i = Mcf_util.Rng.weighted_index rng weights in
-              mutate (fst scored.(i)))
+              let pid = fst scored.(i) in
+              let pid' = mutate pid in
+              if pid' <> pid then incr changed;
+              pid')
         in
+        Mcf_obs.Recorder.emit "mutation" (fun () ->
+            let open Mcf_util.Json in
+            let proposed = Array.length next in
+            [ ("gen", num_of_int !generations);
+              ("proposed", num_of_int proposed);
+              ("changed", num_of_int !changed);
+              ("stayed", num_of_int (proposed - !changed)) ]);
         population := next
       end
     done;

@@ -152,12 +152,48 @@ let raw_cardinality (chain : Chain.t) =
   in
   float_of_int tiling_count *. tile_count
 
-let enumerate ?(options = default_options) (spec : Mcf_gpu.Spec.t) chain =
+(* Exemplar strings for the flight recorder's prune-attribution events:
+   the canonical per-block sub-tiling expressions a structural rule
+   rejected (rules 1-2), or the first few rejected candidates (rule 4 /
+   validity).  Computed only when recording. *)
+let removed_tilings chain kept all =
+  let kept_keys = List.map Tiling.to_string kept in
+  List.filter (fun t -> not (List.mem (Tiling.to_string t) kept_keys)) all
+  |> List.map (fun t -> Tiling.to_string (Tiling.sub_tiling chain t))
+  |> Mcf_util.Listx.dedup_keep_order ~key:Fun.id
+
+let emit_prune ~stage ~kind ~enabled ~before ~after exemplars =
+  Mcf_obs.Recorder.emit "prune" (fun () ->
+      let open Mcf_util.Json in
+      [ ("stage", Str stage);
+        ("kind", Str kind);
+        ("enabled", Bool enabled);
+        ("before", Num before);
+        ("after", Num after);
+        ("removed", Num (before -. after));
+        ("exemplars",
+         List
+           (Mcf_util.Listx.take 3 exemplars |> List.map (fun s -> Str s))) ])
+
+let funnel_json f =
+  let open Mcf_util.Json in
+  Obj
+    [ ("tilings_raw", num_of_int f.tilings_raw);
+      ("tilings_rule1", num_of_int f.tilings_rule1);
+      ("tilings_rule2", num_of_int f.tilings_rule2);
+      ("candidates_raw", Num f.candidates_raw);
+      ("candidates_rule3", Num f.candidates_rule3);
+      ("candidates_rule4", num_of_int f.candidates_rule4);
+      ("candidates_valid", num_of_int f.candidates_valid) ]
+
+let enumerate ?(options = default_options) ?(on_phase = fun _ _ -> ())
+    (spec : Mcf_gpu.Spec.t) chain =
   let module Trace = Mcf_obs.Trace in
   Trace.with_span "space.enumerate"
     ~args:(fun () -> [ ("chain", Trace.Str chain.Chain.cname) ])
     (fun () ->
       let opts = options in
+      let recording = Mcf_obs.Recorder.enabled () in
       Mcf_obs.Metrics.incr c_enumerations;
       let raw_ts = Trace.with_span "space.tilings" (fun () -> all_tilings opts chain) in
       let ts1 =
@@ -197,8 +233,9 @@ let enumerate ?(options = default_options) (spec : Mcf_gpu.Spec.t) chain =
       (* Stage 1: eq. (1) straight from (tiling, tiles), no Lower.lower.
          Exactness against the lowered estimate is enforced by the sweep in
          test_model.ml, so no post-lowering backstop is needed. *)
-      let survivor_ranks =
-        Trace.with_span "space.precheck"
+      let rule4_exemplars = ref [] in
+      let survivor_ranks, precheck_s =
+        Trace.timed "space.precheck"
           ~args:(fun () -> [ ("points", Trace.Int total) ])
           (fun () ->
             if not opts.rule4 then Array.init total Fun.id
@@ -209,6 +246,16 @@ let enumerate ?(options = default_options) (spec : Mcf_gpu.Spec.t) chain =
                       ~slack:opts.shmem_slack ~rule1:opts.rule1
                       ~dead_loop_elim:opts.dead_loop_elim chain (cand_of r))
               in
+              if recording then begin
+                let r = ref 0 in
+                while List.length !rule4_exemplars < 3 && !r < total do
+                  if not ok.(!r) then
+                    rule4_exemplars :=
+                      Candidate.to_string (cand_of !r) :: !rule4_exemplars;
+                  incr r
+                done;
+                rule4_exemplars := List.rev !rule4_exemplars
+              end;
               let n_ok =
                 Array.fold_left (fun n b -> if b then n + 1 else n) 0 ok
               in
@@ -224,6 +271,7 @@ let enumerate ?(options = default_options) (spec : Mcf_gpu.Spec.t) chain =
               ranks
             end)
       in
+      on_phase "space.precheck" precheck_s;
       (* Stage 2: closed-form softmax-legality verdict on the survivors —
          still no lowering (the verdict equals [(Lower.lower ...).validity]
          by the test_model.ml sweep).  Survivor entries carry a lazy
@@ -279,6 +327,42 @@ let enumerate ?(options = default_options) (spec : Mcf_gpu.Spec.t) chain =
       Mcf_obs.Metrics.add c_pruned_invalid
         (funnel.candidates_rule4 - funnel.candidates_valid);
       Mcf_obs.Metrics.add c_candidates_valid funnel.candidates_valid;
+      if recording then begin
+        let fi = float_of_int in
+        emit_prune ~stage:"rule1" ~kind:"tilings" ~enabled:opts.rule1
+          ~before:(fi funnel.tilings_raw) ~after:(fi funnel.tilings_rule1)
+          (removed_tilings chain ts1 raw_ts);
+        emit_prune ~stage:"rule2" ~kind:"tilings" ~enabled:opts.rule2
+          ~before:(fi funnel.tilings_rule1) ~after:(fi funnel.tilings_rule2)
+          (removed_tilings chain ts2 ts1);
+        emit_prune ~stage:"rule3" ~kind:"candidates" ~enabled:opts.rule3
+          ~before:funnel.candidates_raw ~after:funnel.candidates_rule3
+          (List.map
+             (fun (a : Axis.t) ->
+               Printf.sprintf "%s: %d of %d tile options kept" a.name
+                 (List.length (List.assoc a.name choices))
+                 (List.length (Candidate.tile_options a.size)))
+             chain.axes);
+        emit_prune ~stage:"rule4" ~kind:"candidates" ~enabled:opts.rule4
+          ~before:(fi total) ~after:(fi funnel.candidates_rule4)
+          !rule4_exemplars;
+        let invalid_exemplars =
+          let acc = ref [] in
+          Array.iteri
+            (fun i ok ->
+              if (not ok) && List.length !acc < 3 then
+                acc :=
+                  Candidate.to_string (cand_of survivor_ranks.(i)) :: !acc)
+            valid;
+          List.rev !acc
+        in
+        emit_prune ~stage:"validity" ~kind:"candidates" ~enabled:true
+          ~before:(fi funnel.candidates_rule4)
+          ~after:(fi funnel.candidates_valid) invalid_exemplars;
+        Mcf_obs.Recorder.emit "space" (fun () ->
+            [ ("chain", Mcf_util.Json.Str chain.Chain.cname);
+              ("funnel", funnel_json funnel) ])
+      end;
       Log.debug (fun m ->
           m "%s: %d tilings -> %d exprs, %d points (%d checked) -> %d valid \
              candidates"

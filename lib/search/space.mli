@@ -84,9 +84,26 @@ val tile_choices :
 val raw_cardinality : Mcf_ir.Chain.t -> float
 (** |tilings| x prod |all tile options|, before any pruning. *)
 
+val funnel_json : funnel -> Mcf_util.Json.t
+(** The funnel as the recorder's ["space"] event payload (integer
+    fields as integers, counted cardinalities as numbers). *)
+
 val enumerate :
   ?options:options ->
+  ?on_phase:(string -> float -> unit) ->
   Mcf_gpu.Spec.t ->
   Mcf_ir.Chain.t ->
   entry list * funnel
-(** Materialize the pruned space for a device, with the Fig. 7 funnel. *)
+(** Materialize the pruned space for a device, with the Fig. 7 funnel.
+
+    [on_phase] receives named sub-phase wall-clock durations (currently
+    exactly ["space.precheck"]) so the tuner can carve them out of its
+    [tuning_wall_s] breakdown without double counting.
+
+    When {!Mcf_obs.Recorder} is recording, enumeration additionally
+    emits per-rule ["prune"] attribution events (counts before/after
+    each rule with exemplar canonical sub-tiling expressions or
+    rejected candidates) and a ["space"] event carrying the funnel.
+    Emission happens after the parallel stages join, so recordings are
+    byte-identical at any [--jobs] and recording cannot perturb the
+    result. *)

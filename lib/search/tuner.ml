@@ -27,12 +27,45 @@ let c_tunes = Mcf_obs.Metrics.counter "tuner.tunes"
 
 let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
     (chain : Mcf_ir.Chain.t) =
+  let opts = Option.value options ~default:Space.default_options in
+  let prm = Option.value params ~default:Explore.default_params in
   let seed =
     match seed with Some s -> s | None -> default_seed spec chain
   in
   let rng = Mcf_util.Rng.create seed in
   let clock = Mcf_gpu.Clock.create () in
   Mcf_obs.Metrics.incr c_tunes;
+  (* Flight-recorder run header: everything needed to reproduce the run.
+     [time] is the only wall-clock field here; determinism tests strip it. *)
+  Mcf_obs.Recorder.emit "run" (fun () ->
+      let open Mcf_util.Json in
+      [ ("time", Num (Mcf_obs.Recorder.now ()));
+        ("device", Str spec.name);
+        ("chain", Str chain.Mcf_ir.Chain.cname);
+        (* As a string: seeds use 62 bits and would lose precision as a
+           JSON number (doubles carry 53 bits of mantissa). *)
+        ("seed", Str (string_of_int seed));
+        ("jobs", num_of_int (Mcf_util.Pool.jobs ()));
+        ("options",
+         Obj
+           [ ("rule1", Bool opts.Space.rule1);
+             ("rule2", Bool opts.rule2);
+             ("rule3", Bool opts.rule3);
+             ("rule4", Bool opts.rule4);
+             ("include_flat", Bool opts.include_flat);
+             ("dead_loop_elim", Bool opts.dead_loop_elim);
+             ("hoisting", Bool opts.hoisting);
+             ("max_padding", Num opts.max_padding);
+             ("shmem_slack", Num opts.shmem_slack) ]);
+        ("params",
+         Obj
+           [ ("population", num_of_int prm.Explore.population);
+             ("top_k", num_of_int prm.top_k);
+             ("epsilon", Num prm.epsilon);
+             ("min_generations", num_of_int prm.min_generations);
+             ("max_generations", num_of_int prm.max_generations);
+             ("measure_repeats", num_of_int prm.measure_repeats);
+             ("compile_cost_s", Num prm.compile_cost_s) ]) ]);
   (* Every phase is timed through the same [Trace.timed] call that emits
      its span, so the breakdown below, the trace file and [tuning_wall_s]
      share one measurement and can never disagree. *)
@@ -43,9 +76,21 @@ let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
     r
   in
   let run () =
-    let entries, funnel =
-      phase "tuner.enumerate" (fun () -> Space.enumerate ?options spec chain)
+    (* Sub-phases reported by the enumeration (space.precheck) are carved
+       out of tuner.enumerate's duration so the breakdown entries stay
+       non-overlapping and still sum to at most [tuning_wall_s]. *)
+    let sub = ref [] in
+    let (entries, funnel), enum_s =
+      Trace.timed "tuner.enumerate" (fun () ->
+          Space.enumerate ~options:opts
+            ~on_phase:(fun name dur_s -> sub := (name, dur_s) :: !sub)
+            spec chain)
     in
+    let sub = List.rev !sub in
+    let sub_total = Mcf_util.Listx.sum_by snd sub in
+    phases :=
+      ("tuner.enumerate", Float.max 0.0 (enum_s -. sub_total)) :: !phases;
+    List.iter (fun p -> phases := p :: !phases) sub;
     Log.info (fun m ->
         m "%s on %s: %d candidates after pruning (raw %.3g)"
           chain.Mcf_ir.Chain.cname spec.name funnel.candidates_valid
@@ -54,7 +99,7 @@ let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
     Mcf_gpu.Clock.charge clock 4.0;
     match
       phase "tuner.explore" (fun () ->
-          Explore.run ?params ?estimator ~rng ~clock spec entries)
+          Explore.run ~params:prm ?estimator ~rng ~clock spec entries)
     with
     | None -> Error No_viable_candidate
     | Some { best; best_time_s; stats } -> (
@@ -68,6 +113,15 @@ let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
             m "best %s at %.2fus after %d measurements"
               (Mcf_ir.Candidate.to_string best.cand)
               (best_time_s *. 1e6) stats.measured);
+        Mcf_obs.Recorder.emit "result" (fun () ->
+            let open Mcf_util.Json in
+            [ ("best", Str (Mcf_ir.Candidate.to_string best.cand));
+              ("best_key", Str (Mcf_ir.Candidate.key best.cand));
+              ("kernel_time_s", Num best_time_s);
+              ("generations", num_of_int stats.Explore.generations);
+              ("estimated", num_of_int stats.estimated);
+              ("measured", num_of_int stats.measured);
+              ("tuning_virtual_s", Num (Mcf_gpu.Clock.elapsed_s clock)) ]);
         Ok
           { chain;
             spec;
@@ -87,6 +141,8 @@ let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
           ("device", Trace.Str spec.name) ])
       run
   in
+  Mcf_obs.Recorder.emit "end" (fun () ->
+      [ ("wall_s", Mcf_util.Json.Num wall) ]);
   Result.map
     (fun o -> { o with tuning_wall_s = wall; phases = List.rev !phases })
     result

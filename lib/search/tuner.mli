@@ -19,10 +19,11 @@ type outcome = {
           root span ({!Mcf_obs.Trace.timed}) so the trace file and every
           report derive from one measurement. *)
   phases : (string * float) list;
-      (** Wall-clock breakdown: the root span's direct children
-          ([tuner.enumerate], [tuner.explore], [tuner.codegen]) in
-          execution order, in seconds.  Their sum is at most
-          [tuning_wall_s]; the remainder is untimed glue. *)
+      (** Non-overlapping wall-clock breakdown in execution order, in
+          seconds: [tuner.enumerate] (with its [space.precheck]
+          sub-phase carved out and listed right after it), then
+          [tuner.explore] and [tuner.codegen].  The entries sum to at
+          most [tuning_wall_s]; the remainder is untimed glue. *)
 }
 
 type error =
@@ -39,7 +40,14 @@ val tune :
   Mcf_ir.Chain.t ->
   (outcome, error) result
 (** Deterministic for a fixed [seed] (default derived from the chain
-    name and device). *)
+    name and device).
+
+    When {!Mcf_obs.Recorder} is recording, [tune] emits the full flight
+    record of the run — a ["run"] header (device, chain, options, seed,
+    jobs), the enumeration's prune attribution, the explorer's
+    per-generation and per-measurement events, and a ["result"]/["end"]
+    pair.  Recording never changes the outcome: results are bit-identical
+    with the recorder on or off, at any [--jobs]. *)
 
 val pseudo_code : outcome -> string
 (** The Fig. 4-style rendering of the winning schedule. *)

@@ -1,0 +1,73 @@
+The search flight recorder: --record writes a JSONL event stream whose
+deterministic payload is pinned here, and `mcfuser report` renders it.
+
+The headline output is unchanged by --record (recording must not perturb
+the deterministic tuner):
+
+  $ mcfuser tune G1 --record run.jsonl -j 2 > out 2> err
+  $ head -2 out
+  workload  G1 on A100
+  best      mnkh {h=32 k=32 m=16 n=256}
+  $ sed 's/([0-9]* events)/(N events)/' err
+  record: wrote run.jsonl (N events)
+
+The recording is one JSON object per line, discriminated by "ev", and the
+space event carries the funnel bit-identical to the tune output above:
+
+  $ grep -c '"ev":' run.jsonl > /dev/null && echo ok
+  ok
+  $ grep -o '"funnel":{[^}]*}' run.jsonl
+  "funnel":{"tilings_raw":26,"tilings_rule1":3,"tilings_rule2":2,"candidates_raw":212992,"candidates_rule3":540,"candidates_rule4":493,"candidates_valid":493}
+
+The rendered report reproduces the run header and funnel exactly:
+
+  $ mcfuser report run.jsonl | sed -n '1,20p'
+  # run
+  workload  G1_gemm_chain_b1_m512_n256_k64_h64 on A100 (seed 4518261214254383833, jobs 2)
+  options   rule1=on rule2=on rule3=on rule4=on include_flat=on dead_loop_elim=on hoisting=on max_padding=0.05 shmem_slack=1.2
+  params    population=128 top_k=10 epsilon=0.03 min_generations=5 max_generations=10 measure_repeats=10 compile_cost_s=0.6
+  
+  # pruning funnel
+  +------------------------------+--------+
+  | stage                        |  count |
+  +------------------------------+--------+
+  | tiling expressions (raw)     |     26 |
+  | after Rule 1 (dedup)         |      3 |
+  | after Rule 2 (residency)     |      2 |
+  | candidates (raw)             | 212992 |
+  | after Rule 3 (padding)       |    540 |
+  | after Rule 4 (shared memory) |    493 |
+  | valid (softmax legality)     |    493 |
+  +------------------------------+--------+
+  
+  # prune attribution
+  +----------+------------+------+---------+------------------------------------------------------------+
+
+
+
+The fidelity and result sections close the report:
+
+  $ mcfuser report run.jsonl | grep -A 3 '# model fidelity'
+  # model fidelity (estimate vs measurement)
+  +------------------------+-------+
+  | fidelity metric        | value |
+  +------------------------+-------+
+  $ mcfuser report run.jsonl | grep '^best'
+  best      mnkh {h=32 k=32 m=16 n=256} at 4.8us
+
+Diffing a recording against itself shows zero drift and exits 0:
+
+  $ mcfuser report --diff run.jsonl run.jsonl
+  # report diff
+  funnel    identical (7 counts)
+  fidelity  MAPE 12.1% -> 12.1%, tau 0.010 -> 0.010, pairs 32 -> 32
+  best      4.8us -> 4.8us (+0.00%, tolerance 5.0%)
+  verdict   OK
+
+A regression beyond tolerance fails the diff (the CI gate):
+
+  $ sed 's/"kernel_time_s":[0-9.e-]*/"kernel_time_s":1e-05/' run.jsonl > slow.jsonl
+  $ mcfuser report --diff run.jsonl slow.jsonl > diff.out 2> diff.err; echo "exit=$?"
+  exit=124
+  $ grep verdict diff.out
+  verdict   FAIL: best measured time regressed beyond tolerance

@@ -249,6 +249,58 @@ let test_histogram_empty () =
   Alcotest.(check (float 0.0)) "max" Float.neg_infinity s.hmax;
   Alcotest.(check bool) "no buckets" true (s.hbuckets = [])
 
+let test_histogram_percentiles () =
+  (* Two-bucket layout with exact power-of-two observations: 50 in (0.5, 1]
+     and 50 in (2, 4].  The first bucket is fully consumed at p50, so the
+     interpolation lands exactly on its upper bound; p90/p99 interpolate
+     geometrically inside the second bucket. *)
+  let h = Metrics.histogram "test.hist_pct" in
+  for _ = 1 to 50 do
+    Metrics.observe h 1.0
+  done;
+  for _ = 1 to 50 do
+    Metrics.observe h 4.0
+  done;
+  let s = Metrics.summary h in
+  Alcotest.(check (float 1e-9)) "p50 on bucket bound" 1.0 s.hp50;
+  Alcotest.(check (float 1e-9)) "p90 geometric"
+    (2.0 *. (2.0 ** 0.8))
+    s.hp90;
+  Alcotest.(check (float 1e-9)) "p99 geometric"
+    (2.0 *. (2.0 ** 0.98))
+    s.hp99;
+  Alcotest.(check bool) "monotone" true (s.hp50 <= s.hp90 && s.hp90 <= s.hp99)
+
+let test_histogram_percentiles_clamped () =
+  (* A single observation: every percentile collapses to that value via
+     the [min, max] clamp, even though the bucket bound is elsewhere. *)
+  let h = Metrics.histogram "test.hist_pct_one" in
+  Metrics.observe h 3.0;
+  let s = Metrics.summary h in
+  List.iter
+    (fun (lbl, v) -> Alcotest.(check (float 1e-9)) lbl 3.0 v)
+    [ ("p50", s.hp50); ("p90", s.hp90); ("p99", s.hp99) ];
+  (* Empty histogram: percentiles are 0 by convention. *)
+  let e = Metrics.summary (Metrics.histogram "test.hist_pct_empty") in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 e.hp50;
+  Alcotest.(check (float 0.0)) "empty p99" 0.0 e.hp99
+
+let test_histogram_percentiles_in_json () =
+  let h = Metrics.histogram "test.hist_pct_json" in
+  Metrics.observe h 2.0;
+  match Json.member "histograms" (Metrics.to_json ()) with
+  | Some hs -> (
+    match Json.member "test.hist_pct_json" hs with
+    | Some j ->
+      List.iter
+        (fun k ->
+          Alcotest.(check (option string))
+            (k ^ " exported") (Some "2")
+            (Option.map Json.to_string (Json.member k j)))
+        [ "p50"; "p90"; "p99" ]
+    | None -> Alcotest.fail "histogram missing from snapshot")
+  | None -> Alcotest.fail "no histograms section"
+
 let test_metrics_json_deterministic () =
   let j1 = Json.to_string (Metrics.to_json ()) in
   let j2 = Json.to_string (Metrics.to_json ()) in
@@ -312,9 +364,13 @@ let test_tuner_metric_invariants () =
       (List.fold_left (fun acc (_, d) -> acc +. d) 0.0 o.phases
       <= o.tuning_wall_s +. 1e-6);
     Alcotest.(check (list string))
-      "phases in execution order"
-      [ "tuner.enumerate"; "tuner.explore"; "tuner.codegen" ]
-      (List.map fst o.phases)
+      "phases in execution order (space.precheck carved out)"
+      [ "tuner.enumerate"; "space.precheck"; "tuner.explore"; "tuner.codegen" ]
+      (List.map fst o.phases);
+    List.iter
+      (fun (name, d) ->
+        Alcotest.(check bool) (name ^ " non-negative") true (d >= 0.0))
+      o.phases
 
 let test_tuner_trace_covers_pipeline () =
   clean ();
@@ -386,6 +442,262 @@ let test_tracing_does_not_perturb_tuning () =
   Alcotest.(check bool) "identical outcome with tracing on" true
     (plain = traced)
 
+(* --- Recorder --------------------------------------------------------------- *)
+
+module Recorder = Mcf_obs.Recorder
+module Fidelity = Mcf_obs.Fidelity
+module Report = Mcf_obs.Report
+
+let test_recorder_zero_cost_when_off () =
+  Recorder.reset ();
+  let ran = ref 0 in
+  Recorder.emit "x" (fun () ->
+      incr ran;
+      []);
+  Alcotest.(check int) "field thunk never built" 0 !ran;
+  Alcotest.(check int) "nothing buffered" 0 (List.length (Recorder.events ()))
+
+let test_recorder_emit_order_and_strip () =
+  Recorder.reset ();
+  Recorder.start ();
+  Recorder.emit "run" (fun () ->
+      [ ("time", Json.Num 1.5); ("device", Json.Str "A100") ]);
+  Recorder.emit "end" (fun () -> [ ("wall_s", Json.Num 0.25) ]);
+  Recorder.stop ();
+  (match Recorder.events () with
+  | [ a; b ] ->
+    Alcotest.(check string)
+      "ev discriminator leads" {|{"ev":"run","time":1.5,"device":"A100"}|}
+      (Json.to_string a);
+    Alcotest.(check string)
+      "clock stripped from run" {|{"ev":"run","device":"A100"}|}
+      (Json.to_string (Recorder.strip_clock a));
+    Alcotest.(check string)
+      "clock stripped from end" {|{"ev":"end"}|}
+      (Json.to_string (Recorder.strip_clock b))
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs));
+  Recorder.reset ()
+
+let test_recorder_write_load_roundtrip () =
+  Recorder.reset ();
+  Recorder.start ();
+  Recorder.emit "run" (fun () -> [ ("chain", Json.Str "g") ]);
+  Recorder.emit "measure" (fun () ->
+      [ ("est", Json.Num 1.5); ("time_s", Json.Null) ]);
+  Recorder.stop ();
+  let file = Filename.temp_file "mcf_rec" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove file with Sys_error _ -> ());
+      Recorder.reset ())
+    (fun () ->
+      (match Recorder.write file with
+      | Ok n -> Alcotest.(check int) "two events written" 2 n
+      | Error e -> Alcotest.failf "write failed: %s" e);
+      match Recorder.load file with
+      | Ok evs ->
+        Alcotest.(check (list string))
+          "roundtrip"
+          (List.map Json.to_string (Recorder.events ()))
+          (List.map Json.to_string evs)
+      | Error e -> Alcotest.failf "load failed: %s" e)
+
+let record_tune ?(jobs = 1) chain =
+  let saved = Mcf_util.Pool.jobs () in
+  Fun.protect
+    ~finally:(fun () ->
+      Mcf_util.Pool.set_jobs saved;
+      Recorder.reset ())
+    (fun () ->
+      Mcf_util.Pool.set_jobs jobs;
+      Recorder.start ();
+      let o =
+        match Mcf_search.Tuner.tune ~seed:7 a100 chain with
+        | Ok o -> o
+        | Error _ -> Alcotest.fail "tuner failed"
+      in
+      Recorder.stop ();
+      (o, Recorder.events ()))
+
+let test_recording_deterministic_across_jobs () =
+  (* The tentpole invariant: a recording is byte-identical at any --jobs
+     once the two wall-clock fields are stripped. *)
+  let chain = Mcf_ir.Chain.gemm_chain ~m:256 ~n:128 ~k:64 ~h:64 () in
+  let _, ev1 = record_tune ~jobs:1 chain in
+  let _, ev4 = record_tune ~jobs:4 chain in
+  (* The run header records the jobs setting by design; everything else
+     must match byte for byte once the clock fields are stripped. *)
+  let strip_jobs = function
+    | Json.Obj kvs -> Json.Obj (List.remove_assoc "jobs" kvs)
+    | j -> j
+  in
+  let render evs =
+    List.map
+      (fun e -> Json.to_string (strip_jobs (Recorder.strip_clock e)))
+      evs
+  in
+  Alcotest.(check (list string))
+    "events identical modulo clock + jobs fields" (render ev1) (render ev4)
+
+let test_recording_does_not_perturb_tuning () =
+  let chain = Mcf_ir.Chain.gemm_chain ~m:256 ~n:128 ~k:64 ~h:64 () in
+  let fingerprint (o : Mcf_search.Tuner.outcome) =
+    ( Mcf_ir.Candidate.key o.best.cand,
+      o.kernel_time_s,
+      o.tuning_virtual_s,
+      o.funnel,
+      o.search_stats )
+  in
+  let plain =
+    match Mcf_search.Tuner.tune ~seed:7 a100 chain with
+    | Ok o -> fingerprint o
+    | Error _ -> Alcotest.fail "tuner failed"
+  in
+  let o, events = record_tune ~jobs:1 chain in
+  Alcotest.(check bool) "bit-identical outcome with recording on" true
+    (plain = fingerprint o);
+  Alcotest.(check bool) "recording non-empty" true (List.length events > 0)
+
+let test_recording_funnel_matches_outcome () =
+  (* ISSUE 4 acceptance: the "space" event carries the funnel bit-identical
+     to the Tuner.outcome the same run returned. *)
+  let chain = Mcf_ir.Chain.gemm_chain ~m:256 ~n:128 ~k:64 ~h:64 () in
+  let o, events = record_tune chain in
+  let space_ev =
+    List.find_opt
+      (fun e -> Json.member "ev" e = Some (Json.Str "space"))
+      events
+  in
+  match space_ev with
+  | None -> Alcotest.fail "no space event recorded"
+  | Some e ->
+    Alcotest.(check (option string))
+      "funnel bit-identical to outcome"
+      (Some (Json.to_string (Mcf_search.Space.funnel_json o.funnel)))
+      (Option.map Json.to_string (Json.member "funnel" e))
+
+let test_recording_event_inventory () =
+  let chain = Mcf_ir.Chain.gemm_chain ~m:256 ~n:128 ~k:64 ~h:64 () in
+  let o, events = record_tune chain in
+  let count name =
+    List.length
+      (List.filter
+         (fun e -> Json.member "ev" e = Some (Json.Str name))
+         events)
+  in
+  Alcotest.(check int) "one run header" 1 (count "run");
+  Alcotest.(check int) "one space event" 1 (count "space");
+  Alcotest.(check int) "one result" 1 (count "result");
+  Alcotest.(check int) "one end" 1 (count "end");
+  Alcotest.(check bool) "prune attribution present" true (count "prune" >= 4);
+  Alcotest.(check int) "one generation summary per generation"
+    o.search_stats.generations (count "generation");
+  Alcotest.(check int) "one measure event per unique measurement"
+    o.search_stats.measured (count "measure")
+
+(* --- Fidelity --------------------------------------------------------------- *)
+
+let fpair pcand pest pmeas = { Fidelity.pcand; pest; pmeas }
+
+let test_fidelity_perfect_ranking () =
+  (* Estimates off by a constant factor of 10 but perfectly ordered:
+     ranking metrics are perfect while MAPE shows the scale error. *)
+  let f =
+    Fidelity.of_pairs ~ks:[ 1; 2 ]
+      [ fpair "a" 1.0 10.0; fpair "b" 2.0 20.0; fpair "c" 3.0 30.0 ]
+  in
+  Alcotest.(check int) "pairs" 3 f.pairs;
+  Alcotest.(check (float 1e-9)) "mape" 90.0 f.mape;
+  Alcotest.(check (float 1e-9)) "rank accuracy" 1.0 f.rank_accuracy;
+  Alcotest.(check (float 1e-9)) "kendall tau" 1.0 f.kendall_tau;
+  List.iter
+    (fun (k, r) ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "top-%d recall" k) 1.0 r)
+    f.topk_recall
+
+let test_fidelity_inverted_ranking () =
+  let f =
+    Fidelity.of_pairs ~ks:[ 1 ]
+      [ fpair "a" 3.0 10.0; fpair "b" 2.0 20.0; fpair "c" 1.0 30.0 ]
+  in
+  Alcotest.(check (float 1e-9)) "rank accuracy" 0.0 f.rank_accuracy;
+  Alcotest.(check (float 1e-9)) "kendall tau" (-1.0) f.kendall_tau;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "top-1 recall misses" [ (1, 0.0) ] f.topk_recall
+
+let test_fidelity_degenerate () =
+  let empty = Fidelity.of_pairs [] in
+  Alcotest.(check int) "no pairs" 0 empty.pairs;
+  Alcotest.(check (float 0.0)) "tau needs 2 pairs" 0.0 empty.kendall_tau;
+  let one = Fidelity.of_pairs ~ks:[ 1 ] [ fpair "a" 5.0 5.0 ] in
+  Alcotest.(check (float 1e-9)) "exact estimate" 0.0 one.mape;
+  Alcotest.(check (float 1e-9)) "vacuous rank accuracy" 1.0 one.rank_accuracy
+
+let test_fidelity_histogram () =
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "log-scale buckets"
+    [ (1.0, 2); (2.0, 1); (4.0, 1) ]
+    (Fidelity.histogram [| 1.0; 0.75; 2.0; 2.5 |])
+
+(* --- Report ----------------------------------------------------------------- *)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_report_render_sections () =
+  let chain = Mcf_ir.Chain.gemm_chain ~m:256 ~n:128 ~k:64 ~h:64 () in
+  let o, events = record_tune chain in
+  match Report.render events with
+  | Error e -> Alcotest.failf "render failed: %s" e
+  | Ok s ->
+    List.iter
+      (fun section ->
+        Alcotest.(check bool) (section ^ " present") true
+          (contains_substring s section))
+      [ "# run"; "# pruning funnel"; "# prune attribution"; "# convergence";
+        "# model fidelity"; "# result" ];
+    (* The funnel table shows the same counts the outcome carries. *)
+    Alcotest.(check bool) "valid count rendered" true
+      (contains_substring s (string_of_int o.funnel.candidates_valid))
+
+let test_report_diff_self_and_regression () =
+  let chain = Mcf_ir.Chain.gemm_chain ~m:256 ~n:128 ~k:64 ~h:64 () in
+  let _, events = record_tune chain in
+  (match Report.diff events events with
+  | Error e -> Alcotest.failf "self diff failed: %s" e
+  | Ok d ->
+    Alcotest.(check bool) "no funnel drift" false d.funnel_drift;
+    Alcotest.(check bool) "no fidelity drift" false d.fidelity_drift;
+    Alcotest.(check bool) "no regression" false d.regression);
+  (* Inflate the result's best time beyond tolerance: regression flips. *)
+  let inflated =
+    List.map
+      (fun e ->
+        match (Json.member "ev" e, e) with
+        | Some (Json.Str "result"), Json.Obj kvs ->
+          Json.Obj
+            (List.map
+               (fun (k, v) ->
+                 match (k, v) with
+                 | "kernel_time_s", Json.Num t -> (k, Json.Num (t *. 2.0))
+                 | _ -> (k, v))
+               kvs)
+        | _ -> e)
+      events
+  in
+  match Report.diff ~tolerance:0.05 events inflated with
+  | Error e -> Alcotest.failf "regression diff failed: %s" e
+  | Ok d ->
+    Alcotest.(check bool) "regression detected" true d.regression;
+    Alcotest.(check bool) "funnel still identical" false d.funnel_drift
+
+let test_report_empty () =
+  match Report.render [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty recording must not render"
+
 let () =
   Alcotest.run "obs"
     [ ( "json",
@@ -414,8 +726,42 @@ let () =
           Alcotest.test_case "histogram buckets" `Quick
             test_histogram_bucketing;
           Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "percentiles clamped" `Quick
+            test_histogram_percentiles_clamped;
+          Alcotest.test_case "percentiles in json" `Quick
+            test_histogram_percentiles_in_json;
           Alcotest.test_case "json snapshot" `Quick
             test_metrics_json_deterministic ] );
+      ( "recorder",
+        [ Alcotest.test_case "zero-cost when off" `Quick
+            test_recorder_zero_cost_when_off;
+          Alcotest.test_case "emit order + strip_clock" `Quick
+            test_recorder_emit_order_and_strip;
+          Alcotest.test_case "write/load roundtrip" `Quick
+            test_recorder_write_load_roundtrip;
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_recording_deterministic_across_jobs;
+          Alcotest.test_case "no perturbation" `Quick
+            test_recording_does_not_perturb_tuning;
+          Alcotest.test_case "funnel matches outcome" `Quick
+            test_recording_funnel_matches_outcome;
+          Alcotest.test_case "event inventory" `Quick
+            test_recording_event_inventory ] );
+      ( "fidelity",
+        [ Alcotest.test_case "perfect ranking" `Quick
+            test_fidelity_perfect_ranking;
+          Alcotest.test_case "inverted ranking" `Quick
+            test_fidelity_inverted_ranking;
+          Alcotest.test_case "degenerate inputs" `Quick
+            test_fidelity_degenerate;
+          Alcotest.test_case "histogram" `Quick test_fidelity_histogram ] );
+      ( "report",
+        [ Alcotest.test_case "render sections" `Quick
+            test_report_render_sections;
+          Alcotest.test_case "diff self + regression" `Quick
+            test_report_diff_self_and_regression;
+          Alcotest.test_case "empty recording" `Quick test_report_empty ] );
       ( "profile",
         [ Alcotest.test_case "aggregates by path" `Quick
             test_profile_aggregates ] );

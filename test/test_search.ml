@@ -292,7 +292,24 @@ let test_tuner_jobs_equality () =
             a.tuning_virtual_s b.tuning_virtual_s;
           Alcotest.(check bool) (name ^ ": funnel") true (a.funnel = b.funnel);
           Alcotest.(check bool) (name ^ ": search stats") true
-            (a.search_stats = b.search_stats))
+            (a.search_stats = b.search_stats);
+          (* Phase durations are wall-clock and so differ across runs, but
+             the breakdown must stay non-overlapping: same named phases
+             (space.precheck carved out of tuner.enumerate) summing to at
+             most the run's own wall time. *)
+          List.iter
+            (fun (o : Mcf_search.Tuner.outcome) ->
+              Alcotest.(check (list string))
+                (name ^ ": phase names")
+                [ "tuner.enumerate"; "space.precheck"; "tuner.explore";
+                  "tuner.codegen" ]
+                (List.map fst o.phases);
+              Alcotest.(check bool)
+                (name ^ ": phases sum within wall clock")
+                true
+                (List.fold_left (fun acc (_, d) -> acc +. d) 0.0 o.phases
+                <= o.tuning_wall_s +. 1e-6))
+            [ a; b ])
         [ ("gemm", small_gemm); ("attention", attn) ])
 
 let test_tuner_lowers_lazily () =
