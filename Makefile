@@ -2,7 +2,7 @@
 
 .PHONY: all build test bench examples quick clean fmt trace-demo check \
 	ci-guard bench-search bench-search-smoke bench-estimate-smoke \
-	report-smoke
+	report-smoke fuzz-smoke
 
 all: build
 
@@ -48,7 +48,16 @@ report-smoke:
 	  /tmp/mcfuser-record.jsonl > /dev/null
 	@echo "report-smoke: record/report/diff ok (zero drift)"
 
-check: build fmt test trace-demo ci-guard bench-search-smoke bench-estimate-smoke report-smoke
+# Differential-fuzzing smoke: a fixed seed and a 10 virtual-second budget
+# run ~200 cases through all six cross-layer oracles (interp, analytic,
+# shmem, pruning, tuner, emit); the budget is charged from deterministic
+# work estimates, so the same cases run on every machine and any failure
+# prints a replay seed and a minimized reproducer.
+fuzz-smoke:
+	dune exec -- mcfuser fuzz --seed 42 --budget-s 10 --no-corpus
+	@echo "fuzz-smoke: all oracles clean"
+
+check: build fmt test trace-demo ci-guard bench-search-smoke bench-estimate-smoke report-smoke fuzz-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -11,6 +11,7 @@
      experiment  run a paper experiment by id (fig2, fig8a, ..., ablation)
      workloads   list the built-in workloads
      verify      check a tuned schedule numerically against the reference
+     fuzz        differential fuzzing of the whole pipeline (random chains)
      report      render (or --diff) a search flight recording
 
    Every sub-command accepts the observability flags:
@@ -652,6 +653,128 @@ let verify_cmd =
        ~doc:"Numerically verify a tuned schedule on a scaled-down instance")
     term
 
+(* --- fuzz ---------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let seed_arg =
+    let doc = "Fuzzing seed; the whole run is a pure function of it." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Virtual-time budget in seconds, charged from each case's \
+       deterministic work estimate (not the wall clock) — a given \
+       seed/budget runs the same cases on every machine."
+    in
+    Arg.(value & opt float 5.0 & info [ "budget-s" ] ~docv:"S" ~doc)
+  in
+  let cases_arg =
+    let doc = "Stop after $(docv) cases (whichever of this and the budget \
+               comes first)." in
+    Arg.(value & opt (some int) None & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let oracle_arg =
+    let doc =
+      "Run only this oracle (repeatable; default: all).  See \
+       $(b,--list-oracles)."
+    in
+    Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"NAME" ~doc)
+  in
+  let corpus_arg =
+    let doc =
+      "Directory minimized failing cases are appended to as replayable \
+       case files."
+    in
+    Arg.(value & opt string "test/corpus"
+         & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
+  let no_corpus_arg =
+    let doc = "Do not write corpus files on failure." in
+    Arg.(value & flag & info [ "no-corpus" ] ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay a corpus case file through its recorded oracle instead of \
+       fuzzing."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let list_arg =
+    let doc = "List the available oracles and exit." in
+    Arg.(value & flag & info [ "list-oracles" ] ~doc)
+  in
+  let run verbose obs seed budget_s cases oracle_names corpus no_corpus
+      replay list_oracles =
+    setup_logs verbose;
+    if list_oracles then begin
+      List.iter
+        (fun (o : Mcf_fuzz.Oracle.t) ->
+          Printf.printf "%-10s %s%s\n" o.name o.doc
+            (if o.every > 1 then Printf.sprintf " (every %d cases)" o.every
+             else ""))
+        Mcf_fuzz.Oracle.all;
+      Ok ()
+    end
+    else
+      match replay with
+      | Some path ->
+        with_obs obs (fun () ->
+            match Mcf_fuzz.Corpus.load path with
+            | Error e -> Error (`Msg e)
+            | Ok entry -> (
+              Printf.printf "replay %s: oracle %s, %s\n" path
+                entry.Mcf_fuzz.Corpus.oracle
+                (Mcf_fuzz.Gen.case_to_string entry.Mcf_fuzz.Corpus.case);
+              match Mcf_fuzz.Driver.replay entry with
+              | Ok `Pass ->
+                print_endline "replay: PASS";
+                Ok ()
+              | Ok (`Skip m) ->
+                Printf.printf "replay: SKIP (%s)\n" m;
+                Ok ()
+              | Error m -> Error (`Msg ("replay still fails: " ^ m))))
+      | None -> (
+        let oracles_r =
+          match oracle_names with
+          | [] -> Ok Mcf_fuzz.Oracle.all
+          | names ->
+            List.fold_right
+              (fun n acc ->
+                match (acc, Mcf_fuzz.Oracle.by_name n) with
+                | (Error _ as e), _ -> e
+                | Ok _, None ->
+                  Error
+                    (`Msg
+                      (Printf.sprintf "unknown oracle %S (available: %s)" n
+                         (String.concat ", " (Mcf_fuzz.Oracle.names ()))))
+                | Ok os, Some o -> Ok (o :: os))
+              names (Ok [])
+        in
+        match oracles_r with
+        | Error _ as e -> e
+        | Ok oracles ->
+          with_obs obs (fun () ->
+              let outcome =
+                Mcf_fuzz.Driver.run ~seed ~budget_s
+                  ?max_cases:cases ~oracles
+                  ?corpus_dir:(if no_corpus then None else Some corpus)
+                  ()
+              in
+              print_string (Mcf_fuzz.Driver.render_summary outcome);
+              if outcome.Mcf_fuzz.Driver.failures = [] then Ok ()
+              else Error (`Msg "fuzzing found failures (corpus updated)")))
+  in
+  let term =
+    Term.(term_result (const run $ verbose_arg $ obs_term $ seed_arg
+                       $ budget_arg $ cases_arg $ oracle_arg $ corpus_arg
+                       $ no_corpus_arg $ replay_arg $ list_arg))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differentially fuzz the whole pipeline on random MBCI chains")
+    term
+
 (* --- report -------------------------------------------------------------- *)
 
 let report_cmd =
@@ -727,4 +850,4 @@ let () =
        (Cmd.group info
           [ tune_cmd; chain_cmd; schedule_cmd; dot_cmd; explain_cmd;
             compare_cmd; partition_cmd; experiment_cmd; workloads_cmd;
-            verify_cmd; report_cmd ]))
+            verify_cmd; fuzz_cmd; report_cmd ]))

@@ -138,6 +138,27 @@ let triton_kernel (p : Program.t) =
           ()
         end)
       axes);
+  (* Axes bound neither to the grid nor to a surviving in-block loop
+     (their single cross-tile trip was spliced away by dead-loop
+     elimination) still appear in the offset expressions of loads and
+     stores; their tile base is the constant 0. *)
+  let looped =
+    let rec collect acc = function
+      | Program.Stmt _ -> acc
+      | Program.Loop l ->
+        List.fold_left collect (l.Program.laxis.Axis.name :: acc)
+          l.Program.body
+    in
+    List.fold_left collect [] p.Program.roots
+  in
+  List.iter
+    (fun (a : Axis.t) ->
+      if
+        (not (Axis.mem a p.grid_axes)) && not (List.mem a.name looped)
+      then
+        buf_add buf
+          (Printf.sprintf "    %s0 = 0  # single-tile axis\n" a.name))
+    chain.axes;
   (* accumulators *)
   List.iter
     (fun (b : Chain.block) ->
@@ -180,6 +201,157 @@ let triton_kernel (p : Program.t) =
   if Program.online_softmax p then
     buf_add buf "    # final normalization folded into the store above\n";
   Buffer.contents buf
+
+(* --- well-formedness check ----------------------------------------------- *)
+
+(* The emitted kernel is illustrative source, but it must still be a
+   coherent program: consistent 4-space indentation, and every value read
+   by a statement defined by an earlier statement of the kernel (grid
+   decomposition, prologue zero, loop header, load, accumulator init).
+   Sequential first-definition-before-first-use is exactly dominance here
+   because every emitted loop has extent >= 1 and so executes its body.
+   External names (tl, strides, masks, pointers, tile constexprs) are out
+   of scope — only names the kernel itself must define are tracked. *)
+
+let ident_re = Str.regexp "[A-Za-z_][A-Za-z0-9_]*"
+
+let idents_of s =
+  let rec go acc pos =
+    match Str.search_forward ident_re s pos with
+    | exception Not_found -> List.rev acc
+    | i -> go (Str.matched_string s :: acc) (i + String.length (Str.matched_string s))
+  in
+  go [] 0
+
+let indent_of line =
+  let n = String.length line in
+  let rec go i = if i < n && line.[i] = ' ' then go (i + 1) else i in
+  go 0
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i when String.trim (String.sub line 0 i) <> "" ->
+    String.sub line 0 i
+  | Some _ -> ""  (* whole-line comment *)
+  | None -> line
+
+let check (p : Program.t) =
+  let chain = p.Program.chain in
+  let src = triton_kernel p in
+  let tracked = Hashtbl.create 32 in
+  List.iter
+    (fun (a : Axis.t) ->
+      Hashtbl.replace tracked (a.name ^ "0") ();
+      Hashtbl.replace tracked (a.name ^ "_i") ())
+    chain.axes;
+  List.iter (fun n -> Hashtbl.replace tracked n ())
+    [ "pid"; "m_i"; "l_i"; "m_new"; "corr" ];
+  List.iter
+    (fun (b : Chain.block) ->
+      Hashtbl.replace tracked (acc_name b.out) ();
+      List.iter
+        (fun (ts : Chain.tensor_spec) ->
+          if ts.storage = Chain.Input then
+            Hashtbl.replace tracked (reg_name ts) ())
+        b.ins)
+    chain.blocks;
+  let defined = Hashtbl.create 32 in
+  let stores = ref [] in
+  let err = ref None in
+  let fail lineno fmt =
+    Printf.ksprintf
+      (fun m ->
+        if !err = None then err := Some (Printf.sprintf "line %d: %s" lineno m))
+      fmt
+  in
+  (* Join physical lines while parens are open (the def signature wraps). *)
+  let logical =
+    let depth s =
+      String.fold_left
+        (fun d c -> match c with '(' -> d + 1 | ')' -> d - 1 | _ -> d)
+        0 s
+    in
+    let rec join acc cur curno curdepth lineno = function
+      | [] -> List.rev (if cur = "" then acc else (curno, cur) :: acc)
+      | l :: rest ->
+        let cur', curno' = (if cur = "" then (l, lineno) else (cur ^ " " ^ String.trim l, curno)) in
+        let d = curdepth + depth l in
+        if d > 0 then join acc cur' curno' d (lineno + 1) rest
+        else join ((curno', cur') :: acc) "" 0 0 (lineno + 1) rest
+    in
+    join [] "" 0 0 1 (String.split_on_char '\n' src)
+  in
+  let stack = ref [] in
+  let cur = ref 0 in
+  let prev_opened = ref false in
+  List.iter
+    (fun (lineno, raw) ->
+      let line = strip_comment raw in
+      if String.trim line <> "" && !err = None then begin
+        let ind = indent_of line in
+        let body = String.trim line in
+        (* indentation discipline *)
+        if !prev_opened then begin
+          if ind <> !cur + 4 then
+            fail lineno "expected indent %d after ':', got %d" (!cur + 4) ind
+          else begin
+            stack := !cur :: !stack;
+            cur := ind
+          end
+        end
+        else begin
+          while ind < !cur && !stack <> [] do
+            cur := List.hd !stack;
+            stack := List.tl !stack
+          done;
+          if ind <> !cur then
+            fail lineno "indent %d does not match any open scope" ind
+        end;
+        prev_opened := String.length body > 0 && body.[String.length body - 1] = ':';
+        (* definitions and uses *)
+        let check_uses s =
+          List.iter
+            (fun id ->
+              if Hashtbl.mem tracked id && not (Hashtbl.mem defined id) then
+                fail lineno "%s read before being defined" id)
+            (idents_of s)
+        in
+        let assign_re =
+          Str.regexp "^\\([A-Za-z_][A-Za-z0-9_]*\\) *\\(=\\|\\+=\\|\\*=\\) *\\(.*\\)$"
+        in
+        if Str.string_match (Str.regexp "^for +\\([A-Za-z_][A-Za-z0-9_]*\\) +in +\\(.*\\):$") body 0 then begin
+          let v = Str.matched_group 1 body in
+          check_uses (Str.matched_group 2 body);
+          Hashtbl.replace defined v ()
+        end
+        else if Str.string_match assign_re body 0 then begin
+          let lhs = Str.matched_group 1 body in
+          let op = Str.matched_group 2 body in
+          let rhs = Str.matched_group 3 body in
+          check_uses rhs;
+          if op <> "=" && Hashtbl.mem tracked lhs && not (Hashtbl.mem defined lhs)
+          then fail lineno "%s updated (%s) before being defined" lhs op;
+          Hashtbl.replace defined lhs ()
+        end
+        else if String.length body >= 9 && String.sub body 0 9 = "tl.store(" then begin
+          check_uses body;
+          stores := body :: !stores
+        end
+        else if body <> "@triton.jit" && not (Str.string_match (Str.regexp "^def ") body 0)
+        then check_uses body
+      end)
+    logical;
+  (match !err with
+  | Some _ -> ()
+  | None ->
+    let out = Chain.output_tensor chain in
+    (match !stores with
+    | [ s ] ->
+      let want = out.Chain.tname ^ "_ptr" in
+      if not (List.mem want (idents_of s)) then
+        fail 0 "the single tl.store does not target %s" want
+    | ss -> fail 0 "expected exactly one tl.store, found %d" (List.length ss)));
+  match !err with Some m -> Error m | None -> Ok ()
 
 let launch_stub (p : Program.t) =
   let chain = p.Program.chain in

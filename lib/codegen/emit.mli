@@ -13,3 +13,13 @@ val triton_kernel : Mcf_ir.Program.t -> string
 
 val launch_stub : Mcf_ir.Program.t -> string
 (** The Python-side launch wrapper (grid computation, strides). *)
+
+val check : Mcf_ir.Program.t -> (unit, string) result
+(** Well-formedness of the emitted kernel: consistent 4-space block
+    structure, every kernel-defined value (tile base [x0], loop variable,
+    loaded tile, accumulator, softmax statistic) defined before any
+    statement reads it, and exactly one [tl.store] targeting the chain
+    output.  Definition-before-use in emission order is dominance here
+    because every emitted loop runs its body at least once.  Names the
+    kernel does not itself define (strides, masks, pointers, tile
+    constexprs, [tl]) are outside the check's scope. *)

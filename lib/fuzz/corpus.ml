@@ -1,0 +1,211 @@
+open Mcf_ir
+
+(* A corpus entry is a plain-text `key value` file describing one
+   minimized failing case and the oracle that flagged it.  The encoding
+   carries the genome (not the built chain): replay rebuilds through
+   [Gen.chain_of_spec], so a corpus written by one version keeps working
+   as long as the genome language is stable. *)
+
+type entry = { oracle : string; reason : string; case : Gen.case }
+
+let sanitize s =
+  String.concat "; "
+    (List.filter_map
+       (fun l ->
+         let l = String.trim l in
+         if l = "" then None else Some l)
+       (String.split_on_char '\n' s))
+
+let tiling_to_line = function
+  | Tiling.Deep axes ->
+    "deep:" ^ String.concat "," (List.map (fun (a : Axis.t) -> a.name) axes)
+  | Tiling.Flat (prefix, groups) ->
+    "flat:"
+    ^ String.concat "|"
+        (List.map
+           (fun axes ->
+             String.concat "," (List.map (fun (a : Axis.t) -> a.name) axes))
+           (prefix :: groups))
+
+let to_string (e : entry) =
+  let c = e.case in
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "# mcfuser fuzz reproducer (replay: mcfuser fuzz --replay <this file>)";
+  line "oracle %s" e.oracle;
+  line "reason %s" (sanitize e.reason);
+  line "seed %d" c.seed;
+  line "case %d" c.id;
+  line "batch %d" c.cspec.sbatch;
+  line "m %d" c.cspec.sm;
+  List.iter (fun (n, v) -> line "col %s %d" n v) c.cspec.cols;
+  List.iter (fun e -> line "epi %s" (Gen.epi_to_string e)) c.cspec.epis;
+  line "rule1 %b" c.rule1;
+  line "dle %b" c.dle;
+  line "hoist %b" c.hoist;
+  line "elem_bytes %d" c.elem_bytes;
+  line "device %s" c.device.Mcf_gpu.Spec.name;
+  line "tiling %s" (tiling_to_line c.cand.Candidate.tiling);
+  List.iter (fun (n, t) -> line "tile %s %d" n t) c.cand.Candidate.tiles;
+  Buffer.contents b
+
+let ( let* ) = Result.bind
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bad %s: %S" what s)
+
+let parse_bool what s =
+  match bool_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bad %s: %S" what s)
+
+let parse_tiling chain s =
+  let axes_of names =
+    try
+      Ok
+        (List.map (Chain.axis chain)
+           (List.filter (fun n -> n <> "") (String.split_on_char ',' names)))
+    with Not_found -> Error (Printf.sprintf "tiling names unknown axis: %S" names)
+  in
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad tiling line: %S" s)
+  | Some i -> (
+    let kind = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match kind with
+    | "deep" ->
+      let* axes = axes_of rest in
+      Ok (Tiling.Deep axes)
+    | "flat" -> (
+      let parts = String.split_on_char '|' rest in
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest ->
+          let* axes = axes_of p in
+          collect (axes :: acc) rest
+      in
+      let* parts = collect [] parts in
+      match parts with
+      | prefix :: groups when groups <> [] -> Ok (Tiling.Flat (prefix, groups))
+      | _ -> Error "flat tiling needs a prefix and at least one group")
+    | k -> Error (Printf.sprintf "unknown tiling kind: %S" k))
+
+let of_string text =
+  let kvs =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun l ->
+           let l = String.trim l in
+           if l = "" || l.[0] = '#' then None
+           else
+             match String.index_opt l ' ' with
+             | None -> Some (l, "")
+             | Some i ->
+               Some
+                 ( String.sub l 0 i,
+                   String.trim (String.sub l (i + 1) (String.length l - i - 1))
+                 ))
+  in
+  let find k =
+    match List.assoc_opt k kvs with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing %S line" k)
+  in
+  let all k = List.filter_map (fun (k', v) -> if k' = k then Some v else None) kvs in
+  let* oracle = find "oracle" in
+  let reason = Result.value (find "reason") ~default:"" in
+  let* seed = Result.bind (find "seed") (parse_int "seed") in
+  let* id = Result.bind (find "case") (parse_int "case") in
+  let* sbatch = Result.bind (find "batch") (parse_int "batch") in
+  let* sm = Result.bind (find "m") (parse_int "m") in
+  let* cols =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | v :: rest -> (
+        match String.split_on_char ' ' v with
+        | [ n; sz ] ->
+          let* sz = parse_int ("col " ^ n) sz in
+          go ((n, sz) :: acc) rest
+        | _ -> Error (Printf.sprintf "bad col line: %S" v))
+    in
+    go [] (all "col")
+  in
+  let* epis =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | v :: rest ->
+        let* e = Gen.epi_of_string v in
+        go (e :: acc) rest
+    in
+    go [] (all "epi")
+  in
+  if cols = [] then Error "no col lines"
+  else if List.length epis <> List.length cols - 1 then
+    Error "epi count must be col count - 1"
+  else begin
+    let* rule1 = Result.bind (find "rule1") (parse_bool "rule1") in
+    let* dle = Result.bind (find "dle") (parse_bool "dle") in
+    let* hoist = Result.bind (find "hoist") (parse_bool "hoist") in
+    let* elem_bytes = Result.bind (find "elem_bytes") (parse_int "elem_bytes") in
+    let* device =
+      let* name = find "device" in
+      match Mcf_gpu.Spec.by_name name with
+      | Some d -> Ok d
+      | None -> Error (Printf.sprintf "unknown device: %S" name)
+    in
+    let cspec = { Gen.sbatch; sm; cols; epis } in
+    let* chain =
+      match Gen.chain_of_spec cspec with
+      | chain -> Ok chain
+      | exception Invalid_argument m -> Error m
+    in
+    let* tiling = Result.bind (find "tiling") (parse_tiling chain) in
+    let* tiles =
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | v :: rest -> (
+          match String.split_on_char ' ' v with
+          | [ n; t ] ->
+            let* t = parse_int ("tile " ^ n) t in
+            go ((n, t) :: acc) rest
+          | _ -> Error (Printf.sprintf "bad tile line: %S" v))
+      in
+      go [] (all "tile")
+    in
+    let cand = Candidate.make tiling tiles in
+    Ok
+      { oracle;
+        reason;
+        case =
+          { Gen.id; seed; cspec; chain; cand; rule1; dle; hoist; elem_bytes;
+            device }
+      }
+  end
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | text -> (
+    match of_string text with
+    | Ok e -> Ok e
+    | Error m -> Error (Printf.sprintf "%s: %s" path m))
+
+let write ~dir (e : entry) =
+  let body = to_string e in
+  let name =
+    Printf.sprintf "%s-%012Lx.case" e.oracle
+      (Int64.logand (Mcf_util.Hashing.fnv1a64 body) 0xFFFFFFFFFFFFL)
+  in
+  let path = Filename.concat dir name in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc body);
+  path
+
+let files dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".case")
+    |> List.sort String.compare
+    |> List.map (Filename.concat dir)
+  else []

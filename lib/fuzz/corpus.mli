@@ -1,0 +1,22 @@
+(** The replayable regression corpus.
+
+    Every failure the fuzzer minimizes is appended to [test/corpus/] as a
+    plain-text `key value` file carrying the case genome, the flagging
+    oracle and the replay seed; [dune runtest] (and `mcfuser fuzz
+    --replay`) rebuilds the case from the genome and re-runs the oracle
+    forever after.  Filenames embed a content hash, so re-finding the
+    same minimized case is idempotent. *)
+
+type entry = { oracle : string; reason : string; case : Gen.case }
+
+val to_string : entry -> string
+
+val of_string : string -> (entry, string) result
+
+val load : string -> (entry, string) result
+
+val write : dir:string -> entry -> string
+(** Write (creating [dir] if needed) and return the file path. *)
+
+val files : string -> string list
+(** All [*.case] files under a directory, sorted; empty when absent. *)

@@ -1,0 +1,143 @@
+(* The fuzzing loop.  Sequential by design: oracle verdicts and the case
+   sequence must be identical at any --jobs (the tuner oracle exercises
+   the pool internally), and the budget is *virtual* — charged from the
+   deterministic work estimate of each case, not the wall clock — so the
+   number of cases a given seed/budget runs is identical on every
+   machine, which is what lets the cram test pin the summary. *)
+
+let m_cases = Mcf_obs.Metrics.counter "fuzz.cases"
+let m_runs = Mcf_obs.Metrics.counter "fuzz.oracle_runs"
+let m_skips = Mcf_obs.Metrics.counter "fuzz.skips"
+let m_failures = Mcf_obs.Metrics.counter "fuzz.failures"
+let m_shrink = Mcf_obs.Metrics.counter "fuzz.shrink_steps"
+let m_corpus = Mcf_obs.Metrics.counter "fuzz.corpus_writes"
+
+type failure = {
+  foracle : string;
+  freason : string;
+  forig : Gen.case;
+  minimized : Gen.case;
+  shrink_steps : int;
+  corpus_path : string option;
+}
+
+type per_oracle = { oname : string; runs : int; passes : int; skips : int; fails : int }
+
+type outcome = {
+  seed : int;
+  cases : int;
+  virtual_s : float;
+  tallies : per_oracle list;
+  failures : failure list;
+}
+
+(* Virtual cost model: interpreter work dominates, every case pays a fixed
+   overhead for the cheap oracles, and a tuner run is a flat surcharge.
+   Constants are calibrated so virtual seconds track wall seconds on a
+   mid-range core (~200 cases in 10 s with the full oracle set). *)
+let case_cost oracles (c : Gen.case) =
+  let base = (Gen.interp_work c *. 6e-8) +. 0.004 in
+  if List.exists (fun (o : Oracle.t) -> o.name = "tuner" && c.id mod o.every = 0) oracles
+  then base +. 0.2
+  else base
+
+let still_fails (o : Oracle.t) c =
+  match o.check c with Oracle.Fail _ -> true | Oracle.Pass | Oracle.Skip _ -> false
+
+let handle_failure ~corpus_dir (o : Oracle.t) case reason =
+  let minimized, steps = Shrink.minimize ~still_fails:(still_fails o) case in
+  Mcf_obs.Metrics.add m_shrink steps;
+  let freason =
+    match o.check minimized with Oracle.Fail m -> m | _ -> reason
+  in
+  let corpus_path =
+    Option.map
+      (fun dir ->
+        Mcf_obs.Metrics.incr m_corpus;
+        Corpus.write ~dir { Corpus.oracle = o.name; reason = freason; case = minimized })
+      corpus_dir
+  in
+  { foracle = o.name; freason; forig = case; minimized; shrink_steps = steps;
+    corpus_path }
+
+let run ?(seed = 42) ?(budget_s = 5.0) ?(max_cases = max_int)
+    ?(oracles = Oracle.all) ?corpus_dir () =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun (o : Oracle.t) ->
+      Hashtbl.replace tally o.name { oname = o.name; runs = 0; passes = 0; skips = 0; fails = 0 })
+    oracles;
+  let bump name f =
+    let t = Hashtbl.find tally name in
+    Hashtbl.replace tally name (f { t with runs = t.runs + 1 })
+  in
+  let failures = ref [] in
+  let rec loop id spent =
+    if id >= max_cases || spent >= budget_s then (id, spent)
+    else begin
+      let case = Gen.case_of_id ~seed id in
+      Mcf_obs.Metrics.incr m_cases;
+      List.iter
+        (fun (o : Oracle.t) ->
+          if id mod o.every = 0 then begin
+            Mcf_obs.Metrics.incr m_runs;
+            match o.check case with
+            | Oracle.Pass -> bump o.name (fun t -> { t with passes = t.passes + 1 })
+            | Oracle.Skip _ ->
+              Mcf_obs.Metrics.incr m_skips;
+              bump o.name (fun t -> { t with skips = t.skips + 1 })
+            | Oracle.Fail reason ->
+              Mcf_obs.Metrics.incr m_failures;
+              bump o.name (fun t -> { t with fails = t.fails + 1 });
+              failures := handle_failure ~corpus_dir o case reason :: !failures
+          end)
+        oracles;
+      loop (id + 1) (spent +. case_cost oracles case)
+    end
+  in
+  let cases, virtual_s = loop 0 0.0 in
+  { seed;
+    cases;
+    virtual_s;
+    tallies = List.map (fun (o : Oracle.t) -> Hashtbl.find tally o.name) oracles;
+    failures = List.rev !failures }
+
+let replay (entry : Corpus.entry) =
+  match Oracle.by_name entry.Corpus.oracle with
+  | None -> Error (Printf.sprintf "unknown oracle %S" entry.Corpus.oracle)
+  | Some o -> (
+    match o.check entry.Corpus.case with
+    | Oracle.Pass -> Ok `Pass
+    | Oracle.Skip m -> Ok (`Skip m)
+    | Oracle.Fail m -> Error m)
+
+let render_summary (o : outcome) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "fuzz: seed %d, %d cases, %.2f virtual s\n" o.seed o.cases
+       o.virtual_s);
+  Buffer.add_string b
+    (Printf.sprintf "%-10s %6s %6s %6s %6s\n" "oracle" "runs" "pass" "skip"
+       "fail");
+  List.iter
+    (fun t ->
+      Buffer.add_string b
+        (Printf.sprintf "%-10s %6d %6d %6d %6d\n" t.oname t.runs t.passes
+           t.skips t.fails))
+    o.tallies;
+  List.iter
+    (fun f ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "FAIL [%s] case %d (replay: mcfuser fuzz --seed %d --cases %d)\n  %s\n  minimized (%d steps): %s%s\n"
+           f.foracle f.forig.Gen.id f.forig.Gen.seed (f.forig.Gen.id + 1)
+           f.freason f.shrink_steps
+           (Gen.case_to_string f.minimized)
+           (match f.corpus_path with
+           | Some p -> "\n  corpus: " ^ p
+           | None -> "")))
+    o.failures;
+  Buffer.add_string b
+    (if o.failures = [] then "fuzz: PASS\n"
+     else Printf.sprintf "fuzz: FAIL (%d)\n" (List.length o.failures));
+  Buffer.contents b

@@ -1,0 +1,55 @@
+(** The fuzzing loop: generate cases, run the oracle set, shrink and
+    record failures.
+
+    Deliberately sequential — verdicts and the case sequence are
+    identical at any [--jobs] (parallelism is *inside* the tuner oracle,
+    which is itself a determinism check) — and budgeted in {e virtual}
+    seconds charged from each case's deterministic work estimate, so a
+    given (seed, budget) runs the same cases on every machine. *)
+
+type failure = {
+  foracle : string;
+  freason : string;  (** Failure message of the {e minimized} case. *)
+  forig : Gen.case;
+  minimized : Gen.case;
+  shrink_steps : int;
+  corpus_path : string option;
+}
+
+type per_oracle = {
+  oname : string;
+  runs : int;
+  passes : int;
+  skips : int;
+  fails : int;
+}
+
+type outcome = {
+  seed : int;
+  cases : int;
+  virtual_s : float;
+  tallies : per_oracle list;  (** In oracle order. *)
+  failures : failure list;  (** In discovery order. *)
+}
+
+val run :
+  ?seed:int ->
+  ?budget_s:float ->
+  ?max_cases:int ->
+  ?oracles:Oracle.t list ->
+  ?corpus_dir:string ->
+  unit ->
+  outcome
+(** Fuzz until the virtual budget (default 5.0) or [max_cases] is
+    reached.  Failures are minimized and, when [corpus_dir] is given,
+    appended there as replayable case files.  Updates the [fuzz.*]
+    counters in {!Mcf_obs.Metrics}. *)
+
+val replay :
+  Corpus.entry -> ([ `Pass | `Skip of string ], string) result
+(** Re-run a corpus entry's oracle on its case; [Error] carries the
+    failure message when the regression still reproduces. *)
+
+val render_summary : outcome -> string
+(** Deterministic human-readable table + per-failure replay lines,
+    ending in "fuzz: PASS" or "fuzz: FAIL (n)". *)

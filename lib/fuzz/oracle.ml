@@ -1,0 +1,292 @@
+open Mcf_ir
+module Gen = Gen
+
+type verdict = Pass | Skip of string | Fail of string
+
+type t = {
+  name : string;
+  doc : string;
+  every : int;
+      (** Run on every [every]-th case (1 = all) — expensive oracles
+          subsample deterministically by case id. *)
+  check : Gen.case -> verdict;
+}
+
+(* --- test hooks ----------------------------------------------------------- *)
+
+(* Transform applied to the freshly-built program before the interpreter
+   oracle executes it.  Tests install a deliberately unsound pass here to
+   prove the oracle catches it and the shrinker minimizes it. *)
+let interp_transform : (Program.t -> Program.t) ref = ref Fun.id
+
+(* The canonical synthetic bug: "dead-loop elimination" applied to live
+   loops.  Splicing a loop whose trip count is 1 is the legitimate
+   optimization; splicing one that actually iterates drops all but one
+   tile of work — a real miscompile the interpreter must flag, either as
+   a numeric mismatch or as an uninitialized-tile read. *)
+let drop_live_loops (p : Program.t) =
+  let rec splice nodes =
+    List.concat_map
+      (function
+        | Program.Stmt s -> [ Program.Stmt s ]
+        | Program.Loop l ->
+          if l.Program.extent > 1 then splice l.Program.body
+          else begin
+            l.Program.body <- splice l.Program.body;
+            [ Program.Loop l ]
+          end)
+      nodes
+  in
+  p.Program.roots <- splice p.Program.roots;
+  p
+
+(* --- helpers --------------------------------------------------------------- *)
+
+let build_program (c : Gen.case) =
+  Program.build ~rule1:c.rule1 ~dead_loop_elim:c.dle ~hoisting:c.hoist c.chain
+    c.cand
+
+let lowered (c : Gen.case) =
+  Lower.lower ~rule1:c.rule1 ~dead_loop_elim:c.dle ~hoisting:c.hoist
+    ~elem_bytes:c.elem_bytes c.chain c.cand
+
+let validity_to_string = function
+  | Ok () -> "valid"
+  | Error e -> Program.string_of_invalid e
+
+(* Cap the interpreter's workload so a single pathological case cannot eat
+   the whole budget; the bound is on deterministic padded work, so the
+   skip set is identical on every machine. *)
+let interp_work_cap = 40_000_000.0
+
+(* --- oracle 1: interpreter vs reference ----------------------------------- *)
+
+let max_abs t =
+  Array.fold_left (fun m v -> Float.max m (Float.abs v)) 0.0
+    (Mcf_tensor.Tensor.data t)
+
+let check_interp (c : Gen.case) =
+  let p = build_program c in
+  match Program.validate p with
+  | Error e -> Skip ("invalid schedule: " ^ Program.string_of_invalid e)
+  | Ok () ->
+    if Gen.interp_work c > interp_work_cap then Skip "work above interp cap"
+    else begin
+      let p = !interp_transform p in
+      let inputs = Gen.inputs c in
+      let reference = Mcf_interp.Interp.reference c.chain ~inputs in
+      match Mcf_interp.Interp.run p ~inputs with
+      | exception Mcf_interp.Interp.Uninitialized_tile m ->
+        Fail ("uninitialized tile: " ^ m)
+      | exception Invalid_argument m -> Fail ("interp rejected inputs: " ^ m)
+      | out ->
+        let diff = Mcf_tensor.Tensor.max_abs_diff out reference in
+        let tol = 1e-6 *. (1.0 +. max_abs reference) in
+        if diff <= tol then Pass
+        else
+          Fail
+            (Printf.sprintf "run vs reference diverge: |diff|=%g > tol %g"
+               diff tol)
+    end
+
+(* --- oracle 2: analytic model vs lowered walk ------------------------------ *)
+
+let check_analytic (c : Gen.case) =
+  let ev =
+    Mcf_model.Analytic.eval_candidate ~rule1:c.rule1 ~dead_loop_elim:c.dle
+      ~hoisting:c.hoist ~elem_bytes:c.elem_bytes c.chain c.cand
+  in
+  let lw = lowered c in
+  let mismatches =
+    List.filter_map
+      (fun (field, a, b) ->
+        if a = b then None
+        else Some (Printf.sprintf "%s: analytic %h <> lowered %h" field a b))
+      [ ("bytes_per_block", ev.bytes_per_block, Lower.bytes_per_block lw);
+        ("flops_per_block", ev.flops_per_block, Lower.flops_per_block lw);
+        ("blocks", ev.blocks, float_of_int lw.Lower.blocks);
+        ("traffic_bytes", ev.traffic_bytes, Lower.total_traffic_bytes lw)
+      ]
+  in
+  let mismatches =
+    if ev.everdict = lw.Lower.validity then mismatches
+    else
+      Printf.sprintf "verdict: analytic %s <> lowered %s"
+        (validity_to_string ev.everdict)
+        (validity_to_string lw.Lower.validity)
+      :: mismatches
+  in
+  if mismatches = [] then Pass else Fail (String.concat "; " mismatches)
+
+(* --- oracle 3: shared-memory precheck exactness ---------------------------- *)
+
+let check_shmem (c : Gen.case) =
+  let closed =
+    Mcf_model.Shmem.footprint_of_candidate ~rule1:c.rule1
+      ~dead_loop_elim:c.dle ~elem_bytes:c.elem_bytes c.chain c.cand
+  in
+  let lw = lowered c in
+  let walked = Mcf_model.Shmem.estimate_bytes lw in
+  if closed <> walked then
+    Fail
+      (Printf.sprintf "footprint: closed-form %d <> lowered %d" closed walked)
+  else begin
+    let slack = 1.2 in
+    let pre =
+      Mcf_model.Shmem.precheck_within_budget c.device ~slack ~rule1:c.rule1
+        ~dead_loop_elim:c.dle c.chain c.cand
+    in
+    let full = Mcf_model.Shmem.within_budget c.device ~slack lw in
+    if pre = full then Pass
+    else
+      Fail
+        (Printf.sprintf "budget verdicts diverge: precheck %b, lowered %b" pre
+           full)
+  end
+
+(* --- oracle 4: pruning soundness ------------------------------------------- *)
+
+(* Rule 2's promise is structural: a tiling it keeps must lower (under
+   rule-1 canonical execution, whose per-block program is what the rule
+   inspects) with exactly one resident tile per intermediate.  Rule 4's
+   precheck and the validity verdict must each agree with the lowered
+   truth — no rule may reject a candidate the full pipeline accepts. *)
+let check_pruning (c : Gen.case) =
+  let verdict_pre =
+    Mcf_model.Analytic.verdict ~rule1:c.rule1 ~dead_loop_elim:c.dle
+      ~hoisting:c.hoist c.chain c.cand
+  in
+  let lw = lowered c in
+  if verdict_pre <> lw.Lower.validity then
+    Fail
+      (Printf.sprintf "validity precheck %s <> lowered %s"
+         (validity_to_string verdict_pre)
+         (validity_to_string lw.Lower.validity))
+  else if not (Mcf_search.Space.rule2_rejects c.chain c.cand.Candidate.tiling)
+  then begin
+    let p = Program.build ~rule1:true c.chain c.cand in
+    let blowup =
+      List.filter_map
+        (fun (ts : Chain.tensor_spec) ->
+          match ts.storage with
+          | Chain.Intermediate ->
+            let m = Program.residency_multiplier p ts in
+            if m > 1 then Some (Printf.sprintf "%s x%d" ts.tname m) else None
+          | Chain.Input | Chain.Output -> None)
+        c.chain.Chain.tensors
+    in
+    if blowup = [] then Pass
+    else
+      Fail
+        ("rule 2 kept a tiling with resident blow-up: "
+        ^ String.concat ", " blowup)
+  end
+  else Pass
+
+(* --- oracle 5: tuner determinism ------------------------------------------- *)
+
+let tuner_params =
+  { Mcf_search.Explore.default_params with
+    population = 16;
+    top_k = 4;
+    min_generations = 2;
+    max_generations = 4 }
+
+let tune (c : Gen.case) =
+  Mcf_search.Tuner.tune ~params:tuner_params c.device c.chain
+
+let outcome_fingerprint (o : Mcf_search.Tuner.outcome) =
+  Printf.sprintf "best=%s time=%h funnel=%s stats=%d/%d/%d"
+    (Candidate.key o.best.Mcf_search.Space.cand)
+    o.kernel_time_s
+    (Mcf_util.Json.to_string
+       (Mcf_search.Space.funnel_json o.funnel))
+    o.search_stats.Mcf_search.Explore.generations
+    o.search_stats.Mcf_search.Explore.estimated
+    o.search_stats.Mcf_search.Explore.measured
+
+let fingerprint = function
+  | Ok o -> outcome_fingerprint o
+  | Error Mcf_search.Tuner.No_viable_candidate -> "no-viable-candidate"
+
+let with_jobs n f =
+  let saved = Mcf_util.Pool.jobs () in
+  Mcf_util.Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Mcf_util.Pool.set_jobs saved) f
+
+let check_tuner (c : Gen.case) =
+  if Gen.n_blocks c.cspec > 2 then Skip "tuner oracle runs on <= 2 blocks"
+  else begin
+    let seq = with_jobs 1 (fun () -> fingerprint (tune c)) in
+    let par = with_jobs 4 (fun () -> fingerprint (tune c)) in
+    if seq <> par then
+      Fail (Printf.sprintf "jobs 1 vs 4 diverge:\n  %s\n  %s" seq par)
+    else if Mcf_obs.Recorder.enabled () then
+      (* A recording is already in flight (e.g. the fuzz run itself is
+         being recorded); don't clobber it just to re-check invariance. *)
+      Pass
+    else begin
+      Mcf_obs.Recorder.start ();
+      let rec_fp =
+        Fun.protect
+          ~finally:(fun () ->
+            Mcf_obs.Recorder.stop ();
+            Mcf_obs.Recorder.reset ())
+          (fun () -> with_jobs 1 (fun () -> fingerprint (tune c)))
+      in
+      if seq = rec_fp then Pass
+      else
+        Fail
+          (Printf.sprintf "recording on vs off diverge:\n  %s\n  %s" seq
+             rec_fp)
+    end
+  end
+
+(* --- oracle 6: emitted-kernel well-formedness ------------------------------ *)
+
+let check_emit (c : Gen.case) =
+  (* Rule-1 canonical execution: all spatial axes grid-bound, which is the
+     regime the emitter's name scheme assumes (no in-block loop over "m"
+     shadowing the softmax running max). *)
+  let p = Program.build ~rule1:true ~dead_loop_elim:c.dle ~hoisting:c.hoist
+      c.chain c.cand
+  in
+  match Program.validate p with
+  | Error e -> Skip ("invalid schedule: " ^ Program.string_of_invalid e)
+  | Ok () -> (
+    match Mcf_codegen.Emit.check p with
+    | Ok () -> Pass
+    | Error m -> Fail ("emitted kernel ill-formed: " ^ m))
+
+(* --- registry -------------------------------------------------------------- *)
+
+let all =
+  [ { name = "interp";
+      doc = "Interp.run on the built schedule agrees with Interp.reference";
+      every = 1;
+      check = check_interp };
+    { name = "analytic";
+      doc = "closed-form Analytic equals the lowered walk bit-for-bit";
+      every = 1;
+      check = check_analytic };
+    { name = "shmem";
+      doc = "Shmem precheck equals the lowered eq. (1) estimate exactly";
+      every = 1;
+      check = check_shmem };
+    { name = "pruning";
+      doc = "no pruning precheck rejects what the lowered pipeline accepts";
+      every = 1;
+      check = check_pruning };
+    { name = "tuner";
+      doc = "Tuner.tune is bit-identical across jobs 1/4 and recording on/off";
+      every = 25;
+      check = check_tuner };
+    { name = "emit";
+      doc = "emitted Triton kernel is well-formed (scopes, def-before-use)";
+      every = 1;
+      check = check_emit }
+  ]
+
+let by_name n = List.find_opt (fun o -> o.name = n) all
+
+let names () = List.map (fun o -> o.name) all

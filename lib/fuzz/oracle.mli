@@ -1,0 +1,39 @@
+(** The differential oracles: cross-layer agreement checks run on every
+    generated (chain, candidate) case.
+
+    Each oracle compares two independent computations of the same fact —
+    interpreter vs reference semantics, closed-form model vs lowered
+    walk, precheck vs full check, parallel vs sequential tune, emitted
+    text vs structural invariants — so a bug in either side surfaces as a
+    divergence without needing a hand-written expected value. *)
+
+type verdict =
+  | Pass
+  | Skip of string  (** Deterministic ineligibility (never a failure). *)
+  | Fail of string
+
+type t = {
+  name : string;
+  doc : string;
+  every : int;
+      (** Run on case ids divisible by [every] — expensive oracles
+          subsample deterministically. *)
+  check : Gen.case -> verdict;
+}
+
+val interp_transform : (Mcf_ir.Program.t -> Mcf_ir.Program.t) ref
+(** Test hook: applied to the built program before the interpreter oracle
+    runs it.  Install a deliberately broken pass to prove the oracle +
+    shrinker pipeline catches it; reset to [Fun.id] afterwards. *)
+
+val drop_live_loops : Mcf_ir.Program.t -> Mcf_ir.Program.t
+(** The canonical synthetic bug for {!interp_transform}: splice every
+    in-block loop (dead-loop elimination applied to live loops), dropping
+    all but one tile of work. *)
+
+val all : t list
+(** interp, analytic, shmem, pruning, tuner, emit — in that order. *)
+
+val by_name : string -> t option
+
+val names : unit -> string list

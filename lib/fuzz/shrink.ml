@@ -1,0 +1,113 @@
+open Mcf_ir
+
+(* Greedy delta-debugging on the case genome: try each edit in order, adopt
+   the first one that still fails, restart from the smaller case.  Edits
+   only ever remove structure (blocks, extent, batch, epilogues, loops), so
+   the process terminates; a bound on adopted steps guards against a
+   pathological predicate. *)
+
+let half v = max 8 ((v + 1) / 2)
+
+let drop_last (c : Gen.case) =
+  let s = c.cspec in
+  if Gen.n_blocks s < 2 then []
+  else begin
+    let n = List.length s.cols in
+    let cols = Mcf_util.Listx.take (n - 1) s.cols in
+    let epis = Mcf_util.Listx.take (Gen.n_blocks s - 1) s.epis in
+    (* The surviving last block feeds the output now: a softmax there has
+       no downstream contraction to fold its normalization into. *)
+    let epis =
+      match List.rev epis with
+      | Gen.Esoftmax _ :: rest -> List.rev (Gen.Enone :: rest)
+      | _ -> epis
+    in
+    [ Gen.respec c { s with cols; epis } ]
+  end
+
+let drop_first (c : Gen.case) =
+  let s = c.cspec in
+  if Gen.n_blocks s < 2 then []
+  else
+    [ Gen.respec c { s with cols = List.tl s.cols; epis = List.tl s.epis } ]
+
+let shrink_axes (c : Gen.case) =
+  let s = c.cspec in
+  let m_edit = if half s.sm < s.sm then [ { s with sm = half s.sm } ] else [] in
+  let col_edits =
+    List.filter (fun (_, v) -> half v < v) s.cols
+    |> List.map (fun (name, _) ->
+           { s with
+             cols =
+               List.map
+                 (fun (n, v) -> if n = name then (n, half v) else (n, v))
+                 s.cols })
+  in
+  List.map (Gen.respec c) (m_edit @ col_edits)
+
+let drop_batch (c : Gen.case) =
+  if c.cspec.sbatch > 1 then [ Gen.respec c { c.cspec with sbatch = 1 } ]
+  else []
+
+let drop_epis (c : Gen.case) =
+  let s = c.cspec in
+  List.concat
+    (List.mapi
+       (fun i e ->
+         match e with
+         | Gen.Enone -> []
+         | _ ->
+           [ Gen.respec c
+               { s with
+                 epis = List.mapi (fun j e' -> if j = i then Gen.Enone else e') s.epis }
+           ])
+       s.epis)
+
+let simplify_tiles (c : Gen.case) =
+  let tiling = c.cand.Candidate.tiling in
+  List.concat_map
+    (fun (a : Axis.t) ->
+      let t = Candidate.tile c.cand a in
+      let variants =
+        (if t < a.size then [ a.size ] else [])
+        @ (if half t < t && half t <> a.size then [ half t ] else [])
+      in
+      List.map
+        (fun t' ->
+          let tiles =
+            List.map
+              (fun (n, v) -> if n = a.name then (n, t') else (n, v))
+              c.cand.Candidate.tiles
+          in
+          { c with cand = Candidate.make tiling tiles })
+        variants)
+    c.chain.Chain.axes
+
+let flatten_tiling (c : Gen.case) =
+  match c.cand.Candidate.tiling with
+  | Tiling.Deep _ -> []
+  | Tiling.Flat (prefix, groups) ->
+    [ { c with
+        cand =
+          Candidate.make
+            (Tiling.Deep (prefix @ List.concat groups))
+            c.cand.Candidate.tiles }
+    ]
+
+let edits c =
+  List.concat_map
+    (fun f -> f c)
+    [ drop_last; drop_first; drop_batch; drop_epis; shrink_axes;
+      simplify_tiles; flatten_tiling ]
+
+let max_steps = 200
+
+let minimize ~still_fails (case : Gen.case) =
+  let rec go case steps =
+    if steps >= max_steps then (case, steps)
+    else
+      match List.find_opt still_fails (edits case) with
+      | Some smaller -> go smaller (steps + 1)
+      | None -> (case, steps)
+  in
+  go case 0

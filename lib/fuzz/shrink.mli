@@ -1,0 +1,15 @@
+(** Greedy minimization of a failing fuzz case.
+
+    Edits only remove structure — drop the last/first block, zero the
+    batch, strip epilogues, halve axis extents, grow tiles to full size
+    (removing loops), collapse flat tiling to deep — and the first edit
+    that still fails is adopted, restarting from the smaller case.  The
+    result is a local minimum: no single edit keeps it failing. *)
+
+val edits : Gen.case -> Gen.case list
+(** All one-step reductions of a case, most aggressive first. *)
+
+val minimize :
+  still_fails:(Gen.case -> bool) -> Gen.case -> Gen.case * int
+(** The minimized case and the number of adopted shrink steps (bounded,
+    so a flaky predicate cannot loop forever). *)

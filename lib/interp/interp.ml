@@ -79,9 +79,18 @@ let get_tile st ts ~create =
       Hashtbl.add tbl key arr;
       arr
     end
-    else
+    else begin
+      let indices =
+        Hashtbl.fold (fun name i acc -> (name, i) :: acc) st.env []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.map (fun (name, i) -> Printf.sprintf "%s=%d" name i)
+        |> String.concat " "
+      in
       raise
-        (Uninitialized_tile (Printf.sprintf "%s@[%s]" ts.Chain.tname key))
+        (Uninitialized_tile
+           (Printf.sprintf "tile %s@[%s] read before any Load under {%s}"
+              ts.Chain.tname key indices))
+    end
 
 let mark_consumed st (ts : Chain.tensor_spec) =
   Hashtbl.replace st.consumed (ts.Chain.tname ^ "@" ^ coord_key st ts) ()

@@ -20,7 +20,11 @@
 
 exception Uninitialized_tile of string
 (** A compute statement read a tile that no Load produced under the current
-    loop indices — i.e. the schedule is miscompiled. *)
+    loop indices — i.e. the schedule is miscompiled.  The message names
+    the offending tile ("tensor@[tile coords]") and the full loop-index
+    environment at the point of the read
+    ("tile T1@[0,2] read before any Load under \{k=1 m=0 n=2\}"), so a
+    fuzz reproducer or test failure localizes the bad hoist directly. *)
 
 val run : Mcf_ir.Program.t -> inputs:(string * Mcf_tensor.Tensor.t) list -> Mcf_tensor.Tensor.t
 (** Execute the program.  [inputs] maps every chain input tensor name to a

@@ -22,12 +22,28 @@ type t = {
 
 type invalid =
   | Nonlinear_partial_consume of { producer : string; loop : string }
+  | Blind_epilogue of { producer : string; axis : string }
+  | Consumed_before_epilogue of { producer : string; consumer : string }
+  | Consumed_before_produced of { producer : string; consumer : string }
 
 let string_of_invalid = function
   | Nonlinear_partial_consume { producer; loop } ->
     Printf.sprintf
       "softmax output of block %s consumed inside its reduction loop %s"
       producer loop
+  | Blind_epilogue { producer; axis } ->
+    Printf.sprintf
+      "epilogue of block %s runs outside the live loop over its output \
+       axis %s and would miss all but one tile"
+      producer axis
+  | Consumed_before_epilogue { producer; consumer } ->
+    Printf.sprintf
+      "block %s consumes the output of block %s before its epilogue runs"
+      consumer producer
+  | Consumed_before_produced { producer; consumer } ->
+    Printf.sprintf
+      "block %s consumes the output of block %s before it is computed"
+      consumer producer
 
 let stmt_to_string = function
   | Load (ts, _) -> Printf.sprintf "Load(tile %s)" ts.Chain.tname
@@ -170,12 +186,20 @@ let insert_ordered scope ~group_idx node =
   in
   set_scope_items scope (go [] (scope_items scope))
 
+let has_epilogue (b : Chain.block) =
+  match b.epilogue with
+  | Chain.No_epilogue -> false
+  | Chain.Scale _ | Chain.Softmax _ | Chain.Unary _ -> true
+
 let place_statements t =
   let chain = t.chain in
   List.iteri
     (fun group_idx (b : Chain.block) ->
       let insert scope node = insert_ordered scope ~group_idx node in
       let used = Chain.used_axes b in
+      let non_out =
+        List.filter (fun a -> not (Axis.mem a b.out.taxes)) chain.Chain.axes
+      in
       let cscope = find_scope (Root t) ~group_idx ~targets:used ~stop_axes:[] in
       (* Loads of global inputs sit right next to the compute by default;
          the hoisting pass relocates them (Fig. 4). *)
@@ -190,14 +214,25 @@ let place_statements t =
         let after_reduce =
           List.filter (fun a -> not (Axis.mem a b.reduce_axes)) used
         in
+        (* The epilogue transforms the completed accumulator, so it must
+           stay outside every loop across which the accumulator still
+           grows: the block's own reduction loops, and any foreign loop
+           (another block's axis) whose iterations feed it partial sums.
+           Only loops over the output's own axes address distinct tiles
+           and are safe to descend into. *)
         let s =
-          find_scope (Root t) ~group_idx ~targets:after_reduce ~stop_axes:[]
+          find_scope (Root t) ~group_idx ~targets:after_reduce
+            ~stop_axes:non_out
         in
         insert s (Stmt (Epilogue b)));
       if b.out.storage = Chain.Output then begin
+        (* Without an epilogue the store may sit inside partial-sum loops
+           (it just overwrites with progressively complete values); with
+           one it must use the epilogue's stop set so it lands in the same
+           scope, after the epilogue transforms the accumulator. *)
+        let stop = if has_epilogue b then non_out else b.reduce_axes in
         let s =
-          find_scope (Root t) ~group_idx ~targets:b.out.taxes
-            ~stop_axes:b.reduce_axes
+          find_scope (Root t) ~group_idx ~targets:b.out.taxes ~stop_axes:stop
         in
         insert s (Stmt (Store (b.out, b)))
       end)
@@ -273,7 +308,7 @@ let path_of t key =
     (placed_stmts t)
 
 let validate t =
-  let violation =
+  let nonlinear () =
     List.find_map
       (fun (p : Chain.block) ->
         if Chain.is_linear_through t.chain p then None
@@ -300,7 +335,90 @@ let validate t =
         end)
       t.chain.blocks
   in
-  match violation with None -> Ok () | Some v -> Error v
+  (* The epilogue transforms exactly one resident tile of its output (the
+     one addressed by the loops enclosing it); a live loop over an output
+     axis that does not enclose the epilogue leaves that axis's other
+     tiles untouched. *)
+  let blind () =
+    List.find_map
+      (fun (p : Chain.block) ->
+        if not (has_epilogue p) then None
+        else
+          match path_of t ("E:" ^ p.bname) with
+          | None -> None
+          | Some epath ->
+            List.find_map
+              (fun (a : Axis.t) ->
+                if
+                  Candidate.trip t.cand a > 1
+                  && (not (Axis.mem a t.grid_axes))
+                  && not (Axis.mem a epath)
+                then
+                  Some (Blind_epilogue { producer = p.bname; axis = a.name })
+                else None)
+              p.out.taxes)
+      t.chain.blocks
+  in
+  let pos = Hashtbl.create 16 in
+  List.iteri
+    (fun i (_, s) ->
+      let k = stmt_key s in
+      if not (Hashtbl.mem pos k) then Hashtbl.add pos k i)
+    (placed_stmts t);
+  (* Statement order is program order: a consumer Compute that precedes
+     the producer's epilogue reads untransformed values. *)
+  let consumed_first () =
+    List.find_map
+      (fun (p : Chain.block) ->
+        if not (has_epilogue p) then None
+        else
+          match Hashtbl.find_opt pos ("E:" ^ p.bname) with
+          | None -> None
+          | Some ep ->
+            List.find_map
+              (fun (q : Chain.block) ->
+                match Hashtbl.find_opt pos ("C:" ^ q.bname) with
+                | Some cq when cq < ep ->
+                  Some
+                    (Consumed_before_epilogue
+                       { producer = p.bname; consumer = q.bname })
+                | Some _ | None -> None)
+              (Chain.consumers_of t.chain p.out))
+      t.chain.blocks
+  in
+  (* A consumer Compute can also statically precede its *producer's*
+     Compute: when the producer's scope sits after a loop that earlier
+     blocks already populated and the consumer descends into that loop
+     (its own output axis), no interleaving of the fixed nest runs the
+     producer first.  Such tiling orders are unrealizable without
+     redundant recomputation, so they are rejected outright. *)
+  let produced_first () =
+    List.find_map
+      (fun (p : Chain.block) ->
+        match Hashtbl.find_opt pos ("C:" ^ p.bname) with
+        | None -> None
+        | Some cp ->
+          List.find_map
+            (fun (q : Chain.block) ->
+              match Hashtbl.find_opt pos ("C:" ^ q.bname) with
+              | Some cq when cq < cp ->
+                Some
+                  (Consumed_before_produced
+                     { producer = p.bname; consumer = q.bname })
+              | Some _ | None -> None)
+            (Chain.consumers_of t.chain p.out))
+      t.chain.blocks
+  in
+  match nonlinear () with
+  | Some v -> Error v
+  | None -> (
+    match blind () with
+    | Some v -> Error v
+    | None -> (
+      match consumed_first () with
+      | Some v -> Error v
+      | None -> (
+        match produced_first () with Some v -> Error v | None -> Ok ())))
 
 let residency_multiplier t (ts : Chain.tensor_spec) =
   match Chain.producer_of t.chain ts with

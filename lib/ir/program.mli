@@ -46,6 +46,18 @@ type invalid =
   | Nonlinear_partial_consume of { producer : string; loop : string }
       (** A softmax producer's value is consumed inside one of its own
           reduction loops: the partial sums are not yet normalizable. *)
+  | Blind_epilogue of { producer : string; axis : string }
+      (** The epilogue sits outside a live (trip > 1) loop over one of its
+          output-tile axes, so it would only ever touch the tile at
+          coordinate 0 of that axis and leave the others untransformed. *)
+  | Consumed_before_epilogue of { producer : string; consumer : string }
+      (** A consumer's Compute statically precedes the producer's
+          epilogue, so it would read pre-epilogue values. *)
+  | Consumed_before_produced of { producer : string; consumer : string }
+      (** A consumer's Compute statically precedes its producer's Compute:
+          the tiling order nests the producer's scope after a loop the
+          consumer must descend into, so no interleaving of the fixed
+          nest runs the producer first. *)
 
 val build :
   ?rule1:bool ->

@@ -113,7 +113,7 @@ let extract (t : t) =
     match fors with
     | [] -> `Deep (List.rev prefix)
     | [ (l, b) ] -> walk (axis l.laxis :: prefix) b
-    | groups ->
+    | _ :: _ :: _ ->
       let rec chain_axes (l, b) =
         axis l.laxis
         ::
@@ -126,7 +126,23 @@ let extract (t : t) =
         | [] -> []
         | _ -> invalid_arg "Tir.extract: nested sequential scopes")
       in
-      `Flat (List.rev prefix, List.map chain_axes groups)
+      let block_names =
+        List.map (fun (b : Chain.block) -> b.Chain.bname) chain.blocks
+      in
+      (* Children are visited in order: each For subtree is one
+         sequential group; a compute Block sitting directly in this
+         scope is a block whose private serial axes all live in the
+         shared prefix — an empty group.  Epilogue blocks (placed here,
+         after their group's loop) are not group markers. *)
+      let groups =
+        List.filter_map
+          (function
+            | For (l, b) -> Some (chain_axes (l, b))
+            | Block { bname; _ } when List.mem bname block_names -> Some []
+            | Block _ -> None)
+          nodes
+      in
+      `Flat (List.rev prefix, groups)
   in
   let tiling =
     match walk [] body with

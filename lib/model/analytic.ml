@@ -162,10 +162,19 @@ let mult_axes_of chain cpath_of (ts : Chain.tensor_spec) =
       in
       scan false [] path)
 
-(* Mirrors Program.validate on the symbolic paths ("E:p" first, then the
-   consumers' computes, first offending axis in path order). *)
-let validate chain ~cpath_of ~epath_of =
-  let violation =
+(* Mirrors Program.validate on the symbolic paths, rule for rule and in
+   the same order, so the verdict is bit-identical to the lowered walk's.
+
+   The [Consumed_before_epilogue] mirror reconstructs the static order
+   from paths alone.  [Program.insert_ordered] puts a statement after
+   every already-populated loop of its scope, so a later consumer Compute
+   ends up *before* the epilogue exactly when it descends, from the
+   epilogue's scope, into a loop that already held a statement when the
+   epilogue was inserted — i.e. when the epilogue path [Ep] is a proper
+   prefix of the consumer's compute path and the next loop on that path
+   is a prefix of some earlier-placed statement's (pre-hoist) path. *)
+let validate chain (cand : Candidate.t) ~grid ~cpath_of ~epath_of ~spath_of =
+  let nonlinear () =
     List.find_map
       (fun (p : Chain.block) ->
         if Chain.is_linear_through chain p then None
@@ -189,7 +198,123 @@ let validate chain ~cpath_of ~epath_of =
         end)
       chain.blocks
   in
-  match violation with None -> Ok () | Some v -> Error v
+  let blind () =
+    List.find_map
+      (fun (p : Chain.block) ->
+        match epath_of p.bname with
+        | None -> None
+        | Some epath ->
+          List.find_map
+            (fun (a : Axis.t) ->
+              if
+                Candidate.trip cand a > 1
+                && (not (Axis.mem a grid))
+                && not (Axis.mem a epath)
+              then
+                Some
+                  (Program.Blind_epilogue { producer = p.bname; axis = a.name })
+              else None)
+            p.out.taxes)
+      chain.blocks
+  in
+  let consumed_first () =
+    let rec is_prefix (xs : Axis.t list) ys =
+      match (xs, ys) with
+      | [], _ -> true
+      | x :: xs', y :: ys' -> Axis.equal x y && is_prefix xs' ys'
+      | _ :: _, [] -> false
+    in
+    let rec scan prior = function
+      | [] -> None
+      | (p : Chain.block) :: rest ->
+        let cpath_p = Option.value (cpath_of p.Chain.bname) ~default:[] in
+        (* Loads share the Compute's scope pre-hoist, so [cpath_p] stands
+           in for them too. *)
+        let prior_here = cpath_p :: prior in
+        let hazard =
+          match epath_of p.bname with
+          | None -> None
+          | Some ep ->
+            let j = List.length ep in
+            List.find_map
+              (fun (q : Chain.block) ->
+                match cpath_of q.Chain.bname with
+                | Some cq when List.length cq > j && is_prefix ep cq ->
+                  let x = List.nth cq j in
+                  if List.exists (is_prefix (ep @ [ x ])) prior_here then
+                    Some
+                      (Program.Consumed_before_epilogue
+                         { producer = p.bname; consumer = q.bname })
+                  else None
+                | Some _ | None -> None)
+              (Chain.consumers_of chain p.out)
+        in
+        (match hazard with
+        | Some _ as v -> v
+        | None ->
+          let prior =
+            prior_here
+            @ (match epath_of p.bname with Some e -> [ e ] | None -> [])
+            @ (match spath_of p.bname with Some s -> [ s ] | None -> [])
+          in
+          scan prior rest)
+    in
+    scan [] chain.Chain.blocks
+  in
+  (* Same static-order reconstruction for Compute vs Compute: the
+     producer's Compute lands after a loop when earlier blocks already
+     populated it, so a consumer descending into that loop (a proper
+     extension of the producer's path) statically precedes it.  Only
+     blocks strictly before the producer count — the producer's own
+     Loads sit at its Compute scope, never inside the extension loop. *)
+  let produced_first () =
+    let rec is_prefix (xs : Axis.t list) ys =
+      match (xs, ys) with
+      | [], _ -> true
+      | x :: xs', y :: ys' -> Axis.equal x y && is_prefix xs' ys'
+      | _ :: _, [] -> false
+    in
+    let rec scan prior = function
+      | [] -> None
+      | (p : Chain.block) :: rest ->
+        let cpath_p = Option.value (cpath_of p.Chain.bname) ~default:[] in
+        let j = List.length cpath_p in
+        let hazard =
+          List.find_map
+            (fun (q : Chain.block) ->
+              match cpath_of q.Chain.bname with
+              | Some cq when List.length cq > j && is_prefix cpath_p cq ->
+                let x = List.nth cq j in
+                if List.exists (is_prefix (cpath_p @ [ x ])) prior then
+                  Some
+                    (Program.Consumed_before_produced
+                       { producer = p.bname; consumer = q.bname })
+                else None
+              | Some _ | None -> None)
+            (Chain.consumers_of chain p.out)
+        in
+        (match hazard with
+        | Some _ as v -> v
+        | None ->
+          let prior =
+            (cpath_p :: prior)
+            @ (match epath_of p.bname with Some e -> [ e ] | None -> [])
+            @ (match spath_of p.bname with Some s -> [ s ] | None -> [])
+          in
+          scan prior rest)
+    in
+    scan [] chain.Chain.blocks
+  in
+  match nonlinear () with
+  | Some v -> Error v
+  | None -> (
+    match blind () with
+    | Some v -> Error v
+    | None -> (
+      match consumed_first () with
+      | Some v -> Error v
+      | None -> (
+        match produced_first () with Some v -> Error v | None -> Ok ())))
 
 let summarize ?(rule1 = true) ?(dead_loop_elim = true) ?(hoisting = true)
     (chain : Chain.t) (cand : Candidate.t) =
@@ -203,11 +328,15 @@ let summarize ?(rule1 = true) ?(dead_loop_elim = true) ?(hoisting = true)
   let idxs = List.map idx_of in
   let cpaths = Hashtbl.create 8 in
   let epaths = Hashtbl.create 8 in
+  let spaths = Hashtbl.create 8 in
   let accesses = ref [] in
   let computes = ref [] in
   List.iteri
     (fun group_idx (b : Chain.block) ->
       let used = Chain.used_axes b in
+      let non_out =
+        List.filter (fun a -> not (Axis.mem a b.out.taxes)) chain.Chain.axes
+      in
       let cpath = find_path roots ~group_idx ~targets:used ~stop_axes:[] in
       Hashtbl.replace cpaths b.bname cpath;
       List.iter
@@ -233,7 +362,7 @@ let summarize ?(rule1 = true) ?(dead_loop_elim = true) ?(hoisting = true)
           List.filter (fun a -> not (Axis.mem a b.reduce_axes)) used
         in
         let epath =
-          find_path roots ~group_idx ~targets:after_reduce ~stop_axes:[]
+          find_path roots ~group_idx ~targets:after_reduce ~stop_axes:non_out
         in
         Hashtbl.replace epaths b.bname epath;
         let flavor =
@@ -254,10 +383,17 @@ let summarize ?(rule1 = true) ?(dead_loop_elim = true) ?(hoisting = true)
               e_flavor = flavor }
           :: !computes);
       if b.out.storage = Chain.Output then begin
-        let spath =
-          find_path roots ~group_idx ~targets:b.out.taxes
-            ~stop_axes:b.reduce_axes
+        (* Mirrors the store's epilogue-aware stop set in
+           Program.place_statements. *)
+        let stop =
+          match b.epilogue with
+          | Chain.No_epilogue -> b.reduce_axes
+          | Chain.Scale _ | Chain.Softmax _ | Chain.Unary _ -> non_out
         in
+        let spath =
+          find_path roots ~group_idx ~targets:b.out.taxes ~stop_axes:stop
+        in
+        Hashtbl.replace spaths b.bname spath;
         let spath =
           if hoisting then hoist_trim ~taxes:b.out.taxes spath else spath
         in
@@ -282,9 +418,10 @@ let summarize ?(rule1 = true) ?(dead_loop_elim = true) ?(hoisting = true)
           | Chain.No_epilogue | Chain.Scale _ | Chain.Unary _ -> false)
         chain.blocks;
     sverdict =
-      validate chain
+      validate chain cand ~grid
         ~cpath_of:(Hashtbl.find_opt cpaths)
-        ~epath_of:(Hashtbl.find_opt epaths) }
+        ~epath_of:(Hashtbl.find_opt epaths)
+        ~spath_of:(Hashtbl.find_opt spaths) }
 
 (* --- numeric evaluation ------------------------------------------------- *)
 

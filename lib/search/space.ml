@@ -111,6 +111,8 @@ let violates_rule2 (chain : Chain.t) tiling =
         scan false order)
     intermediates
 
+let rule2_rejects = violates_rule2
+
 let apply_rule2 chain ts = List.filter (fun t -> not (violates_rule2 chain t)) ts
 
 let tilings opts chain =

@@ -77,6 +77,14 @@ type funnel = {
 val tilings : options -> Mcf_ir.Chain.t -> Mcf_ir.Tiling.t list
 (** Structural expressions after Rules 1-2 (as enabled). *)
 
+val rule2_rejects : Mcf_ir.Chain.t -> Mcf_ir.Tiling.t -> bool
+(** The Rule-2 structural predicate on its own: true when the per-block
+    expression places some producer's reduction loop outside an axis of
+    its intermediate output (the Fig. 6(b) blow-up).  Exposed so the
+    fuzzer can check its soundness direction — a kept tiling must lower
+    (under rule-1 canonical execution) with every intermediate's
+    residency multiplier equal to 1. *)
+
 val tile_choices :
   options -> Mcf_ir.Chain.t -> (string * int list) list
 (** Per-axis tile options after Rule 3 (as enabled). *)

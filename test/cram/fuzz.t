@@ -1,0 +1,38 @@
+The fuzzer is budgeted in virtual seconds charged from each case's
+deterministic work estimate, so a given (seed, budget) runs the same
+cases — and prints the same summary — on every machine:
+
+  $ mcfuser fuzz --seed 42 --budget-s 2 --no-corpus
+  fuzz: seed 42, 30 cases, 2.07 virtual s
+  oracle       runs   pass   skip   fail
+  interp         30     19     11      0
+  analytic       30     30      0      0
+  shmem          30     30      0      0
+  pruning        30     30      0      0
+  tuner           2      1      1      0
+  emit           30     21      9      0
+  fuzz: PASS
+
+  $ mcfuser fuzz --list-oracles
+  interp     Interp.run on the built schedule agrees with Interp.reference
+  analytic   closed-form Analytic equals the lowered walk bit-for-bit
+  shmem      Shmem precheck equals the lowered eq. (1) estimate exactly
+  pruning    no pruning precheck rejects what the lowered pipeline accepts
+  tuner      Tuner.tune is bit-identical across jobs 1/4 and recording on/off (every 25 cases)
+  emit       emitted Triton kernel is well-formed (scopes, def-before-use)
+
+Checked-in minimized regressions replay through their recorded oracle.
+This one (an epilogue once placed inside a loop feeding its accumulator
+partial sums) must keep passing:
+
+  $ mcfuser fuzz --replay ../corpus/interp-bb2171716220.case
+  replay ../corpus/interp-bb2171716220.case: oracle interp, case 192 (seed 42): batch=1 m=8 cols=[c1:16;c2:8;c3:8] epis=[none;scale:0x1p+1] | mc1c3c2 {c1=8 c2=8 c3=8 m=8} | rule1=false dle=false hoist=true eb=4 A100
+  replay: PASS
+
+And this one (a consumer Compute statically preceding its producer) is
+now rejected as invalid, so the oracle skips it; if the validity rule
+ever regresses, the replay runs the case and fails again:
+
+  $ mcfuser fuzz --replay ../corpus/interp-ef659febcf5b.case
+  replay ../corpus/interp-ef659febcf5b.case: oracle interp, case 241 (seed 42): batch=1 m=8 cols=[c0:8;c1:8;c2:8;c3:8] epis=[none;none;none] | c1mc2c3c0 {c0=8 c1=8 c2=8 c3=8 m=8} | rule1=false dle=false hoist=false eb=4 RTX3080
+  replay: SKIP (invalid schedule: block T3 consumes the output of block T2 before it is computed)

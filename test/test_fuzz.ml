@@ -1,0 +1,215 @@
+(* Tests for the differential fuzzing subsystem: generator determinism,
+   corpus round-trips and replay of the checked-in regression corpus, the
+   oracle pipeline end to end on a synthetic bug, and determinism of the
+   whole run across pool sizes. *)
+
+module Gen = Mcf_fuzz.Gen
+module Oracle = Mcf_fuzz.Oracle
+module Shrink = Mcf_fuzz.Shrink
+module Corpus = Mcf_fuzz.Corpus
+module Driver = Mcf_fuzz.Driver
+
+(* --- generator ------------------------------------------------------------ *)
+
+let test_gen_deterministic () =
+  for id = 0 to 19 do
+    let a = Gen.case_of_id ~seed:11 id in
+    let b = Gen.case_of_id ~seed:11 id in
+    Alcotest.(check string)
+      (Printf.sprintf "case %d replays" id)
+      (Gen.case_to_string a) (Gen.case_to_string b)
+  done
+
+let test_gen_seeds_differ () =
+  let render seed =
+    List.init 10 (fun id -> Gen.case_to_string (Gen.case_of_id ~seed id))
+  in
+  Alcotest.(check bool) "seed changes the stream" true
+    (render 1 <> render 2)
+
+let test_gen_cases_well_formed () =
+  for id = 0 to 49 do
+    let c = Gen.case_of_id ~seed:3 id in
+    (* chain_of_spec validates internally; check the candidate matches. *)
+    List.iter
+      (fun (a : Mcf_ir.Axis.t) ->
+        let t = Mcf_ir.Candidate.tile c.Gen.cand a in
+        Alcotest.(check bool)
+          (Printf.sprintf "case %d tile %s in bounds" id a.name)
+          true
+          (t >= 1 && t <= a.size))
+      c.Gen.chain.Mcf_ir.Chain.axes;
+    Alcotest.(check bool) "work estimate positive" true
+      (Gen.interp_work c > 0.0)
+  done
+
+let test_spec_roundtrip () =
+  for id = 0 to 19 do
+    let c = Gen.case_of_id ~seed:5 id in
+    List.iter
+      (fun e ->
+        match Gen.epi_of_string (Gen.epi_to_string e) with
+        | Ok e' ->
+          Alcotest.(check string) "epi round trip" (Gen.epi_to_string e)
+            (Gen.epi_to_string e')
+        | Error m -> Alcotest.failf "epi_of_string: %s" m)
+      c.Gen.cspec.Gen.epis
+  done
+
+(* --- corpus --------------------------------------------------------------- *)
+
+let test_corpus_roundtrip () =
+  let case = Gen.case_of_id ~seed:9 4 in
+  let entry = { Corpus.oracle = "interp"; reason = "because"; case } in
+  match Corpus.of_string (Corpus.to_string entry) with
+  | Error m -> Alcotest.failf "corpus parse: %s" m
+  | Ok e ->
+    Alcotest.(check string) "oracle" "interp" e.Corpus.oracle;
+    Alcotest.(check string) "reason" "because" e.Corpus.reason;
+    Alcotest.(check string) "case survives"
+      (Gen.case_to_string case)
+      (Gen.case_to_string e.Corpus.case)
+
+let test_corpus_rejects_garbage () =
+  (match Corpus.of_string "oracle interp\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated entry accepted");
+  match Corpus.of_string "nonsense\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "junk accepted"
+
+(* The checked-in regression corpus must replay clean forever: a Pass
+   means the once-failing case is fixed, a Skip means the schedule is now
+   rejected as invalid (also fine — the oracle would run and fail again
+   if the validity rule regressed).  An Error is a reintroduced bug. *)
+let test_corpus_replays () =
+  (* dune runtest runs in the test build dir, where the glob_files dep
+     places corpus/; fall back for a `dune exec` from the repo root. *)
+  let dir =
+    if Sys.file_exists "corpus" then "corpus"
+    else Filename.concat "test" "corpus"
+  in
+  let files = Corpus.files dir in
+  Alcotest.(check bool) "corpus is not empty" true (List.length files >= 3);
+  List.iter
+    (fun f ->
+      match Corpus.load f with
+      | Error m -> Alcotest.failf "%s: unreadable: %s" f m
+      | Ok e -> (
+        match Driver.replay e with
+        | Ok (`Pass | `Skip _) -> ()
+        | Error m -> Alcotest.failf "%s: regression reproduces: %s" f m))
+    files
+
+(* --- driver --------------------------------------------------------------- *)
+
+let test_driver_deterministic_across_jobs () =
+  let saved = Mcf_util.Pool.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Mcf_util.Pool.set_jobs saved)
+    (fun () ->
+      let summary jobs =
+        Mcf_util.Pool.set_jobs jobs;
+        Driver.render_summary (Driver.run ~seed:13 ~max_cases:30 ())
+      in
+      Alcotest.(check string) "jobs 1 = jobs 4" (summary 1) (summary 4))
+
+let test_driver_counters () =
+  let before = Mcf_obs.Metrics.counter_value "fuzz.cases" in
+  let o = Driver.run ~seed:21 ~max_cases:5 () in
+  Alcotest.(check int) "ran 5 cases" 5 o.Driver.cases;
+  Alcotest.(check int) "fuzz.cases counted" (before + 5)
+    (Mcf_obs.Metrics.counter_value "fuzz.cases");
+  Alcotest.(check bool) "oracle runs counted" true
+    (Mcf_obs.Metrics.counter_value "fuzz.oracle_runs" > 0)
+
+let test_driver_budget_is_virtual () =
+  let a = Driver.run ~seed:17 ~budget_s:0.5 () in
+  let b = Driver.run ~seed:17 ~budget_s:0.5 () in
+  Alcotest.(check int) "same case count for same budget" a.Driver.cases
+    b.Driver.cases;
+  Alcotest.(check bool) "budget stops the loop" true
+    (a.Driver.cases > 0 && a.Driver.cases < max_int)
+
+(* --- synthetic bug end to end --------------------------------------------- *)
+
+(* Install a deliberately broken optimization pass and prove the whole
+   pipeline — oracle, shrinker, corpus — catches it, minimizes it to at
+   most two blocks, and produces a corpus entry that replays clean once
+   the bug is removed. *)
+let test_synthetic_bug_caught_and_shrunk () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mcf-fuzz-%d" (Unix.getpid ()))
+  in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Oracle.interp_transform := Fun.id)
+      (fun () ->
+        Oracle.interp_transform := Oracle.drop_live_loops;
+        Driver.run ~seed:7 ~budget_s:1e9 ~max_cases:10 ~corpus_dir:dir ())
+  in
+  match outcome.Driver.failures with
+  | [] -> Alcotest.fail "synthetic bug not caught in 10 cases"
+  | f :: _ -> (
+    Alcotest.(check string) "caught by the interp oracle" "interp"
+      f.Driver.foracle;
+    Alcotest.(check bool) "minimized to <= 2 blocks" true
+      (Gen.n_blocks f.Driver.minimized.Gen.cspec <= 2);
+    Alcotest.(check bool) "shrinker made progress" true
+      (f.Driver.shrink_steps > 0);
+    match f.Driver.corpus_path with
+    | None -> Alcotest.fail "no corpus entry written"
+    | Some path -> (
+      match Corpus.load path with
+      | Error m -> Alcotest.failf "corpus entry unreadable: %s" m
+      | Ok e -> (
+        match Driver.replay e with
+        | Ok (`Pass | `Skip _) -> Sys.remove path
+        | Error m ->
+          Alcotest.failf "entry still fails without the bug: %s" m)))
+
+(* --- shrinker ------------------------------------------------------------- *)
+
+let test_shrink_edits_reduce () =
+  let c = Gen.case_of_id ~seed:2 6 in
+  List.iter
+    (fun (e : Gen.case) ->
+      Alcotest.(check bool) "edit does not grow the genome" true
+        (Gen.n_blocks e.Gen.cspec <= Gen.n_blocks c.Gen.cspec))
+    (Shrink.edits c)
+
+let test_shrink_fixpoint () =
+  let c = Gen.case_of_id ~seed:2 6 in
+  (* An always-failing predicate shrinks to a local minimum: no edit of
+     the result may satisfy the predicate other than the result itself. *)
+  let m, steps = Shrink.minimize ~still_fails:(fun _ -> true) c in
+  Alcotest.(check bool) "took steps" true (steps > 0);
+  Alcotest.(check int) "minimal block count" 1 (Gen.n_blocks m.Gen.cspec)
+
+let () =
+  Alcotest.run "mcf_fuzz"
+    [ ( "generator",
+        [ Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_gen_seeds_differ;
+          Alcotest.test_case "cases well-formed" `Quick
+            test_gen_cases_well_formed;
+          Alcotest.test_case "epi round trip" `Quick test_spec_roundtrip ] );
+      ( "corpus",
+        [ Alcotest.test_case "round trip" `Quick test_corpus_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_corpus_rejects_garbage;
+          Alcotest.test_case "checked-in corpus replays" `Quick
+            test_corpus_replays ] );
+      ( "driver",
+        [ Alcotest.test_case "identical at jobs 1 vs 4" `Quick
+            test_driver_deterministic_across_jobs;
+          Alcotest.test_case "metrics counters" `Quick test_driver_counters;
+          Alcotest.test_case "virtual budget" `Quick
+            test_driver_budget_is_virtual ] );
+      ( "pipeline",
+        [ Alcotest.test_case "synthetic bug caught + shrunk" `Quick
+            test_synthetic_bug_caught_and_shrunk ] );
+      ( "shrinker",
+        [ Alcotest.test_case "edits reduce" `Quick test_shrink_edits_reduce;
+          Alcotest.test_case "fixpoint" `Quick test_shrink_fixpoint ] ) ]

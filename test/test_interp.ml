@@ -360,6 +360,37 @@ let test_shape_mismatch () =
        false
      with Invalid_argument _ -> true)
 
+let test_uninitialized_tile_message () =
+  (* A statically mis-ordered schedule (the consumer G descends into the
+     p loop while its producer E sits after it — a shape Program.validate
+     rejects, but the interpreter does not check) must fail loudly with
+     the tile name AND the loop indices at the failing read, so a fuzz
+     reproducer is debuggable from the message alone. *)
+  let a s = Chain.axis gemm3 s in
+  let cand =
+    Candidate.make
+      (Tiling.Deep [ a "n"; a "m"; a "h"; a "p"; a "k" ])
+      [ ("m", 48); ("n", 32); ("k", 32); ("h", 32); ("p", 16) ]
+  in
+  let p = Program.build ~rule1:false ~dead_loop_elim:false gemm3 cand in
+  Alcotest.(check bool) "mis-ordered schedule is invalid" true
+    (Result.is_error (Program.validate p));
+  let inputs = inputs_for gemm3 in
+  match Mcf_interp.Interp.run p ~inputs with
+  | _ -> Alcotest.fail "expected Uninitialized_tile"
+  | exception Mcf_interp.Interp.Uninitialized_tile msg ->
+    let contains needle =
+      let nl = String.length needle and ml = String.length msg in
+      let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+      go 0
+    in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "message %S carries %S" msg needle)
+          true (contains needle))
+      [ "tile E"; "read before any Load"; "h=0"; "m=0"; "n=0"; "p=0" ]
+
 (* --- property: any valid candidate computes the right thing ---------------- *)
 
 let tiny_gemm = Chain.gemm_chain ~m:48 ~n:32 ~k:32 ~h:32 ()
@@ -479,6 +510,8 @@ let () =
             test_conv_chain_vs_conv2d ] );
       ( "errors",
         [ Alcotest.test_case "missing input" `Quick test_missing_input;
+          Alcotest.test_case "uninitialized tile diagnostics" `Quick
+            test_uninitialized_tile_message;
           Alcotest.test_case "shape mismatch" `Quick test_shape_mismatch ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

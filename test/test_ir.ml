@@ -314,6 +314,9 @@ let test_attention_invalid_kn () =
   | Error (Program.Nonlinear_partial_consume { producer; loop }) ->
     Alcotest.(check string) "producer" "S" producer;
     Alcotest.(check string) "loop" "k" loop
+  | Error e ->
+    Alcotest.failf "expected partial-consume violation, got: %s"
+      (Program.string_of_invalid e)
   | Ok () -> Alcotest.fail "kn attention with partial k must be invalid"
 
 let test_gemm_kn_valid () =
@@ -555,37 +558,36 @@ let test_lower_flat_store_whole_rowblock () =
     store.tile_elems;
   Alcotest.(check int) "stored once" 1 store.trips
 
-(* --- property: accounting consistency ------------------------------------ *)
+(* --- property: accounting consistency ------------------------------------
 
-let random_gemm_candidate seed =
-  let rng = Mcf_util.Rng.create seed in
-  let tilings = Array.of_list (Tiling.enumerate gemm) in
-  let tiling = Mcf_util.Rng.pick rng tilings in
-  let tiles =
-    List.map
-      (fun (a : Axis.t) ->
-        let opts = Array.of_list (Candidate.tile_options a.size) in
-        (a.Axis.name, Mcf_util.Rng.pick rng opts))
-      gemm.axes
-  in
-  Candidate.make tiling tiles
+   The random chains and candidates come from the fuzzing subsystem's
+   seeded generator, so the properties range over arbitrary MBCI chains —
+   varying depth, batch, epilogues, odd extents, flat and deep tilings —
+   instead of one pinned workload; the paper workloads above remain as
+   exact fixtures. *)
+
+let fuzz_case n = Mcf_fuzz.Gen.case_of_id ~seed:20260806 (n mod 64)
+
+let fuzz_lower (c : Mcf_fuzz.Gen.case) =
+  Lower.lower ~rule1:c.rule1 ~dead_loop_elim:c.dle ~hoisting:c.hoist
+    ~elem_bytes:c.elem_bytes c.chain c.cand
 
 let prop_tir_roundtrip =
   QCheck.Test.make ~count:100
     ~name:"TIR round trip preserves the per-block program" QCheck.small_int
-    (fun seed ->
-      let cand = random_gemm_candidate seed in
-      match Tir.extract (Tir.of_candidate gemm cand) with
+    (fun n ->
+      let c = fuzz_case n in
+      match Tir.extract (Tir.of_candidate c.chain c.cand) with
       | back ->
-        Program.to_string (Program.build gemm cand)
-        = Program.to_string (Program.build gemm back)
+        Program.to_string (Program.build c.chain c.cand)
+        = Program.to_string (Program.build c.chain back)
       | exception Invalid_argument _ -> false)
 
 let prop_lowering_totals_positive =
   QCheck.Test.make ~count:100 ~name:"lowering accounting is sane"
-    QCheck.small_int (fun seed ->
-      let cand = random_gemm_candidate seed in
-      let l = lower gemm cand in
+    QCheck.small_int (fun n ->
+      let c = fuzz_case n in
+      let l = fuzz_lower c in
       l.Lower.blocks >= 1
       && Lower.bytes_per_block l > 0.0
       && Lower.flops_per_block l > 0.0
@@ -593,20 +595,20 @@ let prop_lowering_totals_positive =
 
 let prop_traffic_at_least_compulsory =
   QCheck.Test.make ~count:100 ~name:"traffic >= fused lower bound"
-    QCheck.small_int (fun seed ->
-      let cand = random_gemm_candidate seed in
-      let l = lower gemm cand in
+    QCheck.small_int (fun n ->
+      let c = fuzz_case n in
+      let l = fuzz_lower c in
       Lower.total_traffic_bytes l
-      >= 0.99 *. Chain.min_traffic_bytes gemm ~elem_bytes:2)
+      >= 0.99 *. Chain.min_traffic_bytes c.chain ~elem_bytes:c.elem_bytes)
 
 let prop_flops_at_least_chain =
   QCheck.Test.make ~count:100
     ~name:"flops >= chain flops (redundancy only adds)" QCheck.small_int
-    (fun seed ->
-      let cand = random_gemm_candidate seed in
-      let l = lower gemm cand in
+    (fun n ->
+      let c = fuzz_case n in
+      let l = fuzz_lower c in
       Lower.flops_per_block l *. float_of_int l.blocks
-      >= 0.99 *. Chain.total_flops gemm)
+      >= 0.99 *. Chain.total_flops c.chain)
 
 let () =
   Alcotest.run "mcf_ir"

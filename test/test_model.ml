@@ -143,21 +143,18 @@ let test_perf_grid_of_one () =
 
 (* --- property ------------------------------------------------------------- *)
 
+(* Random chains + candidates from the fuzzing subsystem's seeded
+   generator: the model must stay positive and finite on arbitrary MBCI
+   chains and devices, not just the pinned paper GEMM. *)
 let prop_model_positive =
   QCheck.Test.make ~count:100 ~name:"model estimates positive and finite"
-    QCheck.small_int (fun seed ->
-      let rng = Mcf_util.Rng.create (seed + 1) in
-      let tilings = Array.of_list (Tiling.enumerate gemm) in
-      let tiling = Mcf_util.Rng.pick rng tilings in
-      let tiles =
-        List.map
-          (fun (a : Axis.t) ->
-            let opts = Array.of_list (Candidate.tile_options a.size) in
-            (a.Axis.name, Mcf_util.Rng.pick rng opts))
-          gemm.axes
+    QCheck.small_int (fun n ->
+      let c = Mcf_fuzz.Gen.case_of_id ~seed:20260806 (n mod 64) in
+      let l =
+        Lower.lower ~rule1:c.rule1 ~dead_loop_elim:c.dle ~hoisting:c.hoist
+          ~elem_bytes:c.elem_bytes c.chain c.cand
       in
-      let l = lower (Candidate.make tiling tiles) in
-      let t = Mcf_model.Perf.estimate a100 l in
+      let t = Mcf_model.Perf.estimate c.device l in
       t > 0.0 && Float.is_finite t
       && Mcf_model.Shmem.estimate_bytes l > 0)
 

@@ -698,6 +698,43 @@ let test_report_empty () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "empty recording must not render"
 
+(* --- property: histogram percentiles vs exact ----------------------------
+
+   The log-bucketed estimates can be off by at most one power-of-two
+   bucket: for random log-spread samples, p50/p90/p99 from
+   [Metrics.summary] must land within a factor of 2 of the exact
+   (sorted, interpolated) percentile, and stay inside [min, max]. *)
+
+let hist_id = ref 0
+
+let prop_percentiles_within_a_bucket =
+  QCheck.Test.make ~count:100
+    ~name:"hist percentiles within one log bucket of exact"
+    QCheck.small_int (fun n ->
+      incr hist_id;
+      let h =
+        Metrics.histogram (Printf.sprintf "test.hist_prop_%d" !hist_id)
+      in
+      let rng = Mcf_util.Rng.create (n + 1) in
+      let count = 16 + Mcf_util.Rng.int rng 300 in
+      let xs =
+        List.init count (fun _ ->
+            (* log-uniform over ~6 decades *)
+            10.0 ** (Mcf_util.Rng.float rng 6.0 -. 3.0))
+      in
+      List.iter (Metrics.observe h) xs;
+      let s = Metrics.summary h in
+      List.for_all
+        (fun (p, got) ->
+          let exact = Mcf_util.Stats.percentile p xs in
+          got >= exact /. 2.0
+          && got <= exact *. 2.0
+          && got >= s.Metrics.hmin
+          && got <= s.Metrics.hmax)
+        [ (50.0, s.Metrics.hp50);
+          (90.0, s.Metrics.hp90);
+          (99.0, s.Metrics.hp99) ])
+
 let () =
   Alcotest.run "obs"
     [ ( "json",
@@ -772,4 +809,7 @@ let () =
             test_tuner_trace_covers_pipeline;
           Alcotest.test_case "cache hit/miss" `Quick test_cache_counters;
           Alcotest.test_case "no perturbation" `Quick
-            test_tracing_does_not_perturb_tuning ] ) ]
+            test_tracing_does_not_perturb_tuning ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_percentiles_within_a_bucket ] ) ]

@@ -254,6 +254,42 @@ let test_tuner_mlp_chain () =
       | Ok py -> o.kernel_time_s < py.time_s
       | Error _ -> false)
 
+(* The winner must not just model well — it must compute the right answer.
+   Run the tuned best candidate through the interpreter against the
+   reference semantics (the fuzz subsystem runs this differential check on
+   random chains; this pins it on tuned winners of paper workloads). *)
+let test_tuner_winner_executes () =
+  let rng = Mcf_util.Rng.create 424242 in
+  let inputs_for (chain : Chain.t) =
+    List.map
+      (fun (ts : Chain.tensor_spec) ->
+        let dims = List.map (fun (a : Axis.t) -> a.size) ts.taxes in
+        let shape =
+          Array.of_list
+            (if chain.Chain.batch > 1 then chain.Chain.batch :: dims
+             else dims)
+        in
+        (ts.tname, Mcf_tensor.Tensor.random rng shape))
+      (Chain.input_tensors chain)
+  in
+  List.iter
+    (fun (name, chain) ->
+      match Mcf_search.Tuner.tune ~seed:7 a100 chain with
+      | Error _ -> Alcotest.failf "tuner failed on %s" name
+      | Ok o ->
+        let inputs = inputs_for chain in
+        let got =
+          Mcf_interp.Interp.run_candidate chain o.best.cand ~inputs
+        in
+        let want = Mcf_interp.Interp.reference chain ~inputs in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s winner computes the chain (|diff|=%g)" name
+             (Mcf_tensor.Tensor.max_abs_diff got want))
+          true
+          (Mcf_tensor.Tensor.approx_equal ~tol:1e-3 got want))
+    [ ("gemm", small_gemm);
+      ("attention", Chain.attention ~heads:2 ~m:64 ~n:64 ~k:32 ~h:32 ()) ]
+
 let test_tuner_pseudo_and_triton () =
   match Mcf_search.Tuner.tune a100 small_gemm with
   | Error _ -> Alcotest.fail "tuner failed"
@@ -460,6 +496,8 @@ let () =
           Alcotest.test_case "subsumes chimera" `Quick
             test_tuner_subsumes_chimera_space;
           Alcotest.test_case "mlp chain" `Quick test_tuner_mlp_chain;
+          Alcotest.test_case "winner executes correctly" `Quick
+            test_tuner_winner_executes;
           Alcotest.test_case "renders output" `Quick
             test_tuner_pseudo_and_triton;
           Alcotest.test_case "identical at jobs 1 vs 4" `Quick
