@@ -2,7 +2,7 @@
 
 .PHONY: all build test bench examples quick clean fmt trace-demo check \
 	ci-guard bench-search bench-search-smoke bench-estimate-smoke \
-	report-smoke fuzz-smoke
+	report-smoke fuzz-smoke perf-smoke
 
 all: build
 
@@ -57,7 +57,25 @@ fuzz-smoke:
 	dune exec -- mcfuser fuzz --seed 42 --budget-s 10 --no-corpus
 	@echo "fuzz-smoke: all oracles clean"
 
-check: build fmt test trace-demo ci-guard bench-search-smoke bench-estimate-smoke report-smoke fuzz-smoke
+# Performance-history smoke: two smoke bench runs append to a fresh
+# temp history (with resource sampling on), then `mcfuser perf` renders
+# the trends and `--gate` checks the second run against the first.  The
+# generous tolerance only guards against catastrophic slowdowns — CI
+# machines are far too noisy for a tight wall-clock gate.
+perf-smoke:
+	rm -f /tmp/mcfuser-history-smoke.jsonl
+	dune exec bench/main.exe -- --mode search --smoke --sample-ms 5 \
+	  --history /tmp/mcfuser-history-smoke.jsonl \
+	  --out /tmp/mcfuser-bench-perf-smoke.json > /dev/null
+	dune exec bench/main.exe -- --mode search --smoke --sample-ms 5 \
+	  --history /tmp/mcfuser-history-smoke.jsonl \
+	  --out /tmp/mcfuser-bench-perf-smoke.json > /dev/null
+	dune exec -- mcfuser perf --history /tmp/mcfuser-history-smoke.jsonl
+	dune exec -- mcfuser perf --history /tmp/mcfuser-history-smoke.jsonl \
+	  --gate --tolerance 0.5
+	@echo "perf-smoke: history append + trends + gate ok"
+
+check: build fmt test trace-demo ci-guard bench-search-smoke bench-estimate-smoke report-smoke fuzz-smoke perf-smoke
 
 bench:
 	dune exec bench/main.exe

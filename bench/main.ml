@@ -16,7 +16,11 @@
    Search-throughput mode (the tuner's hot path, see `make bench-search`):
      dune exec bench/main.exe -- --mode search --out BENCH_search.json
      dune exec bench/main.exe -- --mode search --jobs 4 --smoke
-     dune exec bench/main.exe -- --mode search --smoke --estimate-only *)
+     dune exec bench/main.exe -- --mode search --smoke --estimate-only
+     dune exec bench/main.exe -- --sample-ms 5      # resource telemetry
+     dune exec bench/main.exe -- --mode search --history BENCH_history.jsonl
+                                              # append per-workload entries
+                                              # for `mcfuser perf` *)
 
 let hr = String.make 78 '='
 
@@ -256,7 +260,7 @@ let run_estimate_bench spec ~smoke =
       ("memo_misses", num misses);
       ("memo_hit_rate", Num hit_rate) ]
 
-let run_search_bench ~jobs ~smoke ~estimate_only ~out =
+let run_search_bench ~jobs ~smoke ~estimate_only ~history ~out =
   let spec = Mcf_gpu.Spec.a100 in
   let jobs_list = List.sort_uniq compare [ 1; jobs ] in
   let reps = if smoke then 3 else 2 in
@@ -312,7 +316,8 @@ let run_search_bench ~jobs ~smoke ~estimate_only ~out =
                        ("estimates_per_s",
                         Num (float_of_int stats.estimated
                              /. Float.max explore_s 1e-9));
-                       ("measured", num stats.measured) ] ))
+                       ("measured", num stats.measured);
+                       ("best_time_s", Num outcome.kernel_time_s) ] ))
                jobs_list)
         in
         let f = Option.get !funnel in
@@ -349,7 +354,10 @@ let run_search_bench ~jobs ~smoke ~estimate_only ~out =
               ("enumerate", List enum_rows);
               ("enumerate_speedup", Num speedup);
               ("tune", List tune_rows);
-              ("identical_across_jobs", Bool identical) ] ))
+              ("identical_across_jobs", Bool identical);
+              (* Process-lifetime high-water mark up to this workload: a
+                 stable upper bound for the history's memory trend. *)
+              ("peak_heap_words", Num (Mcf_obs.Resource.peak_heap_words ())) ] ))
       (search_workloads ~smoke)
   in
   let estimate_json = run_estimate_bench spec ~smoke in
@@ -378,6 +386,16 @@ let run_search_bench ~jobs ~smoke ~estimate_only ~out =
     (fun () ->
       output_string oc (Mcf_util.Json.to_string doc);
       output_char oc '\n');
+  (match history with
+  | None -> ()
+  | Some path ->
+    let entries = Mcf_obs.History.of_search_doc doc in
+    List.iter (Mcf_obs.History.append ~path) entries;
+    Printf.printf "appended %d history entr%s to %s (rev %s)\n"
+      (List.length entries)
+      (if List.length entries = 1 then "y" else "ies")
+      path
+      (Mcf_obs.History.current_rev ()));
   if estimate_only then Printf.printf "\nwrote %s (estimate section only)\n" out
   else begin
     Printf.printf "\nwrote %s (largest workload %s: %.2fx enumeration \
@@ -455,6 +473,8 @@ let () =
   let jobs = ref (max 4 (Mcf_util.Pool.default_jobs ())) in
   let smoke = ref false in
   let estimate_only = ref false in
+  let sample_ms = ref None in
+  let history = ref None in
   let rec parse = function
     | [] -> ()
     | "--list" :: _ ->
@@ -507,6 +527,17 @@ let () =
     | "--estimate-only" :: rest ->
       estimate_only := true;
       parse rest
+    | "--sample-ms" :: ms :: rest -> (
+      match float_of_string_opt ms with
+      | Some v when v > 0.0 ->
+        sample_ms := Some v;
+        parse rest
+      | Some _ | None ->
+        Printf.printf "bad --sample-ms value %S\n" ms;
+        exit 1)
+    | "--history" :: path :: rest ->
+      history := Some path;
+      parse rest
     | arg :: _ ->
       Printf.printf "unknown argument %S (try --list)\n" arg;
       exit 1
@@ -516,11 +547,14 @@ let () =
   if !profile then Mcf_obs.Profile.enable ();
   if !trace <> None then Mcf_obs.Trace.start ();
   if !record <> None then Mcf_obs.Recorder.start ();
+  (match !sample_ms with
+  | Some ms -> Mcf_obs.Resource.start ~period_s:(ms *. 1e-3)
+  | None -> ());
   let t0 = Unix.gettimeofday () in
   (match !mode with
   | `Search ->
     run_search_bench ~jobs:!jobs ~smoke:!smoke ~estimate_only:!estimate_only
-      ~out:!out
+      ~history:!history ~out:!out
   | `Experiments ->
     let ids =
       match !only with
@@ -530,6 +564,9 @@ let () =
     run_experiments ids;
     if !micro && !only = None then run_micro ());
   Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  (* Sampler down before the trace flushes so its closing counter events
+     make it into the file. *)
+  Mcf_obs.Resource.stop ();
   (match !trace with Some path -> write_trace path | None -> ());
   (match !record with Some path -> write_record path | None -> ());
   (match !metrics with Some path -> write_metrics path | None -> ());

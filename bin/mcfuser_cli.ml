@@ -13,6 +13,7 @@
      verify      check a tuned schedule numerically against the reference
      fuzz        differential fuzzing of the whole pipeline (random chains)
      report      render (or --diff) a search flight recording
+     perf        cross-run performance trends and regression gate
 
    Every sub-command accepts the observability flags:
      --trace FILE    write a Chrome trace_event JSON of the run (open in
@@ -21,7 +22,10 @@
                      with `mcfuser report`)
      --metrics FILE  dump the full metrics registry as JSON at exit
      --profile       print a per-phase wall-clock table and a metrics dump
-                     after the sub-command's normal output *)
+                     after the sub-command's normal output
+     --sample-ms MS  sample GC/pool resources into rsrc.* gauges and trace
+                     counter events every MS milliseconds
+     --progress      live status line on stderr (tty only) *)
 
 open Cmdliner
 
@@ -102,6 +106,8 @@ type obs = {
   metrics : string option;
   profile : bool;
   jobs : int option;
+  sample_ms : float option;
+  progress : bool;
 }
 
 let obs_term =
@@ -142,10 +148,28 @@ let obs_term =
     in
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
+  let sample_ms_arg =
+    let doc =
+      "Sample runtime resources (GC heap, allocation rate, domain-pool \
+       utilization) every $(docv) milliseconds into [rsrc.*] gauges and, \
+       with $(b,--trace), Chrome counter-event timelines.  Off by default; \
+       sampling never changes tuner results."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "sample-ms" ] ~docv:"MS" ~doc)
+  in
+  let progress_arg =
+    let doc =
+      "Live status line on stderr (current phase, generation progress, \
+       ETA).  Automatically suppressed when stdout is not a terminal."
+    in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
   Term.(
-    const (fun trace record metrics profile jobs ->
-        { trace; record; metrics; profile; jobs })
-    $ trace_arg $ record_arg $ metrics_arg $ profile_arg $ jobs_arg)
+    const (fun trace record metrics profile jobs sample_ms progress ->
+        { trace; record; metrics; profile; jobs; sample_ms; progress })
+    $ trace_arg $ record_arg $ metrics_arg $ profile_arg $ jobs_arg
+    $ sample_ms_arg $ progress_arg)
 
 let write_trace path =
   Mcf_obs.Trace.stop ();
@@ -196,7 +220,15 @@ let with_obs obs f =
   if obs.profile then Mcf_obs.Profile.enable ();
   if obs.trace <> None then Mcf_obs.Trace.start ();
   if obs.record <> None then Mcf_obs.Recorder.start ();
+  (match obs.sample_ms with
+  | Some ms -> Mcf_obs.Resource.start ~period_s:(ms *. 1e-3)
+  | None -> ());
+  if obs.progress && Unix.isatty Unix.stdout then Mcf_obs.Progress.enable ();
   let result = f () in
+  Mcf_obs.Progress.disable ();
+  (* Stop the sampler before the trace flushes: the closing sample still
+     lands in the counter-event buffer. *)
+  Mcf_obs.Resource.stop ();
   let trace_result =
     match obs.trace with None -> Ok () | Some path -> write_trace path
   in
@@ -787,9 +819,11 @@ let report_cmd =
   in
   let diff_arg =
     let doc =
-      "Compare two recordings: funnel drift, model-fidelity drift and \
-       best-measured-time regression.  Exits non-zero when the best time \
-       regresses beyond $(b,--tolerance), so it can gate CI."
+      "Compare two recordings: funnel drift, model-fidelity drift, \
+       best-measured-time and peak-heap regression, and per-phase \
+       wall-time drift (informational).  Exits non-zero when the best \
+       time or the peak heap regresses beyond $(b,--tolerance), so it \
+       can gate CI."
     in
     Arg.(value & flag & info [ "diff" ] ~doc)
   in
@@ -825,6 +859,8 @@ let report_cmd =
           print_string d.dreport;
           if d.regression then
             Error (`Msg "best measured time regressed beyond tolerance")
+          else if d.heap_regression then
+            Error (`Msg "peak heap regressed beyond tolerance")
           else Ok ()))
     | false, _ ->
       Error (`Msg "report expects exactly one FILE (or two with --diff)")
@@ -839,6 +875,101 @@ let report_cmd =
        ~doc:"Render a search flight recording, or diff two as a CI gate")
     term
 
+(* --- perf ---------------------------------------------------------------- *)
+
+let perf_cmd =
+  let history_arg =
+    let doc =
+      "Performance-history file (JSONL, one entry per bench workload per \
+       run; bench runs append with $(b,--history))."
+    in
+    Arg.(value & opt string "BENCH_history.jsonl"
+         & info [ "history" ] ~docv:"FILE" ~doc)
+  in
+  let workload_arg =
+    let doc = "Only show this workload's trends." in
+    Arg.(value & opt (some string) None
+         & info [ "workload" ] ~docv:"NAME" ~doc)
+  in
+  let gate_arg =
+    let doc =
+      "Regression gate: compare each workload's newest entry against the \
+       robust baseline (median + MAD over the trailing $(b,--window) \
+       runs) and exit non-zero on any regression beyond $(b,--tolerance)."
+    in
+    Arg.(value & flag & info [ "gate" ] ~doc)
+  in
+  let tolerance_arg =
+    let doc = "Relative regression tolerance for $(b,--gate)." in
+    Arg.(value & opt float 0.05 & info [ "tolerance" ] ~docv:"FRAC" ~doc)
+  in
+  let window_arg =
+    let doc = "Baseline window: number of trailing runs the median and MAD \
+               are computed over." in
+    Arg.(value & opt int 10 & info [ "window" ] ~docv:"N" ~doc)
+  in
+  let from_search_arg =
+    let doc =
+      "Before rendering, append one history entry per workload converted \
+       from a $(b,BENCH_search.json) document (used to seed a history from \
+       an existing bench result)."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "from-search" ] ~docv:"FILE" ~doc)
+  in
+  let run verbose history workload gate tolerance window from_search =
+    setup_logs verbose;
+    let seed_result =
+      match from_search with
+      | None -> Ok ()
+      | Some path -> (
+        match
+          try Ok (In_channel.with_open_text path In_channel.input_all)
+          with Sys_error e -> Error (`Msg ("cannot read search doc: " ^ e))
+        with
+        | Error _ as e -> e
+        | Ok text -> (
+          match Mcf_util.Json.parse text with
+          | Error e -> Error (`Msg (path ^ ": " ^ e))
+          | Ok doc ->
+            let entries = Mcf_obs.History.of_search_doc doc in
+            List.iter (Mcf_obs.History.append ~path:history) entries;
+            Printf.eprintf "perf: appended %d entr%s from %s\n%!"
+              (List.length entries)
+              (if List.length entries = 1 then "y" else "ies")
+              path;
+            Ok ()))
+    in
+    match seed_result with
+    | Error _ as e -> e
+    | Ok () ->
+      let entries, skipped = Mcf_obs.History.load history in
+      if skipped > 0 then
+        Printf.eprintf "perf: skipped %d malformed line%s in %s\n%!" skipped
+          (if skipped = 1 then "" else "s")
+          history;
+      if gate then begin
+        let verdicts = Mcf_obs.History.gate ~window ~tolerance entries in
+        print_string (Mcf_obs.History.render_gate ~tolerance verdicts);
+        if List.exists (fun v -> v.Mcf_obs.History.regressed) verdicts then
+          Error (`Msg "performance regressed beyond tolerance")
+        else Ok ()
+      end
+      else begin
+        print_string (Mcf_obs.History.render ?workload entries);
+        Ok ()
+      end
+  in
+  let term =
+    Term.(term_result (const run $ verbose_arg $ history_arg $ workload_arg
+                       $ gate_arg $ tolerance_arg $ window_arg
+                       $ from_search_arg))
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:"Render cross-run performance trends, or gate on regressions")
+    term
+
 let () =
   let info =
     Cmd.info "mcfuser" ~version:"1.0.0"
@@ -850,4 +981,4 @@ let () =
        (Cmd.group info
           [ tune_cmd; chain_cmd; schedule_cmd; dot_cmd; explain_cmd;
             compare_cmd; partition_cmd; experiment_cmd; workloads_cmd;
-            verify_cmd; fuzz_cmd; report_cmd ]))
+            verify_cmd; fuzz_cmd; report_cmd; perf_cmd ]))

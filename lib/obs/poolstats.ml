@@ -4,6 +4,8 @@ let g_jobs = Metrics.gauge "pool.jobs"
 let g_chunks = Metrics.gauge "pool.chunks"
 let g_steals = Metrics.gauge "pool.steals"
 let g_idle_s = Metrics.gauge "pool.idle_s"
+let g_busy = Metrics.gauge "pool.busy"
+let g_util = Metrics.gauge "pool.utilization"
 
 let sync () =
   let s = Mcf_util.Pool.stats () in
@@ -12,4 +14,7 @@ let sync () =
   Metrics.set g_jobs (float_of_int s.jobs);
   Metrics.set g_chunks (float_of_int s.chunks);
   Metrics.set g_steals (float_of_int s.steals);
-  Metrics.set g_idle_s (float_of_int s.idle_ns *. 1e-9)
+  Metrics.set g_idle_s (float_of_int s.idle_ns *. 1e-9);
+  Metrics.set g_busy (float_of_int s.busy);
+  Metrics.set g_util
+    (float_of_int s.busy /. float_of_int (max 1 s.domains))

@@ -4,8 +4,16 @@
     direction: [mcf_obs] sits on top of [mcf_util]), so the pool exposes
     raw cumulative counters and this module pulls a snapshot into gauges
     ([pool.domains], [pool.spawned], [pool.jobs], [pool.chunks],
-    [pool.steals], [pool.idle_s]).  Gauge writes are idempotent, so call
-    {!sync} from any metrics dump site. *)
+    [pool.steals], [pool.idle_s], [pool.busy], [pool.utilization]).
+    Gauge writes are idempotent, so call {!sync} from any metrics dump
+    site.
+
+    {!sync} only captures the instant it runs, which used to mean
+    teardown only — short phases (e.g. [space.precheck]) were invisible
+    in metrics output.  The {!Resource} sampler now calls {!sync} on
+    every tick, so with [--sample-ms] the gauges track the run live and
+    [pool.busy]/[pool.utilization] become genuine timelines in the
+    trace's counter events. *)
 
 val sync : unit -> unit
 (** Copy the current {!Mcf_util.Pool.stats} snapshot into the gauges. *)

@@ -1,0 +1,39 @@
+(** Live status line for interactive [mcfuser tune] runs.
+
+    With [--progress], the CLI enables this module and the search phases
+    feed it: the current phase name ({!set_phase}), a free-form detail
+    such as the enumerated point count ({!set_info}), and per-generation
+    exploration progress with an ETA ({!generation}).  The line is drawn
+    on {e stderr} with carriage-return + clear-to-eol, so stdout (JSON
+    results, metrics dumps) stays pipeable; the CLI only enables it when
+    stdout is a tty, and {!disable} erases the line before normal output
+    resumes.
+
+    Rendering is throttled (at most one redraw per 100ms for the
+    per-generation hot path), and every entry point is a single atomic
+    load when disabled — the default — so the search itself is
+    unaffected.  Purely observational: nothing in the tuner reads this
+    state back, so results are bit-identical with or without
+    [--progress]. *)
+
+val enable : unit -> unit
+(** Reset state and start accepting updates.  No-op when already on. *)
+
+val disable : unit -> unit
+(** Stop accepting updates and erase the status line if one was drawn.
+    No-op when already off. *)
+
+val active : unit -> bool
+
+val set_phase : string -> unit
+(** Announce a new phase (e.g. ["space.enumerate"]).  Clears the info
+    field and forces a redraw. *)
+
+val set_info : string -> unit
+(** Attach a detail to the current phase (e.g. ["1724 points"]). *)
+
+val generation : gen:int -> max_gen:int -> measured:int -> unit
+(** Exploration progress: generation [gen] of at most [max_gen], with
+    [measured] schedules measured so far.  From the second call on, the
+    line includes a worst-case ETA extrapolated from the mean generation
+    time ([max_gen] is an upper bound — convergence may stop earlier). *)

@@ -32,7 +32,7 @@ let emit ev fields =
 let now () = Unix.gettimeofday ()
 let events () = with_lock (fun () -> List.rev !buffer)
 
-let clock_fields = [ "time"; "wall_s" ]
+let clock_fields = [ "time"; "wall_s"; "phases"; "peak_heap_words" ]
 
 let strip_clock = function
   | Json.Obj kvs ->

@@ -49,7 +49,9 @@ val events : unit -> Mcf_util.Json.t list
 (** Buffered events in emission order. *)
 
 val strip_clock : Mcf_util.Json.t -> Mcf_util.Json.t
-(** Drop the wall-clock fields ([time], [wall_s]) from an event, leaving
+(** Drop the wall-clock fields ([time], [wall_s], [phases],
+    [peak_heap_words] — per-phase durations and the heap high-water mark
+    are clock/memory-pressure dependent too) from an event, leaving
     exactly the deterministic payload — what the cross-[--jobs]
     byte-identity tests compare. *)
 

@@ -224,6 +224,8 @@ type diff = {
   funnel_drift : bool;
   fidelity_drift : bool;
   regression : bool;
+  heap_regression : bool;
+  wall_drift : bool;
 }
 
 let last_segment evs =
@@ -295,8 +297,62 @@ let diff ?(tolerance = 0.05) a b =
           (fmt_opt_time tb);
         false
     in
-    if regression then
-      add "verdict   FAIL: best measured time regressed beyond tolerance\n"
+    (* resource telemetry from the [end] events: peak heap gates like the
+       best time; per-phase wall times are informational only (wall-clock
+       noise would make them a flaky CI signal).  Printed as relative
+       changes, never absolutes, so a self-diff is byte-stable. *)
+    let end_of seg = last_ev "end" seg in
+    let heap seg = Option.bind (end_of seg) (jnum "peak_heap_words") in
+    let heap_regression =
+      match (heap sa, heap sb) with
+      | Some ha, Some hb when ha > 0.0 ->
+        let rel = (hb -. ha) /. ha in
+        add "peakheap  %+.2f%% (tolerance %.1f%%)\n" (100.0 *. rel)
+          (100.0 *. tolerance);
+        rel > tolerance
+      | _ ->
+        add "peakheap  no comparison (recording predates resource telemetry)\n";
+        false
+    in
+    let phase_walls seg =
+      match Option.bind (end_of seg) (Json.member "phases") with
+      | Some (Json.Obj kvs) ->
+        List.filter_map
+          (function k, Json.Num v -> Some (k, v) | _ -> None)
+          kvs
+      | _ -> []
+    in
+    let pa = phase_walls sa and pb = phase_walls sb in
+    let wall_drift =
+      match (pa, pb) with
+      | [], _ | _, [] ->
+        add "phases    no comparison (recording predates resource telemetry)\n";
+        false
+      | _ ->
+        let changes =
+          List.filter_map
+            (fun (k, va) ->
+              match List.assoc_opt k pb with
+              | Some vb when va > 0.0 ->
+                let rel = (vb -. va) /. va in
+                Some (Printf.sprintf "%s %+.2f%%" k (100.0 *. rel), Float.abs rel > tolerance)
+              | _ -> None)
+            pa
+        in
+        add "phases    %s (informational)\n"
+          (String.concat ", " (List.map fst changes));
+        List.exists snd changes
+    in
+    if regression || heap_regression then
+      add "verdict   FAIL: %s\n"
+        (String.concat " and "
+           ((if regression then
+               [ "best measured time regressed beyond tolerance" ]
+             else [])
+           @
+           if heap_regression then
+             [ "peak heap regressed beyond tolerance" ]
+           else []))
     else add "verdict   OK\n";
     Ok { dreport = Buffer.contents buf; funnel_drift; fidelity_drift;
-         regression }
+         regression; heap_regression; wall_drift }

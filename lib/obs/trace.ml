@@ -24,6 +24,18 @@ let seq = Atomic.make 0
 
 let buffer : (int * event) list ref = ref []
 
+(* Counter samples ("ph":"C" in the Chrome export) live in their own
+   buffer: they carry no duration or ancestry, and interleaving them
+   with spans at export time keeps the span path machinery untouched. *)
+type counter_event = {
+  kname : string;
+  kts_us : float;
+  ktid : int;
+  kvalues : (string * float) list;
+}
+
+let counter_buffer : counter_event list ref = ref []
+
 (* Innermost-first stack of enclosing span names, one per domain. *)
 let stack_key : string list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
@@ -37,6 +49,7 @@ let active () = enabled () || Profile.enabled ()
 let reset () =
   Mutex.lock lock;
   buffer := [];
+  counter_buffer := [];
   Mutex.unlock lock
 
 let start () =
@@ -59,6 +72,25 @@ let events () =
   |> List.map snd
 
 let no_args () = []
+
+let counter name values =
+  if Atomic.get recording then begin
+    let ev =
+      { kname = name;
+        kts_us = (now () -. Atomic.get t0) *. 1e6;
+        ktid = (Domain.self () :> int);
+        kvalues = values () }
+    in
+    Mutex.lock lock;
+    counter_buffer := ev :: !counter_buffer;
+    Mutex.unlock lock
+  end
+
+let counter_events () =
+  Mutex.lock lock;
+  let es = !counter_buffer in
+  Mutex.unlock lock;
+  List.sort (fun a b -> Float.compare a.kts_us b.kts_us) es
 
 (* The full span machinery; only reached when [active ()]. *)
 let record_span args name f =
@@ -137,8 +169,21 @@ let to_chrome_json () =
     in
     Obj (base @ args)
   in
+  let counter_json (k : counter_event) =
+    Obj
+      [ ("name", Str k.kname);
+        ("cat", Str "mcfuser");
+        ("ph", Str "C");
+        ("ts", Num k.kts_us);
+        ("pid", num_of_int 1);
+        ("tid", num_of_int k.ktid);
+        ("args", Obj (List.map (fun (s, v) -> (s, Num v)) k.kvalues)) ]
+  in
   Obj
-    [ ("traceEvents", List (List.map event_json (events ())));
+    [ ("traceEvents",
+       List
+         (List.map event_json (events ())
+         @ List.map counter_json (counter_events ())));
       ("displayTimeUnit", Str "ms") ]
 
 let flame () =

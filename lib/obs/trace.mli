@@ -48,6 +48,23 @@ val reset : unit -> unit
 val events : unit -> event list
 (** Buffered events sorted by start timestamp. *)
 
+type counter_event = {
+  kname : string;  (** Series name, e.g. [rsrc.heap_words]. *)
+  kts_us : float;  (** Sample time, microseconds since {!start}. *)
+  ktid : int;  (** Domain id of the sampler. *)
+  kvalues : (string * float) list;  (** Sub-series name/value pairs. *)
+}
+
+val counter : string -> (unit -> (string * float) list) -> unit
+(** [counter name values] records one counter sample (a ["ph":"C"] event
+    in the Chrome export: Perfetto draws each named series as a stacked
+    timeline under the spans).  Like {!with_span}, one atomic load and a
+    branch when not recording; the value thunk is never evaluated then.
+    The resource telemetry sampler ({!Resource}) is the main emitter. *)
+
+val counter_events : unit -> counter_event list
+(** Buffered counter samples sorted by timestamp. *)
+
 val with_span :
   ?args:(unit -> (string * arg) list) -> string -> (unit -> 'a) -> 'a
 (** Run a thunk inside a named span.  The span is recorded (buffer and/or

@@ -199,6 +199,9 @@ let run ?(params = default_params) ?estimator ~rng ~clock spec entries =
     while (not !converged) && !generations < params.max_generations do
       incr generations;
       Mcf_obs.Metrics.incr c_generations;
+      Mcf_obs.Progress.generation ~gen:!generations
+        ~max_gen:params.max_generations ~measured:(Hashtbl.length measured);
+      Mcf_obs.Resource.sample ();
       Trace.with_span "explore.generation"
         ~args:(fun () -> [ ("gen", Trace.Int !generations) ])
       @@ fun () ->

@@ -227,6 +227,7 @@ let enumerate ?(options = default_options) ?(on_phase = fun _ _ -> ())
       let combos_arr = Array.of_list combos in
       let n_combos = Array.length combos_arr in
       let total = Array.length ts2_arr * n_combos in
+      Mcf_obs.Progress.set_info (Printf.sprintf "%d points" total);
       let cand_of r =
         Candidate.make ts2_arr.(r / n_combos)
           (List.combine names combos_arr.(r mod n_combos))
@@ -274,6 +275,10 @@ let enumerate ?(options = default_options) ?(on_phase = fun _ _ -> ())
             end)
       in
       on_phase "space.precheck" precheck_s;
+      (* Telemetry tick right after the precheck burst: this is where the
+         pool gauges catch space.precheck activity that a teardown-only
+         sync used to miss. *)
+      Mcf_obs.Resource.sample ();
       (* Stage 2: closed-form softmax-legality verdict on the survivors —
          still no lowering (the verdict equals [(Lower.lower ...).validity]
          by the test_model.ml sweep).  Survivor entries carry a lazy

@@ -71,6 +71,11 @@ let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
      share one measurement and can never disagree. *)
   let phases = ref [] in
   let phase name f =
+    Mcf_obs.Progress.set_phase name;
+    (* Cooperative telemetry tick at every phase boundary: with sampling
+       on, short phases get at least one sample from the main domain's
+       vantage (observational only — see Resource). *)
+    Mcf_obs.Resource.sample ();
     let r, dur_s = Trace.timed name f in
     phases := (name, dur_s) :: !phases;
     r
@@ -80,6 +85,8 @@ let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
        out of tuner.enumerate's duration so the breakdown entries stay
        non-overlapping and still sum to at most [tuning_wall_s]. *)
     let sub = ref [] in
+    Mcf_obs.Progress.set_phase "tuner.enumerate";
+    Mcf_obs.Resource.sample ();
     let (entries, funnel), enum_s =
       Trace.timed "tuner.enumerate" (fun () ->
           Space.enumerate ~options:opts
@@ -141,8 +148,16 @@ let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
           ("device", Trace.Str spec.name) ])
       run
   in
+  Mcf_obs.Resource.sample ();
+  (* Per-phase wall times and the heap high-water mark ride along in the
+     [end] event so [mcfuser report --diff] can compare them across
+     recordings.  Both are clock-dependent and listed in
+     [Recorder.clock_fields], keeping cross-jobs byte-identity intact. *)
   Mcf_obs.Recorder.emit "end" (fun () ->
-      [ ("wall_s", Mcf_util.Json.Num wall) ]);
+      let open Mcf_util.Json in
+      [ ("wall_s", Num wall);
+        ("phases", Obj (List.rev_map (fun (n, s) -> (n, Num s)) !phases));
+        ("peak_heap_words", Num (Mcf_obs.Resource.peak_heap_words ())) ]);
   Result.map
     (fun o -> { o with tuning_wall_s = wall; phases = List.rev !phases })
     result

@@ -51,6 +51,31 @@ let grouped_bar ?(width = 46) ~title ~unit_label ~series rows =
   List.iter draw rows;
   Buffer.contents buf
 
+(* Eight density levels, low to high.  ASCII only (like every chart in
+   this module) so cram pins and dumb terminals render identically. *)
+let spark_glyphs = [| '_'; '.'; ':'; '-'; '='; '+'; '*'; '#' |]
+
+let sparkline ?(max_width = 40) values =
+  let values =
+    let n = List.length values in
+    if n <= max_width then values
+    else Listx.drop (n - max_width) values
+  in
+  match values with
+  | [] -> ""
+  | _ ->
+    let lo = List.fold_left Float.min infinity values in
+    let hi = List.fold_left Float.max neg_infinity values in
+    let glyph v =
+      if hi <= lo then '-'
+      else begin
+        let f = (v -. lo) /. (hi -. lo) *. 7.0 in
+        spark_glyphs.(max 0 (min 7 (int_of_float (Float.round f))))
+      end
+    in
+    let arr = Array.of_list values in
+    String.init (Array.length arr) (fun i -> glyph arr.(i))
+
 let bounds points =
   match points with
   | [] -> (0.0, 1.0, 0.0, 1.0)

@@ -2,6 +2,12 @@
     artifact directly in the terminal: grouped bar charts (Fig. 8/9),
     scatter plots (Figs. 10/11) and line series (Fig. 2). *)
 
+val sparkline : ?max_width:int -> float list -> string
+(** One character per value, eight ASCII density levels ([_.:-=+*#])
+    scaled to the series min/max; a flat series renders as [-].  Series
+    longer than [max_width] (default 40) keep their most recent values.
+    Used by [mcfuser perf] for cross-run trend tables. *)
+
 val bar :
   ?width:int ->
   title:string ->

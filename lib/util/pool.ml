@@ -16,6 +16,11 @@ let chunks_total = Atomic.make 0
 let steals_total = Atomic.make 0
 let idle_ns_total = Atomic.make 0
 
+(* Instantaneous scheduler state, sampled by the resource telemetry
+   layer: how many participants are currently inside [run_chunks].
+   Strictly observational — nothing in the pool reads it back. *)
+let busy_now = Atomic.make 0
+
 type stats = {
   domains : int;
   spawned : int;
@@ -23,6 +28,7 @@ type stats = {
   chunks : int;
   steals : int;
   idle_ns : int;
+  busy : int;
 }
 
 (* --- deques ------------------------------------------------------------- *)
@@ -117,7 +123,12 @@ let run_chunks job me =
       loop ()
   in
   Domain.DLS.set in_task true;
-  Fun.protect ~finally:(fun () -> Domain.DLS.set in_task false) loop
+  Atomic.incr busy_now;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr busy_now;
+      Domain.DLS.set in_task false)
+    loop
 
 let worker t me () =
   let seen = ref 0 in
@@ -313,4 +324,5 @@ let stats () =
     jobs = Atomic.get jobs_total;
     chunks = Atomic.get chunks_total;
     steals = Atomic.get steals_total;
-    idle_ns = Atomic.get idle_ns_total }
+    idle_ns = Atomic.get idle_ns_total;
+    busy = Atomic.get busy_now }

@@ -104,6 +104,10 @@ type stats = {
   steals : int;  (** chunks obtained from another participant's deque *)
   idle_ns : int;
       (** caller nanoseconds spent waiting on straggler workers *)
+  busy : int;
+      (** participants currently executing chunks — an instantaneous
+          sample, not a cumulative counter; the resource telemetry
+          sampler reads it to build the pool-utilization timeline *)
 }
 
 val stats : unit -> stats

@@ -1,0 +1,61 @@
+Cross-run performance history: bench runs append JSONL entries, and
+`mcfuser perf` renders per-workload sparkline trends or gates on
+regressions against a robust (median + MAD) baseline.  The fixture below
+is hand-written so every byte of the output is deterministic.
+
+  $ cat > hist.jsonl <<'EOF'
+  > {"time":1,"rev":"aaaa111","device":"A100","workload":"G1","metrics":{"points_per_s":200000,"tune_wall_s":0.020}}
+  > {"time":2,"rev":"bbbb222","device":"A100","workload":"G1","metrics":{"points_per_s":210000,"tune_wall_s":0.019}}
+  > {"time":3,"rev":"cccc333","device":"A100","workload":"G1","metrics":{"points_per_s":205000,"tune_wall_s":0.021}}
+  > {"time":3,"rev":"cccc333","device":"A100","workload":"S3","metrics":{"estimates_per_s":30000}}
+  > EOF
+
+Trends: one table per (device, workload) in file order, latest value,
+delta vs the oldest run, and a sparkline per metric.  S3 has a single
+run, so its trend is flat by construction:
+
+  $ mcfuser perf --history hist.jsonl
+  == A100/G1 (3 runs, latest rev cccc333) ==
+    metric                     latest     delta  trend
+    points_per_s               205000    +2.50%  _#=
+    tune_wall_s                 0.021    +5.00%  =_#
+  
+  == A100/S3 (1 run, latest rev cccc333) ==
+    metric                     latest     delta  trend
+    estimates_per_s             30000    +0.00%  -
+
+
+
+The gate compares the newest run per workload against the median + MAD
+of the preceding window.  G1's latest values sit inside the band; S3 has
+no baseline (single entry), so it is skipped rather than divided by
+zero:
+
+  $ mcfuser perf --history hist.jsonl --gate --tolerance 0.10
+  ok   A100/G1 points_per_s: latest 205000 vs median 205000 (mad 5000, floor 184500)
+  ok   A100/G1 tune_wall_s: latest 0.021 vs median 0.0195 (mad 0.0005, ceiling 0.02145)
+  perf gate: 2 metrics checked, 0 regressions (tolerance 10%)
+
+A regression beyond tolerance fails the gate (the CI hook):
+
+  $ cat >> hist.jsonl <<'EOF'
+  > {"time":4,"rev":"dddd444","device":"A100","workload":"G1","metrics":{"points_per_s":120000,"tune_wall_s":0.020}}
+  > EOF
+  $ mcfuser perf --history hist.jsonl --gate --tolerance 0.10 > gate.out 2> gate.err; echo "exit=$?"
+  exit=124
+  $ grep FAIL gate.out
+  FAIL A100/G1 points_per_s: latest 120000 vs median 205000 (mad 5000, floor 184500)
+
+Malformed lines are counted and skipped, never fatal (same policy as the
+schedule cache):
+
+  $ printf 'not json at all\n{"time":5}\n' >> hist.jsonl
+  $ mcfuser perf --history hist.jsonl > /dev/null
+  perf: skipped 2 malformed lines in hist.jsonl
+
+An empty or missing history renders a friendly note and gates clean:
+
+  $ mcfuser perf --history nothere.jsonl
+  perf: no history entries
+  $ mcfuser perf --history nothere.jsonl --gate
+  perf gate: no baseline (fewer than two runs per workload) — pass

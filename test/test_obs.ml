@@ -698,6 +698,260 @@ let test_report_empty () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "empty recording must not render"
 
+(* --- Trace counter events --------------------------------------------------- *)
+
+let test_trace_counter_events () =
+  clean ();
+  let ran = ref 0 in
+  Trace.counter "c.off" (fun () ->
+      incr ran;
+      [ ("v", 1.0) ]);
+  Alcotest.(check int) "thunk never built when off" 0 !ran;
+  Alcotest.(check int) "nothing buffered when off" 0
+    (List.length (Trace.counter_events ()));
+  Trace.start ();
+  Trace.counter "c.heap" (fun () -> [ ("heap", 10.0); ("peak", 20.0) ]);
+  Trace.counter "c.heap" (fun () -> [ ("heap", 12.0); ("peak", 20.0) ]);
+  Trace.stop ();
+  Alcotest.(check int) "two counter samples buffered" 2
+    (List.length (Trace.counter_events ()));
+  (match Trace.to_chrome_json () with
+  | Json.Obj kvs -> (
+    match List.assoc_opt "traceEvents" kvs with
+    | Some (Json.List tevs) ->
+      let counters =
+        List.filter (fun e -> Json.member "ph" e = Some (Json.Str "C")) tevs
+      in
+      Alcotest.(check int) "ph:C events exported" 2 (List.length counters);
+      List.iter
+        (fun e ->
+          match Json.member "args" e with
+          | Some (Json.Obj args) ->
+            Alcotest.(check bool) "numeric series value" true
+              (match List.assoc_opt "heap" args with
+              | Some (Json.Num _) -> true
+              | _ -> false)
+          | _ -> Alcotest.fail "counter event without args")
+        counters
+    | _ -> Alcotest.fail "no traceEvents list")
+  | _ -> Alcotest.fail "chrome export not an object");
+  clean ()
+
+(* --- Resource sampler ------------------------------------------------------- *)
+
+module Resource = Mcf_obs.Resource
+
+let test_resource_sample_noop_when_off () =
+  let c0 = Metrics.counter_value "rsrc.samples" in
+  Resource.sample ();
+  Alcotest.(check int) "cooperative tick is a no-op when off" c0
+    (Metrics.counter_value "rsrc.samples")
+
+let test_resource_sampler_publishes () =
+  clean ();
+  Trace.start ();
+  ignore (Mcf_util.Pool.get ());
+  (* global pool exists: domains >= 1 *)
+  let c0 = Metrics.counter_value "rsrc.samples" in
+  Resource.start ~period_s:0.002;
+  Alcotest.(check bool) "active" true (Resource.active ());
+  (* Real work under the sampler so there is heap and pool traffic. *)
+  let chain = Mcf_ir.Chain.gemm_chain ~m:256 ~n:128 ~k:64 ~h:64 () in
+  ignore (Mcf_search.Space.enumerate a100 chain);
+  Unix.sleepf 0.02;
+  Resource.stop ();
+  Alcotest.(check bool) "inactive after stop" false (Resource.active ());
+  let samples = Metrics.counter_value "rsrc.samples" - c0 in
+  Alcotest.(check bool) "immediate + periodic + closing samples" true
+    (samples >= 3);
+  Alcotest.(check bool) "session peak positive" true
+    (Resource.peak_heap_words () > 0.0);
+  Alcotest.(check bool) "heap gauge live" true
+    (Metrics.gauge_value (Metrics.gauge "rsrc.heap_words") > 0.0);
+  Alcotest.(check bool) "peak gauge >= live gauge" true
+    (Metrics.gauge_value (Metrics.gauge "rsrc.heap_words_peak")
+    >= Metrics.gauge_value (Metrics.gauge "rsrc.heap_words"));
+  (* Every tick also refreshes the pool gauges (the Poolstats fix). *)
+  Alcotest.(check bool) "pool gauges synced by sampler" true
+    (Metrics.gauge_value (Metrics.gauge "pool.domains") >= 1.0);
+  let names =
+    List.map
+      (fun (c : Trace.counter_event) -> c.Trace.kname)
+      (Trace.counter_events ())
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " series recorded") true (List.mem n names))
+    [ "rsrc.heap_words"; "rsrc.pool_util"; "rsrc.alloc_words_per_s";
+      "rsrc.gc" ];
+  clean ()
+
+(* --- Performance history ----------------------------------------------------- *)
+
+module History = Mcf_obs.History
+
+let hist_entry ?(time = 1.0) ?(rev = "abc1234") ?(device = "A100")
+    ?(workload = "G1") metrics =
+  { History.time; rev; device; workload; metrics }
+
+let with_temp_file f =
+  let file = Filename.temp_file "mcf_hist" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () -> f file)
+
+let test_history_roundtrip () =
+  with_temp_file (fun file ->
+      Sys.remove file;
+      (* [append] must create the file *)
+      History.append ~path:file (hist_entry ~time:1.0 [ ("points_per_s", 100.0) ]);
+      History.append ~path:file (hist_entry ~time:2.0 [ ("points_per_s", 110.0) ]);
+      let entries, skipped = History.load file in
+      Alcotest.(check int) "no skips" 0 skipped;
+      Alcotest.(check (list (float 0.0)))
+        "file order preserved" [ 1.0; 2.0 ]
+        (List.map (fun (e : History.entry) -> e.History.time) entries);
+      Alcotest.(check bool) "metrics survive" true
+        (match entries with
+        | e :: _ -> e.History.metrics = [ ("points_per_s", 100.0) ]
+        | [] -> false);
+      Alcotest.(check bool) "missing fields rejected" true
+        (History.of_json (Json.Obj [ ("time", Json.Num 1.0) ]) = None))
+
+let test_history_malformed_skipped () =
+  with_temp_file (fun file ->
+      let oc = open_out file in
+      output_string oc
+        {|{"time":1,"rev":"r","device":"d","workload":"w","metrics":{"m":1}}|};
+      output_string oc "\nnot json at all\n";
+      output_string oc "{\"time\":2}\n";
+      output_string oc "\n";
+      (* truncated tail: valid JSON, no trailing newline *)
+      output_string oc
+        {|{"time":3,"rev":"r","device":"d","workload":"w","metrics":{"m":2}}|};
+      close_out oc;
+      let entries, skipped = History.load file in
+      Alcotest.(check int) "garbage + wrong shape skipped" 2 skipped;
+      Alcotest.(check int) "good lines survive" 2 (List.length entries))
+
+let test_history_empty () =
+  let entries, skipped = History.load "/nonexistent/mcf-history.jsonl" in
+  Alcotest.(check int) "missing file: no entries" 0 (List.length entries);
+  Alcotest.(check int) "missing file: no skips" 0 skipped;
+  Alcotest.(check int) "empty gate: no verdicts" 0
+    (List.length (History.gate []));
+  Alcotest.(check bool) "empty render is friendly" true
+    (contains_substring (History.render []) "no history entries")
+
+let test_history_gate_single_entry () =
+  (* One run total: no baseline, the gate passes trivially (and must not
+     divide by zero computing a median of nothing). *)
+  let v = History.gate [ hist_entry [ ("points_per_s", 100.0) ] ] in
+  Alcotest.(check int) "single entry: no verdicts" 0 (List.length v)
+
+let test_history_gate_mad_zero_and_direction () =
+  let mk t v = hist_entry ~time:t [ ("points_per_s", v) ] in
+  (* An all-identical window has MAD 0; the tolerance floor keeps small
+     moves from flagging. *)
+  let base = [ mk 1.0 100.0; mk 2.0 100.0; mk 3.0 100.0 ] in
+  let ok = History.gate ~tolerance:0.05 (base @ [ mk 4.0 97.0 ]) in
+  Alcotest.(check bool) "MAD=0: within tolerance floor" true
+    (List.for_all (fun v -> not v.History.regressed) ok);
+  let bad = History.gate ~tolerance:0.05 (base @ [ mk 4.0 80.0 ]) in
+  Alcotest.(check bool) "MAD=0: throughput drop flagged" true
+    (List.exists
+       (fun v -> v.History.regressed && v.History.vmetric = "points_per_s")
+       bad);
+  (* Direction by name: _per_s is higher-is-better, wall time the reverse. *)
+  let mkw t v = hist_entry ~time:t [ ("tune_wall_s", v) ] in
+  let wbase = [ mkw 1.0 1.0; mkw 2.0 1.0 ] in
+  Alcotest.(check bool) "faster wall time passes" true
+    (List.for_all
+       (fun v -> not v.History.regressed)
+       (History.gate (wbase @ [ mkw 3.0 0.5 ])));
+  Alcotest.(check bool) "slower wall time flagged" true
+    (List.exists
+       (fun v -> v.History.regressed)
+       (History.gate (wbase @ [ mkw 3.0 2.0 ])))
+
+let test_history_gate_window () =
+  (* The baseline is the trailing window, not all of history: with
+     window=2 only the two runs right before the newest count. *)
+  let mk t v = hist_entry ~time:t [ ("tune_wall_s", v) ] in
+  let es =
+    [ mk 1.0 100.0; mk 2.0 100.0; mk 3.0 1.0; mk 4.0 1.0; mk 5.0 100.0 ]
+  in
+  let narrow = History.gate ~window:2 ~tolerance:0.05 es in
+  Alcotest.(check bool) "recent fast runs set the bar" true
+    (List.exists (fun v -> v.History.regressed) narrow);
+  Alcotest.(check (list int)) "baseline capped at window" [ 2 ]
+    (List.map (fun v -> v.History.n_baseline) narrow);
+  let wide = History.gate ~window:10 ~tolerance:0.05 es in
+  Alcotest.(check bool) "wide window absorbs the old regime" true
+    (List.for_all (fun v -> not v.History.regressed) wide)
+
+let test_history_of_search_doc () =
+  let doc =
+    Json.Obj
+      [ ("device", Json.Str "A100");
+        ("workloads",
+         Json.List
+           [ Json.Obj
+               [ ("name", Json.Str "G1");
+                 ("enumerate",
+                  Json.List
+                    [ Json.Obj
+                        [ ("jobs", Json.Num 1.0);
+                          ("points_per_s", Json.Num 10.0) ];
+                      Json.Obj
+                        [ ("jobs", Json.Num 4.0);
+                          ("points_per_s", Json.Num 40.0) ] ]);
+                 ("tune",
+                  Json.List
+                    [ Json.Obj
+                        [ ("jobs", Json.Num 4.0);
+                          ("wall_s", Json.Num 2.0);
+                          ("estimates_per_s", Json.Num 5.0);
+                          ("best_time_s", Json.Num 1e-6) ] ]);
+                 ("peak_heap_words", Json.Num 1000.0) ] ]) ]
+  in
+  match History.of_search_doc ~time:1.0 ~rev:"r" doc with
+  | [ e ] ->
+    Alcotest.(check string) "device" "A100" e.History.device;
+    Alcotest.(check string) "workload" "G1" e.History.workload;
+    let metric n = List.assoc_opt n e.History.metrics in
+    Alcotest.(check (option (float 0.0))) "highest-jobs row wins"
+      (Some 40.0) (metric "points_per_s");
+    Alcotest.(check (option (float 0.0))) "tune wall" (Some 2.0)
+      (metric "tune_wall_s");
+    Alcotest.(check (option (float 0.0))) "best time" (Some 1e-6)
+      (metric "best_time_s");
+    Alcotest.(check (option (float 0.0))) "peak heap" (Some 1000.0)
+      (metric "peak_heap_words")
+  | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l)
+
+let test_history_direction_and_render () =
+  Alcotest.(check bool) "per_s is higher-better" true
+    (History.higher_is_better "points_per_s");
+  Alcotest.(check bool) "wall time is lower-better" false
+    (History.higher_is_better "tune_wall_s");
+  Alcotest.(check bool) "heap words is lower-better" false
+    (History.higher_is_better "peak_heap_words");
+  let es =
+    [ hist_entry ~time:1.0 [ ("points_per_s", 100.0) ];
+      hist_entry ~time:2.0 [ ("points_per_s", 200.0) ] ]
+  in
+  let s = History.render es in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " rendered") true
+        (contains_substring s needle))
+    [ "A100/G1"; "points_per_s"; "+100.00%"; "_#" ];
+  Alcotest.(check bool) "trivial gate renders a pass note" true
+    (contains_substring
+       (History.render_gate ~tolerance:0.05 [])
+       "pass")
+
 (* --- property: histogram percentiles vs exact ----------------------------
 
    The log-bucketed estimates can be off by at most one power-of-two
@@ -802,6 +1056,27 @@ let () =
       ( "profile",
         [ Alcotest.test_case "aggregates by path" `Quick
             test_profile_aggregates ] );
+      ( "resource",
+        [ Alcotest.test_case "counter events" `Quick
+            test_trace_counter_events;
+          Alcotest.test_case "sample no-op when off" `Quick
+            test_resource_sample_noop_when_off;
+          Alcotest.test_case "sampler publishes" `Quick
+            test_resource_sampler_publishes ] );
+      ( "history",
+        [ Alcotest.test_case "roundtrip" `Quick test_history_roundtrip;
+          Alcotest.test_case "malformed skipped" `Quick
+            test_history_malformed_skipped;
+          Alcotest.test_case "empty" `Quick test_history_empty;
+          Alcotest.test_case "gate single entry" `Quick
+            test_history_gate_single_entry;
+          Alcotest.test_case "gate MAD=0 + direction" `Quick
+            test_history_gate_mad_zero_and_direction;
+          Alcotest.test_case "gate window" `Quick test_history_gate_window;
+          Alcotest.test_case "of_search_doc" `Quick
+            test_history_of_search_doc;
+          Alcotest.test_case "direction + render" `Quick
+            test_history_direction_and_render ] );
       ( "pipeline",
         [ Alcotest.test_case "tuner counters" `Quick
             test_tuner_metric_invariants;

@@ -348,6 +348,45 @@ let test_tuner_jobs_equality () =
             [ a; b ])
         [ ("gemm", small_gemm); ("attention", attn) ])
 
+let test_tuner_sampler_identity () =
+  (* ISSUE 6 acceptance: resource sampling is strictly observational.  The
+     tuner outcome must be bit-identical with sampling on or off, at any
+     pool size — same winner, same virtual clock, same funnel, same
+     search stats. *)
+  let saved = Mcf_util.Pool.jobs () in
+  Fun.protect
+    ~finally:(fun () ->
+      Mcf_obs.Resource.stop ();
+      Mcf_util.Pool.set_jobs saved)
+    (fun () ->
+      let fingerprint (o : Mcf_search.Tuner.outcome) =
+        let f = o.funnel and s = o.search_stats in
+        Printf.sprintf "%s|%.17g|%.17g|%d/%d/%d/%.17g/%.17g/%d/%d|%d/%d/%d"
+          (Candidate.key o.best.cand)
+          o.kernel_time_s o.tuning_virtual_s f.tilings_raw f.tilings_rule1
+          f.tilings_rule2 f.candidates_raw f.candidates_rule3
+          f.candidates_rule4 f.candidates_valid s.generations s.estimated
+          s.measured
+      in
+      let run ~jobs ~sampling =
+        Mcf_util.Pool.set_jobs jobs;
+        (* An aggressive 1ms period maximizes interleaving with the run. *)
+        if sampling then Mcf_obs.Resource.start ~period_s:0.001;
+        let r = Mcf_search.Tuner.tune ~seed:7 a100 small_gemm in
+        Mcf_obs.Resource.stop ();
+        match r with
+        | Error _ -> Alcotest.fail "tuner failed"
+        | Ok o -> fingerprint o
+      in
+      let base = run ~jobs:1 ~sampling:false in
+      List.iter
+        (fun (jobs, sampling) ->
+          Alcotest.(check string)
+            (Printf.sprintf "jobs=%d sampling=%b" jobs sampling)
+            base
+            (run ~jobs ~sampling))
+        [ (1, true); (4, false); (4, true) ])
+
 let test_tuner_lowers_lazily () =
   (* ISSUE 3 acceptance: with the closed-form model doing estimation and
      validity, [Lower.lower] runs only for candidates that actually reach
@@ -502,6 +541,8 @@ let () =
             test_tuner_pseudo_and_triton;
           Alcotest.test_case "identical at jobs 1 vs 4" `Quick
             test_tuner_jobs_equality;
+          Alcotest.test_case "identical with sampling on/off" `Quick
+            test_tuner_sampler_identity;
           Alcotest.test_case "lowers lazily" `Quick test_tuner_lowers_lazily ] );
       ( "schedule-cache",
         [ Alcotest.test_case "candidate roundtrip" `Quick

@@ -298,6 +298,21 @@ let test_chart_line () =
   in
   Alcotest.(check bool) "legend" true (contains s "# = srs")
 
+let test_chart_sparkline () =
+  Alcotest.(check string) "empty" "" (Chart.sparkline []);
+  Alcotest.(check string) "flat series is dashes" "---"
+    (Chart.sparkline [ 5.0; 5.0; 5.0 ]);
+  Alcotest.(check string) "min to max shape" "_#"
+    (Chart.sparkline [ 1.0; 2.0 ]);
+  Alcotest.(check string) "midpoint rounds to middle glyph" "_=#"
+    (Chart.sparkline [ 0.0; 0.5; 1.0 ]);
+  (* Overflow keeps the most recent values, one glyph per value. *)
+  let long = List.init 50 float_of_int in
+  let s = Chart.sparkline ~max_width:10 long in
+  Alcotest.(check int) "truncated to max_width" 10 (String.length s);
+  Alcotest.(check bool) "ends at the newest (max) value" true
+    (s.[9] = '#')
+
 (* --- Parallel ------------------------------------------------------------- *)
 
 let test_parallel_matches_sequential () =
@@ -429,7 +444,10 @@ let test_pool_stats_counters () =
       Alcotest.(check bool) "chunks counter grows" true
         (after.Pool.chunks > before.Pool.chunks);
       Alcotest.(check bool) "spawned covers workers" true
-        (after.Pool.spawned >= Pool.size p - 1))
+        (after.Pool.spawned >= Pool.size p - 1);
+      (* [busy] is live occupancy, not cumulative: back to 0 once the
+         job drains (the resource sampler graphs it mid-run). *)
+      Alcotest.(check int) "busy drains to zero at rest" 0 after.Pool.busy)
 
 let test_pool_min_chunk_work () =
   Pool.with_pool ~jobs:4 (fun p ->
@@ -593,7 +611,8 @@ let () =
           Alcotest.test_case "formats" `Quick test_fmt;
           Alcotest.test_case "bar chart" `Quick test_chart_bar;
           Alcotest.test_case "scatter" `Quick test_chart_scatter;
-          Alcotest.test_case "line chart" `Quick test_chart_line ] );
+          Alcotest.test_case "line chart" `Quick test_chart_line;
+          Alcotest.test_case "sparkline" `Quick test_chart_sparkline ] );
       ( "parallel",
         [ Alcotest.test_case "matches sequential" `Quick
             test_parallel_matches_sequential;
