@@ -2,7 +2,7 @@
 
 .PHONY: all build test bench examples quick clean fmt trace-demo check \
 	ci-guard bench-search bench-search-smoke bench-estimate-smoke \
-	report-smoke fuzz-smoke perf-smoke
+	report-smoke fuzz-smoke perf-smoke bench-stream-smoke
 
 all: build
 
@@ -75,7 +75,25 @@ perf-smoke:
 	  --gate --tolerance 0.5
 	@echo "perf-smoke: history append + trends + gate ok"
 
-check: build fmt test trace-demo ci-guard bench-search-smoke bench-estimate-smoke report-smoke fuzz-smoke perf-smoke
+# Streaming-enumeration smoke: the search bench's [enumeration] section
+# (streamed 6-block deep chain vs the materialized paths, with its own
+# in-bench coverage and heap gates) feeds a fresh temp history twice,
+# then the perf gate must explicitly check the streamed run's
+# peak_heap_words ceiling — the bounded-memory regression guard.
+bench-stream-smoke:
+	rm -f /tmp/mcfuser-history-stream.jsonl
+	dune exec bench/main.exe -- --mode search --smoke --sample-ms 5 \
+	  --history /tmp/mcfuser-history-stream.jsonl \
+	  --out /tmp/mcfuser-bench-stream-smoke.json > /dev/null
+	dune exec bench/main.exe -- --mode search --smoke --sample-ms 5 \
+	  --history /tmp/mcfuser-history-stream.jsonl \
+	  --out /tmp/mcfuser-bench-stream-smoke.json > /dev/null
+	dune exec -- mcfuser perf --history /tmp/mcfuser-history-stream.jsonl \
+	  --gate --tolerance 0.5 > /tmp/mcfuser-stream-gate.txt
+	grep -q "D6-smoke-stream peak_heap_words" /tmp/mcfuser-stream-gate.txt
+	@echo "bench-stream-smoke: streamed deep-chain heap gate ok"
+
+check: build fmt test trace-demo ci-guard bench-search-smoke bench-estimate-smoke report-smoke fuzz-smoke perf-smoke bench-stream-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -190,6 +190,122 @@ let outcome_fingerprint (o : Mcf_search.Tuner.outcome) =
     f.candidates_raw f.candidates_rule3 f.candidates_rule4 f.candidates_valid
     s.generations s.estimated s.measured
 
+(* Streamed deep-chain enumeration: evidence for the bounded-memory claim.
+   Three measurements, in an order that keeps the monotone
+   [peak_heap_words] honest: (1) the largest Table workload, materialized,
+   for the coverage ratio; (2) the deep chain streamed — its peak includes
+   (1)'s, so the bound is conservative; (3) the same deep chain through
+   the pre-streaming materialized path, whose peak includes (2)'s — it
+   only exceeds the streamed peak if holding the whole space genuinely
+   needs more live heap than streaming ever did.  Runs before the
+   per-workload sweeps so later allocations cannot inflate any of the
+   three numbers. *)
+let run_enumeration_bench spec ~smoke =
+  let num = Mcf_util.Json.num_of_int in
+  let baseline_name, baseline_chain =
+    if smoke then
+      ("smoke", Mcf_ir.Chain.gemm_chain ~m:256 ~n:128 ~k:64 ~h:64 ())
+    else
+      match Mcf_workloads.Configs.find_attention "S3" with
+      | Some s -> ("S3", Mcf_workloads.Configs.attention s)
+      | None -> failwith "unknown attention workload S3"
+  in
+  let deep_name, deep_chain, reservoir =
+    if smoke then
+      (* Same 6-block structure as D6 (8-axis tiling space), scaled so the
+         smoke run stays under a second. *)
+      ( "D6-smoke",
+        Mcf_ir.Chain.gemm_chain_n ~m:128
+          ~dims:[ 64; 64; 64; 64; 64; 64; 64 ]
+          (),
+        256 )
+    else
+      match Mcf_workloads.Configs.find_deep "D6" with
+      | Some d -> ("D6", Mcf_workloads.Configs.deep_chain d, 512)
+      | None -> failwith "unknown deep workload D6"
+  in
+  Printf.printf
+    "%s\n[enumeration] streamed %s (reservoir %d) vs materialized paths\n%s\n%!"
+    hr deep_name reservoir hr;
+  let t0 = Unix.gettimeofday () in
+  let _bentries, bf =
+    Mcf_search.Space.enumerate_materialized spec baseline_chain
+  in
+  let baseline_s = Unix.gettimeofday () -. t0 in
+  let bpoints = bf.Mcf_search.Space.candidates_rule3 in
+  let t0 = Unix.gettimeofday () in
+  let dentries, _scores, df =
+    Mcf_search.Space.enumerate_scored ~reservoir spec deep_chain
+  in
+  let deep_s = Unix.gettimeofday () -. t0 in
+  let deep_peak = Mcf_obs.Resource.peak_heap_words () in
+  let t0 = Unix.gettimeofday () in
+  let _mentries, _mf = Mcf_search.Space.enumerate_materialized spec deep_chain in
+  let mat_s = Unix.gettimeofday () -. t0 in
+  let mat_peak = Mcf_obs.Resource.peak_heap_words () in
+  let dpoints = df.Mcf_search.Space.candidates_rule3 in
+  let dpoints_per_s = dpoints /. Float.max deep_s 1e-9 in
+  let kept = List.length dentries in
+  let points_ratio = dpoints /. Float.max bpoints 1e-9 in
+  let heap_saving = mat_peak /. Float.max deep_peak 1e-9 in
+  Printf.printf
+    "  %-9s materialized: %.3g points in %.3fs (coverage baseline)\n"
+    baseline_name bpoints baseline_s;
+  Printf.printf
+    "  %-9s streamed:     %.3g points in %.3fs (%.0f points/s), peak heap \
+     %.3gMw\n"
+    deep_name dpoints deep_s dpoints_per_s (deep_peak /. 1e6);
+  Printf.printf
+    "  %-9s materialized: same space in %.3fs, peak heap %.3gMw\n"
+    deep_name mat_s (mat_peak /. 1e6);
+  Printf.printf
+    "  space %.1fx larger than %s, heap high-water %.2fx lower streamed, \
+     reservoir %d/%d kept of %d valid\n%!"
+    points_ratio baseline_name heap_saving kept reservoir
+    df.Mcf_search.Space.candidates_valid;
+  let section =
+    Mcf_util.Json.Obj
+      [ ("baseline",
+         Mcf_util.Json.Obj
+           [ ("name", Str baseline_name);
+             ("points", Num bpoints);
+             ("wall_s", Num baseline_s) ]);
+        ("deep",
+         Mcf_util.Json.Obj
+           [ ("name", Str deep_name);
+             ("chain", Str deep_chain.Mcf_ir.Chain.cname);
+             ("reservoir", num reservoir);
+             ("kept", num kept);
+             ("valid", num df.Mcf_search.Space.candidates_valid);
+             ("points", Num dpoints);
+             ("wall_s", Num deep_s);
+             ("points_per_s", Num dpoints_per_s);
+             ("peak_heap_words", Num deep_peak) ]);
+        ("deep_materialized",
+         Mcf_util.Json.Obj
+           [ ("wall_s", Num mat_s); ("peak_heap_words", Num mat_peak) ]);
+        ("points_ratio", Num points_ratio);
+        ("heap_saving", Num heap_saving) ]
+  in
+  (* A workload-shaped row so [History.of_search_doc] picks the streamed
+     run up: the perf gate then tracks its throughput (higher is better)
+     and heap high-water mark (lower is better) across runs. *)
+  let history_row =
+    Mcf_util.Json.Obj
+      [ ("name", Str (deep_name ^ "-stream"));
+        ("chain", Str deep_chain.Mcf_ir.Chain.cname);
+        ("points", Num dpoints);
+        ("valid", num df.Mcf_search.Space.candidates_valid);
+        ("enumerate",
+         List
+           [ Mcf_util.Json.Obj
+               [ ("jobs", num (Mcf_util.Pool.jobs ()));
+                 ("wall_s", Num deep_s);
+                 ("points_per_s", Num dpoints_per_s) ] ]);
+        ("peak_heap_words", Num deep_peak) ]
+  in
+  (section, history_row, points_ratio, heap_saving)
+
 (* Closed-form vs lowered-walk estimation throughput on the largest
    workload: the analytic fast path's headline number.  Both passes score
    every enumerated candidate; the closed-form pass goes through a fresh
@@ -265,6 +381,11 @@ let run_search_bench ~jobs ~smoke ~estimate_only ~history ~out =
   let jobs_list = List.sort_uniq compare [ 1; jobs ] in
   let reps = if smoke then 3 else 2 in
   let num = Mcf_util.Json.num_of_int in
+  Mcf_util.Pool.set_jobs jobs;
+  ignore (Mcf_util.Pool.get ());
+  let enumeration =
+    if estimate_only then None else Some (run_enumeration_bench spec ~smoke)
+  in
   let results =
     if estimate_only then []
     else List.map
@@ -368,17 +489,25 @@ let run_search_bench ~jobs ~smoke ~estimate_only ~history ~out =
       (fun acc (name, s, _) -> if name = largest then s else acc)
       1.0 results
   in
+  let workload_rows =
+    List.map (fun (_, _, j) -> j) results
+    @ (match enumeration with Some (_, row, _, _) -> [ row ] | None -> [])
+  in
   let doc =
-    Mcf_util.Json.Obj
-      [ ("bench", Str "search");
-        ("device", Str spec.name);
-        ("smoke", Bool smoke);
-        ("jobs", List (List.map num jobs_list));
-        ("cores", num (Domain.recommended_domain_count ()));
-        ("workloads", List (List.map (fun (_, _, j) -> j) results));
-        ("estimate", estimate_json);
-        ("largest_workload", Str largest);
-        ("largest_enumerate_speedup", Num largest_speedup) ]
+    let open Mcf_util.Json in
+    Obj
+      ([ ("bench", Str "search");
+         ("device", Str spec.name);
+         ("smoke", Bool smoke);
+         ("jobs", List (List.map num jobs_list));
+         ("cores", num (Domain.recommended_domain_count ()));
+         ("workloads", List workload_rows) ]
+      @ (match enumeration with
+        | Some (section, _, _, _) -> [ ("enumeration", section) ]
+        | None -> [])
+      @ [ ("estimate", estimate_json);
+          ("largest_workload", Str largest);
+          ("largest_enumerate_speedup", Num largest_speedup) ])
   in
   let oc = open_out out in
   Fun.protect
@@ -413,7 +542,28 @@ let run_search_bench ~jobs ~smoke ~estimate_only ~history ~out =
         (List.fold_left max 1 jobs_list)
         largest_speedup;
       exit 1
-    end
+    end;
+    (* Smoke gates for the streaming pipeline: the deep chain must cover a
+       much larger post-rule-3 space than the largest Table workload, and
+       materializing that space must cost visibly more heap than streaming
+       it did (the monotone peak makes both directions conservative). *)
+    match enumeration with
+    | Some (_, _, points_ratio, heap_saving) when smoke ->
+      if points_ratio < 10.0 then begin
+        Printf.eprintf
+          "FAIL: deep-chain space is only %.1fx the baseline's (threshold \
+           10x)\n%!"
+          points_ratio;
+        exit 1
+      end;
+      if heap_saving < 1.5 then begin
+        Printf.eprintf
+          "FAIL: materializing the deep chain peaked at only %.2fx the \
+           streamed high-water mark (threshold 1.5x)\n%!"
+          heap_saving;
+        exit 1
+      end
+    | _ -> ()
   end
 
 let write_trace path =

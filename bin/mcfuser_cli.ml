@@ -39,8 +39,9 @@ let spec_of_name name =
            (String.concat ", "
               (List.map (fun (s : Mcf_gpu.Spec.t) -> s.name) Mcf_gpu.Spec.all))))
 
-(* Accepts Table II/III names (G4, S2), network names (bert-base, vit-large)
-   and mha-<x> as an alias for the Bert-<x> attention shape. *)
+(* Accepts Table II/III names (G4, S2), the deep-chain names (D5-D8),
+   network names (bert-base, vit-large) and mha-<x> as an alias for the
+   Bert-<x> attention shape. *)
 let chain_of_workload name =
   let canon = String.lowercase_ascii name in
   let strip_prefix p s =
@@ -72,13 +73,17 @@ let chain_of_workload name =
     in
     match attention with
     | Some s -> Ok (Mcf_workloads.Configs.attention s)
-    | None ->
-      Error
-        (`Msg
-          (Printf.sprintf
-             "unknown workload %S (G1-G12, S1-S9, a network name like \
-              bert-base, or mha-small/base/large; see `mcfuser workloads`)"
-             name)))
+    | None -> (
+      match Mcf_workloads.Configs.find_deep name with
+      | Some d -> Ok (Mcf_workloads.Configs.deep_chain d)
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown workload %S (G1-G12, S1-S9, D5-D8, a network name \
+                like bert-base, or mha-small/base/large; see `mcfuser \
+                workloads`)"
+               name))))
 
 (* --- common flags: verbosity and observability ---------------------------- *)
 
@@ -291,7 +296,15 @@ let tune_cmd =
     let doc = "Schedule-cache file: reuse a stored schedule, or tune and store." in
     Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE" ~doc)
   in
-  let run verbose obs cache device workload =
+  let reservoir_arg =
+    let doc =
+      "Keep only the $(docv) best candidates (by analytical estimate) \
+       resident during enumeration.  Bounds peak memory on deep chains \
+       (D5-D8); unset keeps every valid candidate, the paper's behaviour."
+    in
+    Arg.(value & opt (some int) None & info [ "reservoir" ] ~docv:"N" ~doc)
+  in
+  let run verbose obs cache reservoir device workload =
     setup_logs verbose;
     with_obs obs (fun () ->
         with_setup device workload (fun spec chain ->
@@ -309,7 +322,7 @@ let tune_cmd =
               | Error Mcf_search.Tuner.No_viable_candidate ->
                 Error (`Msg "no viable candidate"))
             | None -> (
-              match Mcf_search.Tuner.tune spec chain with
+              match Mcf_search.Tuner.tune ?reservoir spec chain with
               | Error Mcf_search.Tuner.No_viable_candidate ->
                 Error (`Msg "no viable candidate: the chain cannot be fused here")
               | Ok o ->
@@ -331,7 +344,7 @@ let tune_cmd =
   in
   let term =
     Term.(term_result (const run $ verbose_arg $ obs_term $ cache_arg
-                       $ device_arg $ workload_arg))
+                       $ reservoir_arg $ device_arg $ workload_arg))
   in
   Cmd.v (Cmd.info "tune" ~doc:"Tune one workload and print the schedule") term
 
@@ -615,6 +628,15 @@ let workloads_cmd =
                 string_of_int s.sm; string_of_int s.sn; string_of_int s.sk;
                 string_of_int s.sh; s.network ])
           Mcf_workloads.Configs.attentions;
+        Mcf_util.Table.add_rule tbl;
+        List.iter
+          (fun (d : Mcf_workloads.Configs.deep_config) ->
+            Mcf_util.Table.add_row tbl
+              [ d.dname; "deep chain"; string_of_int d.dbatch;
+                string_of_int d.dm; string_of_int d.ddim;
+                string_of_int d.ddim; string_of_int d.ddim;
+                Printf.sprintf "%d blocks" d.dblocks ])
+          Mcf_workloads.Configs.deep_chains;
         print_string (Mcf_util.Table.render tbl);
         Ok ())
   in
@@ -632,6 +654,14 @@ let verify_cmd =
                keeping the structure (same axes, same epilogues). *)
             let small (a : Mcf_ir.Axis.t) = min a.size 96 in
             let chain =
+              match Mcf_workloads.Configs.find_deep workload with
+              | Some d ->
+                (* Deep chains: shrink every dimension but keep the block
+                   count, so the streamed enumeration still faces the full
+                   (blocks + 2)! structural space. *)
+                Mcf_workloads.Configs.deep_chain
+                  { d with dm = min d.dm 96; ddim = min d.ddim 64 }
+              | None ->
               match chain.Mcf_ir.Chain.blocks with
               | [ _; b2 ]
                 when b2.Mcf_ir.Chain.epilogue = Mcf_ir.Chain.No_epilogue ->

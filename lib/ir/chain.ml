@@ -100,6 +100,49 @@ let gemm_chain3 ?(batch = 1) ~m ~n ~k ~h ~p () =
           epilogue = No_epilogue } ];
     tensors = [ ta; tb; tc; td; te; tf; tg ] }
 
+let gemm_chain_n ?(batch = 1) ~m ~dims () =
+  let b = List.length dims - 1 in
+  if b < 1 then invalid_arg "gemm_chain_n: dims must list at least two sizes";
+  let am = Axis.spatial "m" m in
+  let dims = Array.of_list dims in
+  (* Axis x_i carries dimension dims.(i): x_0 .. x_{B-1} are contracted
+     away by blocks 1..B, x_B survives into the final output. *)
+  let ax =
+    Array.init (b + 1) (fun i ->
+        let name = Printf.sprintf "x%d" i in
+        if i = b then Axis.spatial name dims.(i) else Axis.reduce name dims.(i))
+  in
+  let t0 = { tname = "T0"; taxes = [ am; ax.(0) ]; storage = Input } in
+  let weights =
+    Array.init b (fun i ->
+        { tname = Printf.sprintf "W%d" (i + 1);
+          taxes = [ ax.(i); ax.(i + 1) ];
+          storage = Input })
+  in
+  let outs =
+    Array.init b (fun i ->
+        { tname = Printf.sprintf "T%d" (i + 1);
+          taxes = [ am; ax.(i + 1) ];
+          storage = (if i = b - 1 then Output else Intermediate) })
+  in
+  let blocks =
+    List.init b (fun i ->
+        { bname = outs.(i).tname;
+          out = outs.(i);
+          ins = [ (if i = 0 then t0 else outs.(i - 1)); weights.(i) ];
+          reduce_axes = [ ax.(i) ];
+          epilogue = No_epilogue })
+  in
+  { cname =
+      Printf.sprintf "gemm_chain_n%d_b%d_m%d_d%s" b batch m
+        (String.concat "x" (List.map string_of_int (Array.to_list dims)));
+    axes = am :: Array.to_list ax;
+    batch;
+    blocks;
+    tensors =
+      (t0 :: Array.to_list weights) @ Array.to_list outs;
+  }
+
 let gelu =
   let c = sqrt (2.0 /. Float.pi) in
   fun x -> 0.5 *. x *. (1.0 +. tanh (c *. (x +. (0.044715 *. x *. x *. x))))

@@ -56,6 +56,15 @@ val gemm_chain3 :
 (** Three-GEMM chain G = ((A x B) x D) x F — the "more compute-intensive
     operators" extension of §III-A. *)
 
+val gemm_chain_n : ?batch:int -> m:int -> dims:int list -> unit -> t
+(** Linear GEMM chain of [length dims - 1] blocks:
+    [T_i = T_{i-1} x W_i] with [T_0 : m x dims0] an input and every
+    [W_i : dims_{i-1} x dims_i].  Axis [m] and the last [x_B] are
+    spatial; every interior [x_i] is contracted by block [i+1].  This is
+    the deep-chain (5–8 block) workload family the streaming enumeration
+    is built for.
+    @raise Invalid_argument when [dims] has fewer than two entries. *)
+
 val mlp_chain : ?batch:int -> m:int -> n:int -> k:int -> h:int -> unit -> t
 (** MLP block E = gelu(A x B) x D — a unary non-linear epilogue between the
     contractions (the "broader array of operators" direction of §VII). *)

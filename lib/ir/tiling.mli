@@ -39,6 +39,21 @@ val enumerate_flat : Chain.t -> t list
 val enumerate : Chain.t -> t list
 (** Deep then flat — the complete structural search space. *)
 
+val seq : Chain.t -> t Seq.t
+(** Lazy [enumerate]: the same expressions in the same order, produced
+    on demand.  The streaming enumeration pipeline pulls from this so a
+    5–8-block chain's n! deep family never has to be resident. *)
+
+val seq_deep : Chain.t -> t Seq.t
+(** Lazy [enumerate_deep]. *)
+
+val seq_flat : Chain.t -> t Seq.t
+(** Lazy [enumerate_flat]. *)
+
+val count : Chain.t -> int
+(** [List.length (enumerate chain)] in closed form (n! for the deep
+    family plus the flat product), without materializing anything. *)
+
 val is_flat : t -> bool
 
 val sub_tiling : Chain.t -> t -> t

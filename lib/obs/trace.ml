@@ -73,6 +73,19 @@ let events () =
 
 let no_args () = []
 
+(* Cross-domain span ancestry: a spawned domain starts with an empty
+   DLS stack, which would make its spans new roots.  A pipeline stage
+   (the streaming enumeration's generator) captures the caller's stack
+   and re-seeds its own, so its spans nest where the work logically
+   belongs. *)
+let ancestry () = !(Domain.DLS.get stack_key)
+
+let with_ancestry stack f =
+  let r = Domain.DLS.get stack_key in
+  let saved = !r in
+  r := stack;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
 let counter name values =
   if Atomic.get recording then begin
     let ev =

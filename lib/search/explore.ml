@@ -55,7 +55,7 @@ let measure ~clock ~compile_cost_s ~repeats spec (entry : Space.entry) =
       Mcf_gpu.Clock.charge_measure clock ~kernel_time_s:v.time_s ~repeats;
       Some v.time_s)
 
-let run ?(params = default_params) ?estimator ~rng ~clock spec entries =
+let run ?(params = default_params) ?estimator ?scores ~rng ~clock spec entries =
   match entries with
   | [] -> None
   | _ ->
@@ -72,41 +72,47 @@ let run ?(params = default_params) ?estimator ~rng ~clock spec entries =
       (fun (e : Space.entry) ->
         ignore (Mcf_ir.Candidate.Interner.intern interner e.cand))
       pool;
-    (* Batched estimate pass: the whole pruned space is scored once, in
-       parallel on the shared domain pool.  By default the score is the
+    (* Estimate pass: the whole pruned space is scored once with the
        closed-form analytical model (no lowering, summaries memoized per
-       sub-tiling); a custom estimator (Chimera's data-movement objective)
-       replaces the score but the traffic ranking below stays closed-form
-       either way.  Estimators must be pure. *)
-    let ctx = pool.(0).Space.ctx in
-    let memo =
-      Mcf_model.Analytic.Memo.create ~rule1:ctx.Space.rule1
-        ~dead_loop_elim:ctx.Space.dead_loop_elim ~hoisting:ctx.Space.hoisting
-        ~elem_bytes:ctx.Space.elem_bytes ctx.Space.chain
-    in
-    let sm_countf = float_of_int spec.Mcf_gpu.Spec.sm_count in
+       sub-tiling).  The streaming enumeration already computes exactly
+       these scores in its fused chunk pass and hands them in as
+       [scores], in which case the batched pass is skipped; a custom
+       estimator (Chimera's data-movement objective) always recomputes,
+       since only it knows its own objective.  Estimators must be
+       pure. *)
     let scored_pool =
-      Trace.with_span "explore.estimate"
-        ~args:(fun () -> [ ("points", Trace.Int n) ])
-        (fun () ->
-          Mcf_util.Pool.map_array ~min_chunk_work:64 (Mcf_util.Pool.get ())
-            (fun (e : Space.entry) ->
-              Trace.observe_timed h_estimate_s (fun () ->
-                  let ev = Mcf_model.Analytic.Memo.eval memo e.cand in
-                  let est =
-                    match estimator with
-                    | None ->
-                      (Mcf_model.Analytic.breakdown_of_eval spec ev)
-                        .Mcf_model.Perf.t_total
-                    | Some f -> f spec e
-                  in
-                  let traffic =
-                    ev.Mcf_model.Analytic.traffic_bytes
-                    *. ((ev.Mcf_model.Analytic.blocks +. sm_countf)
-                       /. ev.Mcf_model.Analytic.blocks)
-                  in
-                  (est, traffic)))
-            pool)
+      match (estimator, scores) with
+      | None, Some sc when Array.length sc = n -> sc
+      | _ ->
+        let ctx = pool.(0).Space.ctx in
+        let memo =
+          Mcf_model.Analytic.Memo.create ~rule1:ctx.Space.rule1
+            ~dead_loop_elim:ctx.Space.dead_loop_elim
+            ~hoisting:ctx.Space.hoisting ~elem_bytes:ctx.Space.elem_bytes
+            ctx.Space.chain
+        in
+        let sm_countf = float_of_int spec.Mcf_gpu.Spec.sm_count in
+        Trace.with_span "explore.estimate"
+          ~args:(fun () -> [ ("points", Trace.Int n) ])
+          (fun () ->
+            Mcf_util.Pool.map_array ~min_chunk_work:64 (Mcf_util.Pool.get ())
+              (fun (e : Space.entry) ->
+                Trace.observe_timed h_estimate_s (fun () ->
+                    let ev = Mcf_model.Analytic.Memo.eval memo e.cand in
+                    let est =
+                      match estimator with
+                      | None ->
+                        (Mcf_model.Analytic.breakdown_of_eval spec ev)
+                          .Mcf_model.Perf.t_total
+                      | Some f -> f spec e
+                    in
+                    let traffic =
+                      ev.Mcf_model.Analytic.traffic_bytes
+                      *. ((ev.Mcf_model.Analytic.blocks +. sm_countf)
+                         /. ev.Mcf_model.Analytic.blocks)
+                    in
+                    (est, traffic)))
+              pool)
     in
     let estimates = Array.map fst scored_pool in
     let traffic = Array.map snd scored_pool in

@@ -46,6 +46,7 @@ type result = {
 val run :
   ?params:params ->
   ?estimator:(Mcf_gpu.Spec.t -> Space.entry -> float) ->
+  ?scores:(float * float) array ->
   rng:Mcf_util.Rng.t ->
   clock:Mcf_gpu.Clock.t ->
   Mcf_gpu.Spec.t ->
@@ -55,7 +56,15 @@ val run :
     [estimator] defaults to the analytical model of eqs. (2)-(5),
     evaluated closed-form through {!Mcf_model.Analytic.Memo} (no entry is
     lowered for estimation); the Chimera baseline substitutes its
-    data-movement-only objective. *)
+    data-movement-only objective.
+
+    [scores] are precomputed [(estimate, traffic)] pairs index-aligned
+    with [entries], as returned by {!Space.enumerate_scored}: the
+    streaming enumeration already evaluates the default model for every
+    surviving candidate, so passing them skips the batched estimate pass
+    here.  Ignored (recomputed) when a custom [estimator] is given or
+    the array length does not match; results are bit-identical either
+    way because the streamed scores use the same formulas. *)
 
 val measure :
   clock:Mcf_gpu.Clock.t ->

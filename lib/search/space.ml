@@ -144,23 +144,29 @@ let tile_choices opts (chain : Chain.t) =
       (a.name, kept))
     chain.axes
 
+(* Closed form: n! deep + the flat product ([Tiling.count]) times the
+   per-axis tile-option product.  The old implementation materialized
+   [Tiling.enumerate] just to take its length — fatal for the deep-chain
+   family where the list alone is (blocks + 2)! elements. *)
 let raw_cardinality (chain : Chain.t) =
-  let tiling_count = List.length (Tiling.enumerate chain) in
   let tile_count =
     List.fold_left
       (fun acc (a : Axis.t) ->
         acc *. float_of_int (List.length (Candidate.tile_options a.size)))
       1.0 chain.axes
   in
-  float_of_int tiling_count *. tile_count
+  float_of_int (Tiling.count chain) *. tile_count
 
 (* Exemplar strings for the flight recorder's prune-attribution events:
    the canonical per-block sub-tiling expressions a structural rule
    rejected (rules 1-2), or the first few rejected candidates (rule 4 /
-   validity).  Computed only when recording. *)
+   validity).  Computed only when recording.  Membership is a
+   Hashtbl-backed set — the older [List.mem] over string keys was
+   quadratic in the tiling count. *)
 let removed_tilings chain kept all =
-  let kept_keys = List.map Tiling.to_string kept in
-  List.filter (fun t -> not (List.mem (Tiling.to_string t) kept_keys)) all
+  let kept_keys = Hashtbl.create 64 in
+  List.iter (fun t -> Hashtbl.replace kept_keys (Tiling.to_string t) ()) kept;
+  List.filter (fun t -> not (Hashtbl.mem kept_keys (Tiling.to_string t))) all
   |> List.map (fun t -> Tiling.to_string (Tiling.sub_tiling chain t))
   |> Mcf_util.Listx.dedup_keep_order ~key:Fun.id
 
@@ -188,8 +194,483 @@ let funnel_json f =
       ("candidates_rule4", num_of_int f.candidates_rule4);
       ("candidates_valid", num_of_int f.candidates_valid) ]
 
-let enumerate ?(options = default_options) ?(on_phase = fun _ _ -> ())
-    (spec : Mcf_gpu.Spec.t) chain =
+(* Funnel counters: how many points each pruning stage removed,
+   accumulated across enumerations.  [total] is the post-rule-3 point
+   count (|rule-2 survivors| x |tile combos|). *)
+let add_funnel_metrics ~total funnel =
+  Mcf_obs.Metrics.add c_tilings_raw funnel.tilings_raw;
+  Mcf_obs.Metrics.add c_pruned_rule1
+    (funnel.tilings_raw - funnel.tilings_rule1);
+  Mcf_obs.Metrics.add c_pruned_rule2
+    (funnel.tilings_rule1 - funnel.tilings_rule2);
+  Mcf_obs.Metrics.add c_pruned_rule4 (total - funnel.candidates_rule4);
+  Mcf_obs.Metrics.add c_pruned_invalid
+    (funnel.candidates_rule4 - funnel.candidates_valid);
+  Mcf_obs.Metrics.add c_candidates_valid funnel.candidates_valid
+
+(* ------------------------------------------------------------------ *)
+(* Streaming enumeration (the default path).
+
+   The front half of the search is a pull-based two-stage pipeline with
+   bounded memory:
+
+   - a generator domain walks [Tiling.seq] lazily, applies the
+     structural rules (1: sub-tiling dedup, 2: residency scan) as the
+     stream flows, and packs the survivors' tile-combo index ranges into
+     fixed-size chunk descriptors pushed through a bounded
+     [Mcf_util.Chan] (backpressure: a fast generator blocks instead of
+     buffering the space);
+   - the consumer (this domain) scores each chunk on the shared
+     [Mcf_util.Pool] with one fused per-point map — rule-4 shmem
+     precheck, closed-form validity verdict and the analytical estimate
+     in a single pass — then drains the results sequentially in rank
+     order into funnel counters, recorder exemplars and the reservoir.
+
+   Peak heap is O(reservoir + chunks in flight), never O(space).  The
+   point order is identical to the old materialized path (tilings in
+   [Tiling.enumerate] order, combos row-major first-axis-slowest as
+   [Listx.cartesian] produced them), every cross-domain reduction is
+   drained sequentially, and the reservoir re-sorts by rank — so the
+   candidate list, the funnel and the eventual tuner outcome are
+   bit-identical at any --jobs, with recording on or off. *)
+
+type seg = { stiling : Tiling.t; combo_lo : int; combo_len : int }
+type chunk = { segs : seg array; seg_offsets : int array; chunk_points : int }
+
+let chunk_target = 4096
+let chan_capacity = 4
+
+type feed_tally = {
+  f_raw : int;
+  f_rule1 : int;
+  f_rule2 : int;
+  f_ex1 : string list;
+  f_ex2 : string list;
+}
+
+type verdict =
+  | V_rule4_rejected
+  | V_invalid
+  | V_valid of Candidate.t * float * float  (* candidate, estimate, traffic *)
+
+(* Bounded top-C slice ordered by estimate (ties broken toward the
+   earlier rank), or a plain accumulator when unbounded.  Items always
+   come back re-sorted by rank: downstream (the explorer's interner ids,
+   its unstable top-k sort) depends on entry order being a subsequence
+   of the enumeration order. *)
+module Reservoir = struct
+  type item = { ientry : entry; iest : float; itraffic : float; irank : int }
+
+  type t = {
+    cap : int option;
+    mutable heap : item array;  (* max-heap by (iest, irank) when bounded *)
+    mutable n : int;
+    mutable acc : item list;  (* reverse rank order when unbounded *)
+  }
+
+  let create cap = { cap; heap = [||]; n = 0; acc = [] }
+  let gt a b = a.iest > b.iest || (a.iest = b.iest && a.irank > b.irank)
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if gt h.(i) h.(p) then begin
+        let t = h.(i) in
+        h.(i) <- h.(p);
+        h.(p) <- t;
+        sift_up h p
+      end
+    end
+
+  let rec sift_down h n i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = if l < n && gt h.(l) h.(i) then l else i in
+    let m = if r < n && gt h.(r) h.(m) then r else m in
+    if m <> i then begin
+      let t = h.(i) in
+      h.(i) <- h.(m);
+      h.(m) <- t;
+      sift_down h n m
+    end
+
+  let add t item =
+    match t.cap with
+    | None ->
+      t.acc <- item :: t.acc;
+      t.n <- t.n + 1
+    | Some cap ->
+      if Array.length t.heap = 0 then t.heap <- Array.make cap item;
+      if t.n < cap then begin
+        t.heap.(t.n) <- item;
+        t.n <- t.n + 1;
+        sift_up t.heap (t.n - 1)
+      end
+      else if gt t.heap.(0) item then begin
+        t.heap.(0) <- item;
+        sift_down t.heap t.n 0
+      end
+
+  let to_ranked t =
+    match t.cap with
+    | None -> Array.of_list (List.rev t.acc)
+    | Some _ ->
+      let a = Array.sub t.heap 0 t.n in
+      Array.sort (fun x y -> compare x.irank y.irank) a;
+      a
+end
+
+let enumerate_scored ?(options = default_options)
+    ?(on_phase = fun _ _ -> ()) ?reservoir (spec : Mcf_gpu.Spec.t) chain =
+  let module Trace = Mcf_obs.Trace in
+  Trace.with_span "space.enumerate"
+    ~args:(fun () -> [ ("chain", Trace.Str chain.Chain.cname) ])
+    (fun () ->
+      let opts = options in
+      let recording = Mcf_obs.Recorder.enabled () in
+      Mcf_obs.Metrics.incr c_enumerations;
+      let choices =
+        Trace.with_span "space.rule3" (fun () -> tile_choices opts chain)
+      in
+      let names = Array.of_list (List.map fst choices) in
+      let choice_arrs =
+        Array.of_list (List.map (fun (_, l) -> Array.of_list l) choices)
+      in
+      let n_axes = Array.length choice_arrs in
+      let n_combos =
+        Array.fold_left (fun acc a -> acc * Array.length a) 1 choice_arrs
+      in
+      (* Mixed-radix decode of a combo index, replicating the row-major
+         (first axis slowest) order [Listx.cartesian] produced in the
+         materialized path; the positional index is part of the
+         determinism contract. *)
+      let decode_combo c =
+        let tiles = ref [] in
+        let c = ref c in
+        for i = n_axes - 1 downto 0 do
+          let arr = choice_arrs.(i) in
+          let radix = Array.length arr in
+          tiles := (names.(i), arr.(!c mod radix)) :: !tiles;
+          c := !c / radix
+        done;
+        !tiles
+      in
+      let chan = Mcf_util.Chan.create ~capacity:chan_capacity in
+      (* Generator: lazily walk the tiling expressions, prune
+         structurally, and push combo-range chunks.  Runs in its own
+         domain so rule-1/2 scanning overlaps with chunk scoring. *)
+      let feed () =
+        let source =
+          if opts.include_flat then Tiling.seq chain
+          else Tiling.seq_deep chain
+        in
+        let seen = Hashtbl.create 1024 in
+        let raw = ref 0 and n1 = ref 0 and n2 = ref 0 in
+        let ex1 = ref [] and ex1_n = ref 0 and ex1_seen = Hashtbl.create 8 in
+        let ex2 = ref [] and ex2_n = ref 0 and ex2_seen = Hashtbl.create 8 in
+        let pending = ref [] and pending_pts = ref 0 in
+        let aborted = ref false in
+        let flush () =
+          if !pending_pts > 0 then begin
+            let segs = Array.of_list (List.rev !pending) in
+            let offs = Array.make (Array.length segs) 0 in
+            let acc = ref 0 in
+            Array.iteri
+              (fun i s ->
+                offs.(i) <- !acc;
+                acc := !acc + s.combo_len)
+              segs;
+            let c = { segs; seg_offsets = offs; chunk_points = !acc } in
+            pending := [];
+            pending_pts := 0;
+            if not (Mcf_util.Chan.send chan c) then aborted := true
+          end
+        in
+        let emit_tiling t =
+          let lo = ref 0 in
+          while (not !aborted) && !lo < n_combos do
+            let len = min (chunk_target - !pending_pts) (n_combos - !lo) in
+            pending :=
+              { stiling = t; combo_lo = !lo; combo_len = len } :: !pending;
+            pending_pts := !pending_pts + len;
+            lo := !lo + len;
+            if !pending_pts >= chunk_target then flush ()
+          done
+        in
+        (* First three distinct removed sub-tiling keys, in stream order:
+           exactly [removed_tilings ... |> take 3] of the old path. *)
+        let note_exemplar tbl lst count k =
+          if !count < 3 && not (Hashtbl.mem tbl k) then begin
+            Hashtbl.add tbl k ();
+            lst := k :: !lst;
+            incr count
+          end
+        in
+        let consider t =
+          incr raw;
+          let key =
+            if opts.rule1 || (recording && opts.rule2) then
+              Tiling.to_string (Tiling.sub_tiling chain t)
+            else ""
+          in
+          let kept1 =
+            if not opts.rule1 then true
+            else if Hashtbl.mem seen key then begin
+              if recording then note_exemplar ex1_seen ex1 ex1_n key;
+              false
+            end
+            else begin
+              Hashtbl.add seen key ();
+              true
+            end
+          in
+          if kept1 then begin
+            incr n1;
+            if opts.rule2 && violates_rule2 chain t then begin
+              if recording then note_exemplar ex2_seen ex2 ex2_n key
+            end
+            else begin
+              incr n2;
+              emit_tiling t
+            end
+          end
+        in
+        let rec drive s =
+          if not !aborted then
+            match s () with
+            | Seq.Nil -> ()
+            | Seq.Cons (t, rest) ->
+              consider t;
+              drive rest
+        in
+        let body () =
+          drive source;
+          flush ();
+          Mcf_util.Chan.close chan
+        in
+        let under cond name f =
+          if cond then Trace.with_span name f else f ()
+        in
+        Trace.with_span "space.tilings" (fun () ->
+            under opts.rule1 "space.rule1" (fun () ->
+                under opts.rule2 "space.rule2" body));
+        { f_raw = !raw;
+          f_rule1 = !n1;
+          f_rule2 = !n2;
+          f_ex1 = List.rev !ex1;
+          f_ex2 = List.rev !ex2 }
+      in
+      let ctx =
+        { chain;
+          rule1 = opts.rule1;
+          dead_loop_elim = opts.dead_loop_elim;
+          hoisting = opts.hoisting;
+          elem_bytes = spec.elem_bytes }
+      in
+      let memo =
+        Mcf_model.Analytic.Memo.create ~rule1:opts.rule1
+          ~dead_loop_elim:opts.dead_loop_elim ~hoisting:opts.hoisting
+          ~elem_bytes:spec.elem_bytes chain
+      in
+      let sm_countf = float_of_int spec.Mcf_gpu.Spec.sm_count in
+      let pool = Mcf_util.Pool.get () in
+      let cand_at chunk i =
+        (* binary search for the owning segment *)
+        let lo = ref 0 and hi = ref (Array.length chunk.segs - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi + 1) / 2 in
+          if chunk.seg_offsets.(mid) <= i then lo := mid else hi := mid - 1
+        done;
+        let s = chunk.segs.(!lo) in
+        Candidate.make s.stiling
+          (decode_combo (s.combo_lo + (i - chunk.seg_offsets.(!lo))))
+      in
+      (* Fused per-point scorer: eq. (1) shmem precheck straight from
+         (tiling, tiles), then the closed-form validity verdict and the
+         analytical estimate from one [Memo.eval] — no Lower.lower
+         anywhere (exactness against the lowered walk is enforced by the
+         sweep in test_model.ml).  The estimate/traffic formulas are the
+         explorer's, verbatim, so precomputed scores rank identically. *)
+      let score chunk i =
+        let cand = cand_at chunk i in
+        if
+          opts.rule4
+          && not
+               (Mcf_model.Shmem.precheck_within_budget spec
+                  ~slack:opts.shmem_slack ~rule1:opts.rule1
+                  ~dead_loop_elim:opts.dead_loop_elim chain cand)
+        then V_rule4_rejected
+        else begin
+          let ev = Mcf_model.Analytic.Memo.eval memo cand in
+          if Result.is_ok ev.Mcf_model.Analytic.everdict then begin
+            let est =
+              (Mcf_model.Analytic.breakdown_of_eval spec ev)
+                .Mcf_model.Perf.t_total
+            in
+            let traffic =
+              ev.Mcf_model.Analytic.traffic_bytes
+              *. ((ev.Mcf_model.Analytic.blocks +. sm_countf)
+                 /. ev.Mcf_model.Analytic.blocks)
+            in
+            V_valid (cand, est, traffic)
+          end
+          else V_invalid
+        end
+      in
+      let res = Reservoir.create (Option.map (max 1) reservoir) in
+      let n_points = ref 0 and n_rule4 = ref 0 and n_valid = ref 0 in
+      let rule4_ex = ref [] and rule4_ex_n = ref 0 in
+      let invalid_ex = ref [] and invalid_ex_n = ref 0 in
+      let score_s = ref 0.0 in
+      let consume () =
+        let continue = ref true in
+        while !continue do
+          match Mcf_util.Chan.recv chan with
+          | None -> continue := false
+          | Some chunk ->
+            let verdicts, dt =
+              Trace.timed "space.precheck"
+                ~args:(fun () ->
+                  [ ("points", Trace.Int chunk.chunk_points) ])
+                (fun () ->
+                  Mcf_util.Pool.init ~min_chunk_work:64 pool
+                    chunk.chunk_points (score chunk))
+            in
+            score_s := !score_s +. dt;
+            (* Sequential drain, in rank order: funnel counters, recorder
+               exemplars and the reservoir are all single-threaded, so
+               recordings and results stay deterministic at any pool
+               size. *)
+            Array.iteri
+              (fun i v ->
+                match v with
+                | V_rule4_rejected ->
+                  if recording && !rule4_ex_n < 3 then begin
+                    rule4_ex :=
+                      Candidate.to_string (cand_at chunk i) :: !rule4_ex;
+                    incr rule4_ex_n
+                  end
+                | V_invalid ->
+                  incr n_rule4;
+                  if recording && !invalid_ex_n < 3 then begin
+                    invalid_ex :=
+                      Candidate.to_string (cand_at chunk i) :: !invalid_ex;
+                    incr invalid_ex_n
+                  end
+                | V_valid (cand, est, traffic) ->
+                  incr n_rule4;
+                  incr n_valid;
+                  Reservoir.add res
+                    { ientry = make_entry ctx cand;
+                      iest = est;
+                      itraffic = traffic;
+                      irank = !n_points + i })
+              verdicts;
+            n_points := !n_points + chunk.chunk_points;
+            Mcf_obs.Progress.set_info
+              (Printf.sprintf "%d points streamed" !n_points);
+            (* Telemetry tick per chunk: the rsrc.* gauges sample heap
+               and pool activity while the stream is in flight, not just
+               at teardown. *)
+            Mcf_obs.Resource.sample ()
+        done
+      in
+      (* Seed the generator domain's span stack with this one's so its
+         space.tilings/rule1/rule2 spans stay under space.enumerate in
+         the trace tree instead of becoming new roots. *)
+      let span_ancestry = Trace.ancestry () in
+      let feeder =
+        Domain.spawn (fun () ->
+            match Trace.with_ancestry span_ancestry feed with
+            | tally -> Ok tally
+            | exception e ->
+              Mcf_util.Chan.poison chan e;
+              Error e)
+      in
+      let tally =
+        match consume () with
+        | () -> (
+          match Domain.join feeder with Ok t -> t | Error e -> raise e)
+        | exception e ->
+          (* Consumer failed: unblock the generator (drain-after-cancel)
+             and reap its domain before re-raising. *)
+          Mcf_util.Chan.cancel chan;
+          (try ignore (Domain.join feeder : (feed_tally, exn) result)
+           with _ -> ());
+          raise e
+      in
+      on_phase "space.precheck" !score_s;
+      let total = tally.f_rule2 * n_combos in
+      let candidates_rule3 =
+        float_of_int tally.f_rule2 *. float_of_int n_combos
+      in
+      let items = Reservoir.to_ranked res in
+      let survivors =
+        Array.to_list (Array.map (fun it -> it.Reservoir.ientry) items)
+      in
+      let scores =
+        Array.map (fun it -> (it.Reservoir.iest, it.Reservoir.itraffic)) items
+      in
+      let funnel =
+        { tilings_raw = tally.f_raw;
+          tilings_rule1 = tally.f_rule1;
+          tilings_rule2 = tally.f_rule2;
+          candidates_raw = raw_cardinality chain;
+          candidates_rule3;
+          candidates_rule4 = !n_rule4;
+          candidates_valid = !n_valid }
+      in
+      add_funnel_metrics ~total funnel;
+      if recording then begin
+        let fi = float_of_int in
+        emit_prune ~stage:"rule1" ~kind:"tilings" ~enabled:opts.rule1
+          ~before:(fi funnel.tilings_raw) ~after:(fi funnel.tilings_rule1)
+          tally.f_ex1;
+        emit_prune ~stage:"rule2" ~kind:"tilings" ~enabled:opts.rule2
+          ~before:(fi funnel.tilings_rule1) ~after:(fi funnel.tilings_rule2)
+          tally.f_ex2;
+        emit_prune ~stage:"rule3" ~kind:"candidates" ~enabled:opts.rule3
+          ~before:funnel.candidates_raw ~after:funnel.candidates_rule3
+          (List.map
+             (fun (a : Axis.t) ->
+               Printf.sprintf "%s: %d of %d tile options kept" a.name
+                 (List.length (List.assoc a.name choices))
+                 (List.length (Candidate.tile_options a.size)))
+             chain.axes);
+        emit_prune ~stage:"rule4" ~kind:"candidates" ~enabled:opts.rule4
+          ~before:(fi total) ~after:(fi funnel.candidates_rule4)
+          (List.rev !rule4_ex);
+        emit_prune ~stage:"validity" ~kind:"candidates" ~enabled:true
+          ~before:(fi funnel.candidates_rule4)
+          ~after:(fi funnel.candidates_valid)
+          (List.rev !invalid_ex);
+        Mcf_obs.Recorder.emit "space" (fun () ->
+            [ ("chain", Mcf_util.Json.Str chain.Chain.cname);
+              ("funnel", funnel_json funnel) ])
+      end;
+      Log.debug (fun m ->
+          m "%s: %d tilings -> %d exprs, %d points (%d checked) -> %d valid \
+             candidates"
+            chain.Chain.cname funnel.tilings_raw funnel.tilings_rule2 total
+            funnel.candidates_rule4 funnel.candidates_valid);
+      (survivors, scores, funnel))
+
+let enumerate ?options ?on_phase ?reservoir spec chain =
+  let survivors, _scores, funnel =
+    enumerate_scored ?options ?on_phase ?reservoir spec chain
+  in
+  (survivors, funnel)
+
+(* ------------------------------------------------------------------ *)
+(* Materialized reference path.
+
+   The pre-streaming implementation, kept as the differential oracle:
+   the whole tiling list and the indexed virtual space live in memory at
+   once, staged precheck then validity.  test_stream.ml pins the
+   streaming path against this one (same funnel, same candidate set);
+   it is also what the fuzzer's pruning oracle cross-checks. *)
+
+let enumerate_materialized ?(options = default_options)
+    ?(on_phase = fun _ _ -> ()) (spec : Mcf_gpu.Spec.t) chain =
   let module Trace = Mcf_obs.Trace in
   Trace.with_span "space.enumerate"
     ~args:(fun () -> [ ("chain", Trace.Str chain.Chain.cname) ])
@@ -323,17 +804,7 @@ let enumerate ?(options = default_options) ?(on_phase = fun _ _ -> ())
           candidates_rule4 = n_rule4;
           candidates_valid = List.length survivors }
       in
-      (* Funnel counters: how many points each pruning stage removed,
-         accumulated across enumerations. *)
-      Mcf_obs.Metrics.add c_tilings_raw funnel.tilings_raw;
-      Mcf_obs.Metrics.add c_pruned_rule1
-        (funnel.tilings_raw - funnel.tilings_rule1);
-      Mcf_obs.Metrics.add c_pruned_rule2
-        (funnel.tilings_rule1 - funnel.tilings_rule2);
-      Mcf_obs.Metrics.add c_pruned_rule4 (total - funnel.candidates_rule4);
-      Mcf_obs.Metrics.add c_pruned_invalid
-        (funnel.candidates_rule4 - funnel.candidates_valid);
-      Mcf_obs.Metrics.add c_candidates_valid funnel.candidates_valid;
+      add_funnel_metrics ~total funnel;
       if recording then begin
         let fi = float_of_int in
         emit_prune ~stage:"rule1" ~kind:"tilings" ~enabled:opts.rule1

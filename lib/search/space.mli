@@ -99,19 +99,63 @@ val funnel_json : funnel -> Mcf_util.Json.t
 val enumerate :
   ?options:options ->
   ?on_phase:(string -> float -> unit) ->
+  ?reservoir:int ->
   Mcf_gpu.Spec.t ->
   Mcf_ir.Chain.t ->
   entry list * funnel
-(** Materialize the pruned space for a device, with the Fig. 7 funnel.
+(** Build the pruned space for a device, with the Fig. 7 funnel.
+
+    This is the streaming pipeline: a generator domain walks the tiling
+    expressions lazily (rules 1–2 applied as the stream flows) and feeds
+    tile-combo index ranges through a bounded {!Mcf_util.Chan}; chunks
+    are scored on the shared {!Mcf_util.Pool} with one fused
+    precheck → validity → estimate pass and drained sequentially in rank
+    order.  Peak heap is O(reservoir + chunk), not O(space), and the
+    result is bit-identical to {!enumerate_materialized} — same
+    candidates, same order, same funnel — at any [--jobs].
+
+    [reservoir] bounds how many surviving entries stay resident: only
+    the [reservoir] best by analytical estimate (ties toward the earlier
+    rank) are returned, re-sorted back into enumeration-rank order.
+    Without it every valid candidate is returned.  [funnel] always
+    counts the full space either way, so [candidates_valid] can exceed
+    the length of the returned list when a reservoir is set.
 
     [on_phase] receives named sub-phase wall-clock durations (currently
-    exactly ["space.precheck"]) so the tuner can carve them out of its
+    exactly ["space.precheck"], reported once with the accumulated
+    chunk-scoring time) so the tuner can carve them out of its
     [tuning_wall_s] breakdown without double counting.
 
     When {!Mcf_obs.Recorder} is recording, enumeration additionally
     emits per-rule ["prune"] attribution events (counts before/after
     each rule with exemplar canonical sub-tiling expressions or
     rejected candidates) and a ["space"] event carrying the funnel.
-    Emission happens after the parallel stages join, so recordings are
-    byte-identical at any [--jobs] and recording cannot perturb the
-    result. *)
+    Emission happens from the sequential drain, after the stream joins,
+    so recordings are byte-identical at any [--jobs] and recording
+    cannot perturb the result. *)
+
+val enumerate_scored :
+  ?options:options ->
+  ?on_phase:(string -> float -> unit) ->
+  ?reservoir:int ->
+  Mcf_gpu.Spec.t ->
+  Mcf_ir.Chain.t ->
+  entry list * (float * float) array * funnel
+(** {!enumerate} plus the per-entry [(estimate, traffic)] scores the
+    fused streaming pass already computed — index-aligned with the
+    entry list.  The formulas are exactly the explorer's default ones
+    ({!Mcf_model.Analytic.breakdown_of_eval} total time, and traffic
+    scaled by [(blocks + sm_count) / blocks]), so {!Explore.run} can
+    skip its batched estimate pass and rank identically. *)
+
+val enumerate_materialized :
+  ?options:options ->
+  ?on_phase:(string -> float -> unit) ->
+  Mcf_gpu.Spec.t ->
+  Mcf_ir.Chain.t ->
+  entry list * funnel
+(** The pre-streaming reference implementation: materializes the full
+    tiling list and the indexed virtual space, then stages precheck and
+    validity.  Kept as the differential oracle for the streaming path
+    (test_stream.ml pins funnel/candidate/winner equivalence); its peak
+    heap is O(space), so never call it on deep (5–8-block) chains. *)

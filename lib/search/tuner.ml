@@ -25,7 +25,7 @@ module Log = (val Logs.src_log Explore.log_src : Logs.LOG)
 
 let c_tunes = Mcf_obs.Metrics.counter "tuner.tunes"
 
-let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
+let tune ?options ?params ?estimator ?seed ?reservoir (spec : Mcf_gpu.Spec.t)
     (chain : Mcf_ir.Chain.t) =
   let opts = Option.value options ~default:Space.default_options in
   let prm = Option.value params ~default:Explore.default_params in
@@ -87,11 +87,11 @@ let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
     let sub = ref [] in
     Mcf_obs.Progress.set_phase "tuner.enumerate";
     Mcf_obs.Resource.sample ();
-    let (entries, funnel), enum_s =
+    let (entries, scores, funnel), enum_s =
       Trace.timed "tuner.enumerate" (fun () ->
-          Space.enumerate ~options:opts
+          Space.enumerate_scored ~options:opts
             ~on_phase:(fun name dur_s -> sub := (name, dur_s) :: !sub)
-            spec chain)
+            ?reservoir spec chain)
     in
     let sub = List.rev !sub in
     let sub_total = Mcf_util.Listx.sum_by snd sub in
@@ -106,7 +106,7 @@ let tune ?options ?params ?estimator ?seed (spec : Mcf_gpu.Spec.t)
     Mcf_gpu.Clock.charge clock 4.0;
     match
       phase "tuner.explore" (fun () ->
-          Explore.run ~params:prm ?estimator ~rng ~clock spec entries)
+          Explore.run ~params:prm ?estimator ~scores ~rng ~clock spec entries)
     with
     | None -> Error No_viable_candidate
     | Some { best; best_time_s; stats } -> (

@@ -36,11 +36,19 @@ val tune :
   ?params:Explore.params ->
   ?estimator:(Mcf_gpu.Spec.t -> Space.entry -> float) ->
   ?seed:int ->
+  ?reservoir:int ->
   Mcf_gpu.Spec.t ->
   Mcf_ir.Chain.t ->
   (outcome, error) result
 (** Deterministic for a fixed [seed] (default derived from the chain
     name and device).
+
+    [reservoir] bounds how many enumerated candidates stay resident for
+    exploration: only the [reservoir] best by analytical estimate are
+    kept (see {!Space.enumerate}).  Unset, the explorer sees every valid
+    candidate — the paper's behaviour and the bit-identity baseline.
+    Deep (5–8-block) chains need a bound: their valid space alone can
+    dwarf memory.
 
     When {!Mcf_obs.Recorder} is recording, [tune] emits the full flight
     record of the run — a ["run"] header (device, chain, options, seed,

@@ -1,0 +1,104 @@
+(* Bounded multi-producer/multi-consumer channel.  See chan.mli.
+
+   A plain mutex + two condition variables: OCaml 5 Mutex/Condition work
+   across domains, and the streaming enumeration pushes coarse chunk
+   descriptors (thousands of points each), so lock traffic is far off the
+   hot path — simplicity and an auditable state machine win over a
+   lock-free design here. *)
+
+type state = Open | Closed | Poisoned of exn | Cancelled
+
+type 'a t = {
+  q : 'a Queue.t;
+  capacity : int;
+  m : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable state : state;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Chan.create: capacity must be >= 1";
+  { q = Queue.create ();
+    capacity;
+    m = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    state = Open;
+  }
+
+let send t v =
+  Mutex.lock t.m;
+  let rec go () =
+    match t.state with
+    | Open when Queue.length t.q >= t.capacity ->
+      Condition.wait t.not_full t.m;
+      go ()
+    | Open ->
+      Queue.push v t.q;
+      Condition.signal t.not_empty;
+      true
+    | Closed | Poisoned _ | Cancelled -> false
+  in
+  let accepted = go () in
+  Mutex.unlock t.m;
+  accepted
+
+let recv t =
+  Mutex.lock t.m;
+  let rec go () =
+    match t.state with
+    | Poisoned e ->
+      Mutex.unlock t.m;
+      raise e
+    | Cancelled ->
+      Mutex.unlock t.m;
+      None
+    | Open | Closed ->
+      if not (Queue.is_empty t.q) then begin
+        let v = Queue.pop t.q in
+        Condition.signal t.not_full;
+        Mutex.unlock t.m;
+        Some v
+      end
+      else begin
+        match t.state with
+        | Closed ->
+          Mutex.unlock t.m;
+          None
+        | _ ->
+          Condition.wait t.not_empty t.m;
+          go ()
+      end
+  in
+  go ()
+
+(* All three terminal transitions wake every waiter: blocked senders
+   re-check the state and return false; blocked receivers observe the
+   close/poison/cancel. *)
+let terminate t next ~clear =
+  Mutex.lock t.m;
+  (match t.state with
+  | Open | Closed ->
+    t.state <- next;
+    if clear then Queue.clear t.q
+  | Poisoned _ | Cancelled -> ());
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.m
+
+let close t =
+  Mutex.lock t.m;
+  (match t.state with Open -> t.state <- Closed | _ -> ());
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.m
+
+let poison t e = terminate t (Poisoned e) ~clear:true
+let cancel t = terminate t Cancelled ~clear:true
+
+let length t =
+  Mutex.lock t.m;
+  let n = Queue.length t.q in
+  Mutex.unlock t.m;
+  n

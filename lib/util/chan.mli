@@ -1,0 +1,52 @@
+(** Capacity-bounded FIFO channel between domains.
+
+    The streaming enumeration pipeline ({!Mcf_search.Space}) uses one of
+    these between its generator domain and the scoring consumer: the
+    bound is what makes peak memory O(reservoir + chunk) instead of
+    O(space), because a fast producer blocks (backpressure) rather than
+    buffering the whole tiling space.
+
+    Lifecycle: a channel starts [Open]; exactly one of [close] (normal
+    end-of-stream), [poison] (producer failed) or [cancel] (consumer
+    gave up) ends it.  After any of the three, [send] returns [false]
+    immediately — a producer holding a terminated channel drains without
+    blocking and can exit its loop ("drain-after-cancel"). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** A fresh open channel buffering at most [capacity] elements.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val send : 'a t -> 'a -> bool
+(** Enqueue, blocking while the buffer is full.  [true] if the value was
+    accepted; [false] if the channel was closed, poisoned or cancelled
+    (the value is dropped — the producer should stop). *)
+
+val recv : 'a t -> 'a option
+(** Dequeue, blocking while the buffer is empty.  [Some v] in FIFO
+    order; [None] once the channel is closed and fully drained, or
+    cancelled.  Buffered values survive [close] (a clean end-of-stream
+    still delivers everything sent before it).
+
+    @raise e if the channel was poisoned with [e] — the producer's
+    failure propagates to the consumer at its next receive. *)
+
+val close : 'a t -> unit
+(** Producer-side clean end-of-stream.  Buffered values remain
+    receivable; further [send]s return [false].  Idempotent; does not
+    override an earlier poison/cancel. *)
+
+val poison : 'a t -> exn -> unit
+(** Producer-side failure: discard the buffer and make every current and
+    future [recv] re-raise the exception.  Idempotent (first terminal
+    state wins). *)
+
+val cancel : 'a t -> unit
+(** Consumer-side abandonment: discard the buffer, make [recv] return
+    [None] and unblock every sender with a [false] return.  Idempotent
+    (first terminal state wins). *)
+
+val length : 'a t -> int
+(** Current number of buffered elements (racy by nature; for telemetry
+    and tests). *)

@@ -13,6 +13,25 @@ let rec cartesian = function
     let tails = cartesian rest in
     List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
 
+(* Lazy twins of [permutations]/[cartesian].  They must yield elements
+   in exactly the same order as the materializing versions — the search
+   space is indexed positionally, and determinism pins (same candidate
+   set, same winner at any --jobs) depend on the order being identical.
+   Note the physical [!=] removal, as in [permutations]. *)
+let rec seq_permutations = function
+  | [] -> Seq.return []
+  | l ->
+    List.to_seq l
+    |> Seq.concat_map (fun x ->
+           let rest = List.filter (fun y -> y != x) l in
+           Seq.map (fun p -> x :: p) (seq_permutations rest))
+
+let rec seq_cartesian = function
+  | [] -> Seq.return []
+  | choices :: rest ->
+    List.to_seq choices
+    |> Seq.concat_map (fun c -> Seq.map (fun t -> c :: t) (seq_cartesian rest))
+
 let rec take n = function
   | [] -> []
   | _ when n <= 0 -> []

@@ -8,6 +8,14 @@ val cartesian : 'a list list -> 'a list list
 (** Cartesian product of a list of choice lists, in lexicographic order of
     the input lists.  [cartesian []] is [[[]]]. *)
 
+val seq_permutations : 'a list -> 'a list Seq.t
+(** Lazy [permutations]: same elements in the same order, but produced
+    on demand so n! never has to be resident at once. *)
+
+val seq_cartesian : 'a list list -> 'a list Seq.t
+(** Lazy [cartesian]: same tuples in the same (first-axis-slowest)
+    order, produced on demand. *)
+
 val take : int -> 'a list -> 'a list
 (** First [n] elements (fewer when the list is shorter). *)
 

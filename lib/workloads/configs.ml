@@ -17,6 +17,14 @@ type attention_config = {
   network : string;
 }
 
+type deep_config = {
+  dname : string;
+  dblocks : int;
+  dbatch : int;
+  dm : int;
+  ddim : int;
+}
+
 type bert_config = {
   bname : string;
   layers : int;
@@ -62,6 +70,17 @@ let attentions =
     { sname = "S9"; heads = 1; sm = 1024; sn = 512; sk = 64; sh = 64;
       network = "MLP-Mixer" } ]
 
+(* Deep MBCI chains (5–8 back-to-back GEMM blocks) — past the paper's
+   tables, these stress the streaming enumeration: the structural space
+   is (blocks + 2)! deep tilings, far beyond what a materialized
+   enumeration can hold.  ISSUE 7 calls them S5–S8, but Table III
+   already owns those names, so they are registered as D5–D8. *)
+let deep_chains =
+  [ { dname = "D5"; dblocks = 5; dbatch = 1; dm = 256; ddim = 64 };
+    { dname = "D6"; dblocks = 6; dbatch = 1; dm = 256; ddim = 64 };
+    { dname = "D7"; dblocks = 7; dbatch = 1; dm = 256; ddim = 64 };
+    { dname = "D8"; dblocks = 8; dbatch = 1; dm = 256; ddim = 64 } ]
+
 let bert_small =
   { bname = "Bert-Small"; layers = 4; hidden = 512; bheads = 8; seq = 512;
     intermediate = 2048 }
@@ -96,5 +115,18 @@ let attention s =
   in
   { chain with Mcf_ir.Chain.cname = s.sname ^ "_" ^ chain.cname }
 
+let deep_chain d =
+  let chain =
+    Mcf_ir.Chain.gemm_chain_n ~batch:d.dbatch ~m:d.dm
+      ~dims:(List.init (d.dblocks + 1) (fun _ -> d.ddim))
+      ()
+  in
+  { chain with Mcf_ir.Chain.cname = d.dname ^ "_" ^ chain.cname }
+
 let find_gemm name = List.find_opt (fun g -> g.gname = name) gemm_chains
 let find_attention name = List.find_opt (fun s -> s.sname = name) attentions
+let find_deep name =
+  let canon = String.lowercase_ascii name in
+  List.find_opt
+    (fun d -> String.lowercase_ascii d.dname = canon)
+    deep_chains

@@ -21,6 +21,14 @@ type attention_config = {
   network : string;
 }
 
+type deep_config = {
+  dname : string;
+  dblocks : int;  (** Number of chained GEMM blocks (5–8). *)
+  dbatch : int;
+  dm : int;  (** Shared spatial row dimension. *)
+  ddim : int;  (** Every interior/output column dimension. *)
+}
+
 type bert_config = {
   bname : string;
   layers : int;
@@ -36,6 +44,12 @@ val gemm_chains : gemm_config list
 val attentions : attention_config list
 (** S1-S9 exactly as Table III. *)
 
+val deep_chains : deep_config list
+(** D5-D8: 5–8-block linear GEMM chains (ISSUE 7's deep MBCI workloads;
+    named D* because Table III already uses S5–S8).  Their structural
+    tiling space is (blocks + 2)! deep expressions — the streaming
+    enumeration's stress family. *)
+
 val bert_small : bert_config
 val bert_base : bert_config
 val bert_large : bert_config
@@ -48,6 +62,8 @@ val vit_large : bert_config
 
 val gemm_chain : gemm_config -> Mcf_ir.Chain.t
 val attention : attention_config -> Mcf_ir.Chain.t
+val deep_chain : deep_config -> Mcf_ir.Chain.t
 
 val find_gemm : string -> gemm_config option
 val find_attention : string -> attention_config option
+val find_deep : string -> deep_config option
