@@ -2,7 +2,8 @@
 
 .PHONY: all build test bench examples quick clean fmt trace-demo check \
 	ci-guard bench-search bench-search-smoke bench-estimate-smoke \
-	report-smoke fuzz-smoke perf-smoke bench-stream-smoke
+	report-smoke fuzz-smoke perf-smoke bench-stream-smoke \
+	bench-measure-smoke
 
 all: build
 
@@ -93,7 +94,18 @@ bench-stream-smoke:
 	grep -q "D6-smoke-stream peak_heap_words" /tmp/mcfuser-stream-gate.txt
 	@echo "bench-stream-smoke: streamed deep-chain heap gate ok"
 
-check: build fmt test trace-demo ci-guard bench-search-smoke bench-estimate-smoke report-smoke fuzz-smoke perf-smoke bench-stream-smoke
+# Measurement-engine smoke: the search bench's [measure] section only
+# (batched sequential vs parallel throughput, plus two tuner runs sharing
+# one measurement cache).  The in-bench gates fail the run unless the
+# warm tune simulates strictly fewer candidates than the cold one and
+# hits the cache on >90% of its lookups.
+bench-measure-smoke:
+	dune exec bench/main.exe -- --mode search --smoke --measure-only \
+	  --jobs 4 --out /tmp/mcfuser-bench-measure-smoke.json
+	@test -s /tmp/mcfuser-bench-measure-smoke.json
+	@echo "bench-measure-smoke: warm-cache + throughput gates ok"
+
+check: build fmt test trace-demo ci-guard bench-search-smoke bench-estimate-smoke report-smoke fuzz-smoke perf-smoke bench-stream-smoke bench-measure-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -17,6 +17,7 @@
      dune exec bench/main.exe -- --mode search --out BENCH_search.json
      dune exec bench/main.exe -- --mode search --jobs 4 --smoke
      dune exec bench/main.exe -- --mode search --smoke --estimate-only
+     dune exec bench/main.exe -- --mode search --smoke --measure-only
      dune exec bench/main.exe -- --sample-ms 5      # resource telemetry
      dune exec bench/main.exe -- --mode search --history BENCH_history.jsonl
                                               # append per-workload entries
@@ -376,7 +377,111 @@ let run_estimate_bench spec ~smoke =
       ("memo_misses", num misses);
       ("memo_hit_rate", Num hit_rate) ]
 
-let run_search_bench ~jobs ~smoke ~estimate_only ~history ~out =
+(* Batched measurement throughput and cache effectiveness on the largest
+   workload: the measurement engine's headline numbers.  Each timed arm
+   rebuilds fresh entries from (ctx, candidate) pairs — the entry's lazy
+   lowering cell memoizes, so reusing entries would time a no-op — and
+   drives the same rank-ordered batch through a sequential and a parallel
+   engine.  A second pair of full tuner runs shares one measurement
+   cache: the cold run misses on every distinct key, the warm run should
+   hit on (nearly) all of them. *)
+let run_measure_bench spec ~jobs ~smoke =
+  let num = Mcf_util.Json.num_of_int in
+  let wname = largest_workload ~smoke in
+  let chain = List.assoc wname (search_workloads ~smoke) in
+  Printf.printf
+    "%s\n[measure] %s: batched engine, sequential vs parallel\n%s\n%!" hr
+    wname hr;
+  let entries, _ = Mcf_search.Space.enumerate spec chain in
+  let limit = if smoke then 64 else 256 in
+  let cands =
+    List.filteri (fun i _ -> i < limit) entries
+    |> List.map (fun (e : Mcf_search.Space.entry) -> (e.ctx, e.cand))
+  in
+  let n = List.length cands in
+  if n = 0 then failwith ("empty candidate space for " ^ wname);
+  let reps = if smoke then 2 else 3 in
+  let batch () =
+    List.mapi
+      (fun i (ctx, c) -> (i, Mcf_search.Space.make_entry ctx c))
+      cands
+  in
+  let measure_wall engine =
+    snd
+      (time_best ~reps (fun () ->
+           let clock = Mcf_gpu.Clock.create () in
+           Mcf_search.Measure.run_batch engine ~clock ~compile_cost_s:0.6
+             ~repeats:10
+             ~commit:(fun _ _ -> ())
+             (batch ())))
+  in
+  Mcf_util.Pool.set_jobs jobs;
+  ignore (Mcf_util.Pool.get ());
+  let seq_s =
+    measure_wall (Mcf_search.Measure.create ~sequential:true spec)
+  in
+  let par_s = measure_wall (Mcf_search.Measure.create spec) in
+  let fn = float_of_int n in
+  let seq_per_s = fn /. Float.max seq_s 1e-9 in
+  let par_per_s = fn /. Float.max par_s 1e-9 in
+  let speedup = par_per_s /. Float.max seq_per_s 1e-9 in
+  let cv = Mcf_obs.Metrics.counter_value in
+  let cache = Mcf_search.Measure.cache_create () in
+  let tune_measured () =
+    match
+      Mcf_search.Tuner.tune
+        ~measure:(Mcf_search.Measure.create ~cache spec)
+        spec chain
+    with
+    | Ok o -> o.Mcf_search.Tuner.search_stats.Mcf_search.Explore.measured
+    | Error _ -> failwith ("tuning failed for " ^ wname)
+  in
+  let m0 = cv "measure.cache.misses" in
+  let cold_measured = tune_measured () in
+  let m1 = cv "measure.cache.misses" and h1 = cv "measure.cache.hits" in
+  let warm_measured = tune_measured () in
+  let m2 = cv "measure.cache.misses" and h2 = cv "measure.cache.hits" in
+  let cold_misses = m1 - m0 in
+  let warm_misses = m2 - m1 in
+  let warm_hits = h2 - h1 in
+  let warm_hit_rate =
+    float_of_int warm_hits
+    /. Float.max 1.0 (float_of_int (warm_hits + warm_misses))
+  in
+  Printf.printf
+    "  %d candidates: sequential %.0f/s, parallel %.0f/s at %d jobs (%.2fx)\n"
+    n seq_per_s par_per_s jobs speedup;
+  Printf.printf
+    "  cache: cold tune %d measured / %d simulated, warm tune %d measured / \
+     %d simulated (hit rate %.1f%%)\n%!"
+    cold_measured cold_misses warm_measured warm_misses
+    (100.0 *. warm_hit_rate);
+  let section =
+    Mcf_util.Json.Obj
+      [ ("workload", Str wname);
+        ("candidates", num n);
+        ("jobs", num jobs);
+        ("sequential_per_s", Num seq_per_s);
+        ("measured_per_s", Num par_per_s);
+        ("speedup", Num speedup);
+        ("cold_measured", num cold_measured);
+        ("cold_misses", num cold_misses);
+        ("warm_measured", num warm_measured);
+        ("warm_misses", num warm_misses);
+        ("warm_hits", num warm_hits);
+        ("warm_hit_rate", Num warm_hit_rate) ]
+  in
+  (* A workload-shaped row so [History.of_search_doc] tracks the engine's
+     throughput (both arms are [_per_s]: higher is better) across runs. *)
+  let history_row =
+    Mcf_util.Json.Obj
+      [ ("name", Str (wname ^ "-measure"));
+        ("chain", Str chain.Mcf_ir.Chain.cname);
+        ("measure", section) ]
+  in
+  (section, history_row, warm_misses, cold_misses, warm_hit_rate)
+
+let run_search_bench ~jobs ~smoke ~estimate_only ~measure_only ~history ~out =
   let spec = Mcf_gpu.Spec.a100 in
   let jobs_list = List.sort_uniq compare [ 1; jobs ] in
   let reps = if smoke then 3 else 2 in
@@ -384,10 +489,11 @@ let run_search_bench ~jobs ~smoke ~estimate_only ~history ~out =
   Mcf_util.Pool.set_jobs jobs;
   ignore (Mcf_util.Pool.get ());
   let enumeration =
-    if estimate_only then None else Some (run_enumeration_bench spec ~smoke)
+    if estimate_only || measure_only then None
+    else Some (run_enumeration_bench spec ~smoke)
   in
   let results =
-    if estimate_only then []
+    if estimate_only || measure_only then []
     else List.map
       (fun (name, chain) ->
         Printf.printf "%s\n[search] %s\n%s\n%!" hr name hr;
@@ -481,7 +587,12 @@ let run_search_bench ~jobs ~smoke ~estimate_only ~history ~out =
               ("peak_heap_words", Num (Mcf_obs.Resource.peak_heap_words ())) ] ))
       (search_workloads ~smoke)
   in
-  let estimate_json = run_estimate_bench spec ~smoke in
+  let estimate_json =
+    if measure_only then None else Some (run_estimate_bench spec ~smoke)
+  in
+  let measure =
+    if estimate_only then None else Some (run_measure_bench spec ~jobs ~smoke)
+  in
   Mcf_obs.Poolstats.sync ();
   let largest = largest_workload ~smoke in
   let largest_speedup =
@@ -492,6 +603,7 @@ let run_search_bench ~jobs ~smoke ~estimate_only ~history ~out =
   let workload_rows =
     List.map (fun (_, _, j) -> j) results
     @ (match enumeration with Some (_, row, _, _) -> [ row ] | None -> [])
+    @ (match measure with Some (_, row, _, _, _) -> [ row ] | None -> [])
   in
   let doc =
     let open Mcf_util.Json in
@@ -505,8 +617,13 @@ let run_search_bench ~jobs ~smoke ~estimate_only ~history ~out =
       @ (match enumeration with
         | Some (section, _, _, _) -> [ ("enumeration", section) ]
         | None -> [])
-      @ [ ("estimate", estimate_json);
-          ("largest_workload", Str largest);
+      @ (match estimate_json with
+        | Some section -> [ ("estimate", section) ]
+        | None -> [])
+      @ (match measure with
+        | Some (section, _, _, _, _) -> [ ("measure", section) ]
+        | None -> [])
+      @ [ ("largest_workload", Str largest);
           ("largest_enumerate_speedup", Num largest_speedup) ])
   in
   let oc = open_out out in
@@ -525,7 +642,32 @@ let run_search_bench ~jobs ~smoke ~estimate_only ~history ~out =
       (if List.length entries = 1 then "y" else "ies")
       path
       (Mcf_obs.History.current_rev ()));
+  (* Smoke gates for the measurement cache: a warm tuner run must simulate
+     strictly fewer candidates than the cold run did, and hit the cache on
+     more than 90% of its lookups. *)
+  let measure_gate () =
+    match measure with
+    | Some (_, _, warm_misses, cold_misses, warm_hit_rate) when smoke ->
+      if warm_misses >= cold_misses then begin
+        Printf.eprintf
+          "FAIL: warm tune simulated %d candidates, not strictly below the \
+           cold run's %d\n%!"
+          warm_misses cold_misses;
+        exit 1
+      end;
+      if warm_hit_rate <= 0.9 then begin
+        Printf.eprintf
+          "FAIL: warm cache hit rate %.1f%% (threshold 90%%)\n%!"
+          (100.0 *. warm_hit_rate);
+        exit 1
+      end
+    | _ -> ()
+  in
   if estimate_only then Printf.printf "\nwrote %s (estimate section only)\n" out
+  else if measure_only then begin
+    Printf.printf "\nwrote %s (measure section only)\n" out;
+    measure_gate ()
+  end
   else begin
     Printf.printf "\nwrote %s (largest workload %s: %.2fx enumeration \
                    speedup at %d jobs on %d core(s))\n"
@@ -547,7 +689,7 @@ let run_search_bench ~jobs ~smoke ~estimate_only ~history ~out =
        much larger post-rule-3 space than the largest Table workload, and
        materializing that space must cost visibly more heap than streaming
        it did (the monotone peak makes both directions conservative). *)
-    match enumeration with
+    (match enumeration with
     | Some (_, _, points_ratio, heap_saving) when smoke ->
       if points_ratio < 10.0 then begin
         Printf.eprintf
@@ -563,7 +705,8 @@ let run_search_bench ~jobs ~smoke ~estimate_only ~history ~out =
           heap_saving;
         exit 1
       end
-    | _ -> ()
+    | _ -> ());
+    measure_gate ()
   end
 
 let write_trace path =
@@ -623,6 +766,7 @@ let () =
   let jobs = ref (max 4 (Mcf_util.Pool.default_jobs ())) in
   let smoke = ref false in
   let estimate_only = ref false in
+  let measure_only = ref false in
   let sample_ms = ref None in
   let history = ref None in
   let rec parse = function
@@ -677,6 +821,9 @@ let () =
     | "--estimate-only" :: rest ->
       estimate_only := true;
       parse rest
+    | "--measure-only" :: rest ->
+      measure_only := true;
+      parse rest
     | "--sample-ms" :: ms :: rest -> (
       match float_of_string_opt ms with
       | Some v when v > 0.0 ->
@@ -704,7 +851,7 @@ let () =
   (match !mode with
   | `Search ->
     run_search_bench ~jobs:!jobs ~smoke:!smoke ~estimate_only:!estimate_only
-      ~history:!history ~out:!out
+      ~measure_only:!measure_only ~history:!history ~out:!out
   | `Experiments ->
     let ids =
       match !only with

@@ -304,7 +304,31 @@ let tune_cmd =
     in
     Arg.(value & opt (some int) None & info [ "reservoir" ] ~docv:"N" ~doc)
   in
-  let run verbose obs cache reservoir device workload =
+  let measure_cache_arg =
+    let doc =
+      "Measurement-cache file (JSONL): warm-start per-candidate \
+       measurements from $(docv) and persist the union back on exit.  \
+       Keys are content-addressed (device fingerprint + chain \
+       fingerprint + canonical candidate), and hits skip the simulator \
+       but charge the virtual clock identically, so tuner results and \
+       virtual-time accounting are bit-identical to an uncached run."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "measure-cache" ] ~docv:"FILE" ~doc)
+  in
+  let measure_jobs_arg =
+    let doc =
+      "Measurement parallelism: 1 pins each generation's measurement \
+       batch to the calling domain; any other value (the default) runs \
+       batches on the shared pool sized by $(b,--jobs).  Results are \
+       bit-identical either way."
+    in
+    Arg.(value & opt int 0 & info [ "measure-jobs" ] ~docv:"N" ~doc)
+  in
+  let run verbose obs cache reservoir measure_cache measure_jobs device
+      workload =
     setup_logs verbose;
     with_obs obs (fun () ->
         with_setup device workload (fun spec chain ->
@@ -322,7 +346,34 @@ let tune_cmd =
               | Error Mcf_search.Tuner.No_viable_candidate ->
                 Error (`Msg "no viable candidate"))
             | None -> (
-              match Mcf_search.Tuner.tune ?reservoir spec chain with
+              let mcache =
+                Option.map
+                  (fun path ->
+                    let c = Mcf_search.Measure.cache_create () in
+                    ignore (Mcf_search.Measure.cache_load c path);
+                    (c, path))
+                  measure_cache
+              in
+              let measure =
+                if mcache = None && measure_jobs <> 1 then None
+                else
+                  Some
+                    (Mcf_search.Measure.create
+                       ?cache:(Option.map fst mcache)
+                       ~sequential:(measure_jobs = 1) spec)
+              in
+              let hits0 = Mcf_obs.Metrics.counter_value "measure.cache.hits" in
+              let miss0 =
+                Mcf_obs.Metrics.counter_value "measure.cache.misses"
+              in
+              let result = Mcf_search.Tuner.tune ?reservoir ?measure spec chain in
+              (* Persist whatever was measured, even on failure: those
+                 simulations are valid warm-start material either way. *)
+              Option.iter
+                (fun (c, path) ->
+                  ignore (Mcf_search.Measure.cache_save c path))
+                mcache;
+              match result with
               | Error Mcf_search.Tuner.No_viable_candidate ->
                 Error (`Msg "no viable candidate: the chain cannot be fused here")
               | Ok o ->
@@ -337,6 +388,18 @@ let tune_cmd =
                   o.tuning_wall_s o.search_stats.measured
                   o.search_stats.generations;
                 Printf.printf "phases    %s\n" (phase_breakdown o);
+                Option.iter
+                  (fun (c, path) ->
+                    Printf.printf
+                      "mcache    %s: %d entries (%d hits, %d misses this \
+                       run)\n"
+                      path
+                      (Mcf_search.Measure.cache_size c)
+                      (Mcf_obs.Metrics.counter_value "measure.cache.hits"
+                      - hits0)
+                      (Mcf_obs.Metrics.counter_value "measure.cache.misses"
+                      - miss0))
+                  mcache;
                 Printf.printf "space     %d candidates after pruning (raw %.3g)\n\n"
                   o.funnel.candidates_valid o.funnel.candidates_raw;
                 print_string (Mcf_search.Tuner.pseudo_code o);
@@ -344,7 +407,8 @@ let tune_cmd =
   in
   let term =
     Term.(term_result (const run $ verbose_arg $ obs_term $ cache_arg
-                       $ reservoir_arg $ device_arg $ workload_arg))
+                       $ reservoir_arg $ measure_cache_arg $ measure_jobs_arg
+                       $ device_arg $ workload_arg))
   in
   Cmd.v (Cmd.info "tune" ~doc:"Tune one workload and print the schedule") term
 
@@ -772,7 +836,7 @@ let fuzz_cmd =
     if list_oracles then begin
       List.iter
         (fun (o : Mcf_fuzz.Oracle.t) ->
-          Printf.printf "%-10s %s%s\n" o.name o.doc
+          Printf.printf "%-13s %s%s\n" o.name o.doc
             (if o.every > 1 then Printf.sprintf " (every %d cases)" o.every
              else ""))
         Mcf_fuzz.Oracle.all;

@@ -117,12 +117,12 @@ let render_summary (o : outcome) =
     (Printf.sprintf "fuzz: seed %d, %d cases, %.2f virtual s\n" o.seed o.cases
        o.virtual_s);
   Buffer.add_string b
-    (Printf.sprintf "%-10s %6s %6s %6s %6s\n" "oracle" "runs" "pass" "skip"
+    (Printf.sprintf "%-13s %6s %6s %6s %6s\n" "oracle" "runs" "pass" "skip"
        "fail");
   List.iter
     (fun t ->
       Buffer.add_string b
-        (Printf.sprintf "%-10s %6d %6d %6d %6d\n" t.oname t.runs t.passes
+        (Printf.sprintf "%-13s %6d %6d %6d %6d\n" t.oname t.runs t.passes
            t.skips t.fails))
     o.tallies;
   List.iter

@@ -242,7 +242,70 @@ let check_tuner (c : Gen.case) =
     end
   end
 
-(* --- oracle 6: emitted-kernel well-formedness ------------------------------ *)
+(* --- oracle 6: measurement-cache transparency ------------------------------ *)
+
+(* A cached measurement must be indistinguishable from a fresh Sim.run:
+   the cold engine pass must equal a direct compile+simulate bit-for-bit
+   (including failure verdicts), the warm pass must return the same bits
+   as a hit, and the hit must actually skip the simulator. *)
+let check_measure_cache (c : Gen.case) =
+  let ctx =
+    { Mcf_search.Space.chain = c.chain;
+      rule1 = c.rule1;
+      dead_loop_elim = c.dle;
+      hoisting = c.hoist;
+      elem_bytes = c.elem_bytes }
+  in
+  (* Fresh entries per pass: each carries its own lazily-forced lowering
+     cell, so no pass reuses another's work by accident. *)
+  let entry () = Mcf_search.Space.make_entry ctx c.cand in
+  let direct =
+    match
+      Mcf_codegen.Compile.compile c.device
+        (Mcf_search.Space.lowered (entry ()))
+    with
+    | Error _ -> None
+    | Ok k -> (
+      match Mcf_gpu.Sim.run c.device k with
+      | Error _ -> None
+      | Ok v -> Some v.time_s)
+  in
+  let cache = Mcf_search.Measure.cache_create ~shards:4 () in
+  let engine = Mcf_search.Measure.create ~cache c.device in
+  let clock = Mcf_gpu.Clock.create () in
+  let run_once () =
+    let got = ref None in
+    Mcf_search.Measure.run_batch engine ~clock ~compile_cost_s:0.1 ~repeats:1
+      ~commit:(fun _ r -> got := Some r)
+      [ (0, entry ()) ];
+    !got
+  in
+  let bits = Option.map (Option.map Int64.bits_of_float) in
+  let show = function
+    | None -> "<no commit>"
+    | Some None -> "unmeasurable"
+    | Some (Some t) -> Printf.sprintf "%h" t
+  in
+  let cold = run_once () in
+  let sims_before_warm = Mcf_obs.Metrics.counter_value "sim.runs" in
+  let warm = run_once () in
+  let sims_after_warm = Mcf_obs.Metrics.counter_value "sim.runs" in
+  if bits cold <> bits (Some direct) then
+    Fail
+      (Printf.sprintf "cold engine pass diverges from direct Sim.run: %s vs %s"
+         (show cold)
+         (show (Some direct)))
+  else if bits warm <> bits cold then
+    Fail
+      (Printf.sprintf "warm cache hit diverges from cold pass: %s vs %s"
+         (show warm) (show cold))
+  else if sims_after_warm <> sims_before_warm then
+    Fail
+      (Printf.sprintf "warm cache hit still ran the simulator (%d fresh runs)"
+         (sims_after_warm - sims_before_warm))
+  else Pass
+
+(* --- oracle 7: emitted-kernel well-formedness ------------------------------ *)
 
 let check_emit (c : Gen.case) =
   (* Rule-1 canonical execution: all spatial axes grid-bound, which is the
@@ -281,6 +344,10 @@ let all =
       doc = "Tuner.tune is bit-identical across jobs 1/4 and recording on/off";
       every = 25;
       check = check_tuner };
+    { name = "measure-cache";
+      doc = "a cached measurement equals a fresh Sim.run bit-for-bit";
+      every = 5;
+      check = check_measure_cache };
     { name = "emit";
       doc = "emitted Triton kernel is well-formed (scopes, def-before-use)";
       every = 1;

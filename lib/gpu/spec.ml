@@ -47,6 +47,16 @@ let by_name name =
 
 let roofline_ratio s = s.peak_flops /. s.mem_bw
 
+let fingerprint s =
+  (* Every field participates: two specs that differ anywhere (a tweaked
+     bandwidth, a different shared-memory budget) must never share cached
+     measurements.  Floats are printed in hex so the identity is exact,
+     not rounded. *)
+  Printf.sprintf "%s/%s/sm%d/p%h/bw%h/sb%d/ss%d/l2%d/mb%d/lo%h/eb%d" s.name
+    s.compute_capability s.sm_count s.peak_flops s.mem_bw s.smem_per_block
+    s.smem_per_sm s.l2_bytes s.max_blocks_per_sm s.launch_overhead_s
+    s.elem_bytes
+
 let pp ppf s =
   Format.fprintf ppf
     "%s (%s): %d SMs, %.0f TFLOP/s, %.0f GB/s, %d KiB smem/block"

@@ -37,4 +37,10 @@ val roofline_ratio : t -> float
 (** 𝒫/𝒲 in FLOPs per byte: operators whose compute/traffic ratio φ falls
     below this are memory-bound (the MBCI criterion of §II-A). *)
 
+val fingerprint : t -> string
+(** Content identity over {e every} field (floats rendered exactly, in
+    hex) — the device component of content-addressed cache keys.  Two
+    specs share a fingerprint iff measurements taken on one are valid
+    for the other. *)
+
 val pp : Format.formatter -> t -> unit

@@ -38,6 +38,27 @@ let to_string t =
   in
   Printf.sprintf "%s {%s}" (Tiling.to_string t.tiling) tiles
 
+(* The schedule-cache line format, predating this function: kind-tagged
+   axis-name lists for the tiling, then the sorted tile vector.  Changing
+   it would orphan every cache file already on disk. *)
+let serialize t =
+  let names axes =
+    String.concat "," (List.map (fun (a : Axis.t) -> a.name) axes)
+  in
+  let tiling =
+    match t.tiling with
+    | Tiling.Deep axes -> "deep:" ^ names axes
+    | Tiling.Flat (prefix, groups) ->
+      "flat:" ^ names prefix ^ "/"
+      ^ String.concat "/" (List.map names groups)
+  in
+  let tiles =
+    t.tiles
+    |> List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v)
+    |> String.concat ","
+  in
+  tiling ^ ";" ^ tiles
+
 let key = to_string
 
 let equal a b = String.equal (key a) (key b)

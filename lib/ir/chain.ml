@@ -304,6 +304,68 @@ let validate t =
   if List.for_all role_ok t.axes then Ok ()
   else Error "axis roles inconsistent with output tensor"
 
+(* Structural content identity for cache keys: everything a lowering (and
+   hence a measurement) depends on — axis names, sizes and roles, the
+   flattened batch, and each block's tensors, reduction axes and epilogue
+   including its constants (a [Unary]'s closure is identified by its
+   [uname]/[uflops]).  Unlike [pp] this is exhaustive: chains differing
+   only in an epilogue constant get distinct fingerprints. *)
+let fingerprint t =
+  let b = Buffer.create 256 in
+  let axis (a : Axis.t) =
+    Buffer.add_string b a.name;
+    Buffer.add_char b ':';
+    Buffer.add_string b (string_of_int a.size);
+    Buffer.add_string b (if Axis.is_spatial a then "s" else "r")
+  in
+  let axes l =
+    List.iter
+      (fun a ->
+        axis a;
+        Buffer.add_char b ',')
+      l
+  in
+  let tensor ts =
+    Buffer.add_string b ts.tname;
+    Buffer.add_char b '[';
+    axes ts.taxes;
+    Buffer.add_char b ']';
+    Buffer.add_string b
+      (match ts.storage with
+      | Input -> "i"
+      | Intermediate -> "t"
+      | Output -> "o")
+  in
+  Buffer.add_string b t.cname;
+  Buffer.add_char b '#';
+  Buffer.add_string b (string_of_int t.batch);
+  Buffer.add_char b '#';
+  axes t.axes;
+  List.iter
+    (fun blk ->
+      Buffer.add_char b '|';
+      Buffer.add_string b blk.bname;
+      Buffer.add_char b '=';
+      tensor blk.out;
+      Buffer.add_char b '(';
+      List.iter
+        (fun ts ->
+          tensor ts;
+          Buffer.add_char b ',')
+        blk.ins;
+      Buffer.add_string b ")/";
+      axes blk.reduce_axes;
+      Buffer.add_string b
+        (match blk.epilogue with
+        | No_epilogue -> "-"
+        | Scale c -> Printf.sprintf "scale:%h" c
+        | Softmax { saxis; sscale } ->
+          Printf.sprintf "softmax:%s:%h" saxis.Axis.name sscale
+        | Unary { uname; uflops; _ } ->
+          Printf.sprintf "unary:%s:%h" uname uflops))
+    t.blocks;
+  Buffer.contents b
+
 let pp ppf t =
   Format.fprintf ppf "chain %s (batch %d): axes" t.cname t.batch;
   List.iter (fun a -> Format.fprintf ppf " %a" Axis.pp a) t.axes;

@@ -132,4 +132,10 @@ val validate : t -> (unit, string) result
 (** Structural sanity: unique names, tensors consistent with blocks,
     producer order, axis roles consistent with usage. *)
 
+val fingerprint : t -> string
+(** Exhaustive structural identity — axes (name, size, role), batch,
+    every block's tensors, reduction axes and epilogue constants — for
+    content-addressed cache keys.  Two chains share a fingerprint iff
+    they lower identically for every candidate. *)
+
 val pp : Format.formatter -> t -> unit

@@ -130,6 +130,10 @@ let of_search_doc ?time ?rev doc =
                 | None -> [])
               | None -> [])
             @ metric "best_time_s" tune_row
+            (* Measurement-engine rows carry a nested [measure] section;
+               both arms are throughputs (higher is better). *)
+            @ metric "measured_per_s" (Json.member "measure" w)
+            @ metric "sequential_per_s" (Json.member "measure" w)
             @ (match num "peak_heap_words" w with
               | Some v -> [ ("peak_heap_words", v) ]
               | None -> [])

@@ -8,7 +8,6 @@ let c_generations = Mcf_obs.Metrics.counter "explore.generations"
 let c_estimated = Mcf_obs.Metrics.counter "explore.estimated"
 let c_measured = Mcf_obs.Metrics.counter "explore.measured"
 let h_estimate_s = Mcf_obs.Metrics.histogram "explore.estimate_s"
-let h_measure_s = Mcf_obs.Metrics.histogram "explore.measure_s"
 
 type params = {
   population : int;
@@ -55,7 +54,8 @@ let measure ~clock ~compile_cost_s ~repeats spec (entry : Space.entry) =
       Mcf_gpu.Clock.charge_measure clock ~kernel_time_s:v.time_s ~repeats;
       Some v.time_s)
 
-let run ?(params = default_params) ?estimator ?scores ~rng ~clock spec entries =
+let run ?(params = default_params) ?estimator ?scores ?measure:engine ?on_phase
+    ~rng ~clock spec entries =
   match entries with
   | [] -> None
   | _ ->
@@ -120,28 +120,54 @@ let run ?(params = default_params) ?estimator ?scores ~rng ~clock spec entries =
     let estimate id = estimates.(id) in
     let generations = ref 0 in
     let measured : (int, float option) Hashtbl.t = Hashtbl.create 64 in
-    let measure_once id =
-      match Hashtbl.find_opt measured id with
-      | Some r -> r
-      | None ->
-        Mcf_obs.Metrics.incr c_measured;
-        let r =
-          Trace.observe_timed h_measure_s (fun () ->
-              measure ~clock ~compile_cost_s:params.compile_cost_s
-                ~repeats:params.measure_repeats spec pool.(id))
+    let engine = match engine with Some e -> e | None -> Measure.create spec in
+    let measure_s = ref 0.0 in
+    (* One generation's fresh top-k, measured as a batch: stage 1 of the
+       engine runs the simulator in parallel, the drain then commits
+       below in rank order, so table fills, clock charges and recorder
+       events are bit-identical to the old point-wise loop.  Duplicate
+       ids (the population samples with replacement, and the ranking
+       fallback can re-pick a population id) collapse to one
+       measurement, exactly as the old measured-table check did. *)
+    let measure_batch topk =
+      let seen = Hashtbl.create 16 in
+      let fresh =
+        List.filter_map
+          (fun (id, _) ->
+            if Hashtbl.mem measured id || Hashtbl.mem seen id then None
+            else begin
+              Hashtbl.add seen id ();
+              Some (id, pool.(id))
+            end)
+          topk
+      in
+      if fresh <> [] then begin
+        let (), dur_s =
+          Trace.timed "tuner.measure"
+            ~args:(fun () -> [ ("batch", Trace.Int (List.length fresh)) ])
+            (fun () ->
+              Measure.run_batch engine ~clock
+                ~compile_cost_s:params.compile_cost_s
+                ~repeats:params.measure_repeats
+                ~commit:(fun id r ->
+                  Mcf_obs.Metrics.incr c_measured;
+                  Hashtbl.add measured id r;
+                  (* Every estimate <-> measurement pair lands in the
+                     recording; the raw material for Mcf_obs.Fidelity. *)
+                  Mcf_obs.Recorder.emit "measure" (fun () ->
+                      let open Mcf_util.Json in
+                      [ ("gen", num_of_int !generations);
+                        ("id", num_of_int id);
+                        ("cand",
+                         Str
+                           (Mcf_ir.Candidate.to_string pool.(id).Space.cand));
+                        ("est", Num estimates.(id));
+                        ("time_s",
+                         match r with Some t -> Num t | None -> Null) ]))
+                fresh)
         in
-        Hashtbl.add measured id r;
-        (* Every estimate <-> measurement pair lands in the recording;
-           this is the raw material for Mcf_obs.Fidelity. *)
-        Mcf_obs.Recorder.emit "measure" (fun () ->
-            let open Mcf_util.Json in
-            [ ("gen", num_of_int !generations);
-              ("id", num_of_int id);
-              ("cand", Str (Mcf_ir.Candidate.to_string pool.(id).Space.cand));
-              ("est", Num estimates.(id));
-              ("time_s",
-               match r with Some t -> Num t | None -> Null) ]);
-        r
+        measure_s := !measure_s +. dur_s
+      end
     in
     let mutate id =
       let e : Space.entry = pool.(id) in
@@ -191,6 +217,38 @@ let run ?(params = default_params) ?estimator ?scores ~rng ~clock spec entries =
       Array.sub ranked 0 (min params.top_k n)
     in
     let pool_ids = Array.init n Fun.id in
+    (* Global estimate ranking for the stale-population fallback, built
+       once on first use.  The old code refiltered and re-sorted the
+       whole unmeasured space every generation — O(generations x space
+       log space); this cursor only ever advances: every id it yields
+       lands in that generation's measured batch, and ids it skips were
+       measured earlier, so a rewind can never be needed.  Ties rank
+       toward the lower id, matching the stable sort over the
+       id-ascending list this replaces. *)
+    let ranking =
+      lazy
+        (let a = Array.init n Fun.id in
+         Array.sort
+           (fun a b ->
+             let c = Float.compare estimates.(a) estimates.(b) in
+             if c <> 0 then c else compare a b)
+           a;
+         a)
+    in
+    let cursor = ref 0 in
+    let next_ranked k =
+      let r = Lazy.force ranking in
+      let rec go acc k =
+        if k = 0 || !cursor >= n then List.rev acc
+        else begin
+          let id = r.(!cursor) in
+          incr cursor;
+          if Hashtbl.mem measured id then go acc k
+          else go ((id, estimates.(id)) :: acc) (k - 1)
+        end
+      in
+      go [] k
+    in
     let sample_population () =
       let size = min params.population n in
       let seeds = Array.append (top_ids_by estimates) (top_ids_by traffic) in
@@ -228,21 +286,15 @@ let run ?(params = default_params) ?estimator ?scores ~rng ~clock spec entries =
       let topk = Mcf_util.Listx.take params.top_k fresh in
       let topk =
         if List.length topk >= params.top_k then topk
-        else begin
-          let ranked_pool =
-            Array.to_list pool_ids
-            |> List.filter unmeasured
-            |> List.map (fun id -> (id, estimate id))
-            |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
-          in
-          topk
-          @ Mcf_util.Listx.take (params.top_k - List.length topk) ranked_pool
-        end
+        else topk @ next_ranked (params.top_k - List.length topk)
       in
+      measure_batch topk;
       let results =
         List.filter_map
           (fun (id, _) ->
-            Option.map (fun t -> (id, t)) (measure_once id))
+            match Hashtbl.find_opt measured id with
+            | Some (Some t) -> Some (id, t)
+            | Some None | None -> None)
           topk
       in
       Log.debug (fun m ->
@@ -341,6 +393,10 @@ let run ?(params = default_params) ?estimator ?scores ~rng ~clock spec entries =
         population := next
       end
     done;
+    (* The measure batches' total wall time, reported as a sub-phase so
+       the tuner can carve it out of tuner.explore (the cache's
+       wall-time saving is visible exactly here). *)
+    Option.iter (fun f -> f "tuner.measure" !measure_s) on_phase;
     Option.map
       (fun (id, t) ->
         { best = pool.(id);

@@ -47,6 +47,8 @@ val run :
   ?params:params ->
   ?estimator:(Mcf_gpu.Spec.t -> Space.entry -> float) ->
   ?scores:(float * float) array ->
+  ?measure:Measure.t ->
+  ?on_phase:(string -> float -> unit) ->
   rng:Mcf_util.Rng.t ->
   clock:Mcf_gpu.Clock.t ->
   Mcf_gpu.Spec.t ->
@@ -64,7 +66,15 @@ val run :
     surviving candidate, so passing them skips the batched estimate pass
     here.  Ignored (recomputed) when a custom [estimator] is given or
     the array length does not match; results are bit-identical either
-    way because the streamed scores use the same formulas. *)
+    way because the streamed scores use the same formulas.
+
+    [measure] is the batched measurement engine each generation's fresh
+    top-k goes through (defaults to a fresh cache-less {!Measure.create}
+    on [spec]); attach a cache there to reuse measurements across runs.
+    Results are bit-identical with or without a cache and at any jobs
+    count — see {!Measure}.  [on_phase] receives ["tuner.measure"] with
+    the total measurement wall time once the loop finishes, for the
+    tuner's phase breakdown. *)
 
 val measure :
   clock:Mcf_gpu.Clock.t ->

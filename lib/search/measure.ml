@@ -1,0 +1,212 @@
+let log_src = Logs.Src.create "mcfuser.measure" ~doc:"MCFuser measurement engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+module Trace = Mcf_obs.Trace
+
+let c_cache_hits = Mcf_obs.Metrics.counter "measure.cache.hits"
+let c_cache_misses = Mcf_obs.Metrics.counter "measure.cache.misses"
+
+let c_cache_inflight_waits =
+  Mcf_obs.Metrics.counter "measure.cache.inflight_waits"
+
+let h_measure_s = Mcf_obs.Metrics.histogram "explore.measure_s"
+
+(* --- content-addressed cache ------------------------------------------- *)
+
+type cache = float option Mcf_util.Shardmap.t
+
+let cache_create ?(shards = 16) ?(capacity_per_shard = 65536) () : cache =
+  Mcf_util.Shardmap.create ~shards ~capacity_per_shard ()
+
+let cache_size = Mcf_util.Shardmap.length
+
+let chain_fp chain =
+  Printf.sprintf "%Lx"
+    (Mcf_util.Hashing.fnv1a64 (Mcf_ir.Chain.fingerprint chain))
+
+let candidate_fp (ctx : Space.ctx) (cand : Mcf_ir.Candidate.t) =
+  (* Rule-1 canonical form: under canonical execution, candidates sharing
+     a per-block sub-tiling and the same tile vector lower identically
+     (the chain's axis sizes pin every trip count), so they share one
+     measurement.  Without rule 1 the full expression stays. *)
+  let tiling =
+    if ctx.rule1 then Mcf_ir.Tiling.sub_tiling ctx.chain cand.tiling
+    else cand.tiling
+  in
+  Mcf_ir.Candidate.serialize { cand with tiling }
+
+let key_with ~spec_fp ~chain_fp (ctx : Space.ctx) cand =
+  Printf.sprintf "%s|%s|r1=%b,dle=%b,h=%b,eb=%d|%s" spec_fp chain_fp ctx.rule1
+    ctx.dead_loop_elim ctx.hoisting ctx.elem_bytes (candidate_fp ctx cand)
+
+(* --- persistence (JSONL) ----------------------------------------------- *)
+
+let entry_to_line key v =
+  let open Mcf_util.Json in
+  to_string
+    (Obj
+       [ ("key", Str key);
+         ("time_s", match v with Some t -> Num t | None -> Null) ])
+
+let entry_of_line line =
+  let open Mcf_util.Json in
+  match parse line with
+  | Error _ -> None
+  | Ok j -> (
+    match (member "key" j, member "time_s" j) with
+    | Some (Str k), Some (Num t) -> Some (k, Some t)
+    | Some (Str k), Some Null -> Some (k, None)
+    | _ -> None)
+
+let cache_save (cache : cache) path =
+  let entries = Mcf_util.Shardmap.fold cache (fun k v acc -> (k, v) :: acc) [] in
+  (* Sort for a deterministic file: shard iteration order is not. *)
+  let entries =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+  in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun (k, v) ->
+          output_string oc (entry_to_line k v);
+          output_char oc '\n')
+        entries);
+  Sys.rename tmp path;
+  List.length entries
+
+let cache_load (cache : cache) path =
+  if not (Sys.file_exists path) then (0, 0)
+  else begin
+    let ic = open_in path in
+    let loaded = ref 0 in
+    let malformed = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if String.trim line <> "" then begin
+              match entry_of_line line with
+              | Some (k, v) ->
+                Mcf_util.Shardmap.set cache k v;
+                incr loaded
+              | None -> incr malformed
+            end
+          done
+        with End_of_file -> ());
+    if !malformed > 0 then
+      Log.warn (fun m ->
+          m "%s: skipped %d malformed measurement line%s" path !malformed
+            (if !malformed = 1 then "" else "s"));
+    (!loaded, !malformed)
+  end
+
+(* --- engine ------------------------------------------------------------ *)
+
+type t = {
+  spec : Mcf_gpu.Spec.t;
+  spec_fp : string;
+  cache : cache option;
+  sequential : bool;
+}
+
+let create ?cache ?(sequential = false) spec =
+  { spec; spec_fp = Mcf_gpu.Spec.fingerprint spec; cache; sequential }
+
+let spec t = t.spec
+let cache t = t.cache
+
+(* One uncharged simulator round-trip: lower (forcing the entry's cell),
+   compile, run.  [None] when the candidate fails to compile or launch —
+   failures are cached too, so a warm run skips re-proving them. *)
+let simulate t (e : Space.entry) =
+  match Mcf_codegen.Compile.compile t.spec (Space.lowered e) with
+  | Error _ -> None
+  | Ok kernel -> (
+    match Mcf_gpu.Sim.run t.spec kernel with
+    | Error _ -> None
+    | Ok v -> Some v.time_s)
+
+let lookup t (e : Space.entry) =
+  match t.cache with
+  | None -> None
+  | Some store ->
+    let ctx = e.Space.ctx in
+    Mcf_util.Shardmap.find store
+      (key_with ~spec_fp:t.spec_fp ~chain_fp:(chain_fp ctx.chain) ctx e.cand)
+
+let measure_one t (key : string option) (e : Space.entry) =
+  Trace.observe_timed h_measure_s (fun () ->
+      match (t.cache, key) with
+      | None, _ | _, None -> simulate t e
+      | Some store, Some key ->
+        let outcome, v =
+          Mcf_util.Shardmap.find_or_compute store key (fun () -> simulate t e)
+        in
+        (match outcome with
+        | Mcf_util.Shardmap.Hit -> Mcf_obs.Metrics.incr c_cache_hits
+        | Mcf_util.Shardmap.Computed -> Mcf_obs.Metrics.incr c_cache_misses
+        | Mcf_util.Shardmap.Waited ->
+          Mcf_obs.Metrics.incr c_cache_inflight_waits);
+        v)
+
+let run_batch t ~clock ~compile_cost_s ~repeats ~commit items =
+  match items with
+  | [] -> ()
+  | _ ->
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    (* Cache keys are derived sequentially up front: key building walks
+       the chain (hashing its fingerprint, memoized per distinct chain
+       below) and must not race on the memo from worker domains. *)
+    let keys =
+      match t.cache with
+      | None -> Array.make n None
+      | Some _ ->
+        let memo = ref [] in
+        Array.map
+          (fun ((_ : int), (e : Space.entry)) ->
+            let chain = e.ctx.Space.chain in
+            let cfp =
+              match List.assq_opt chain !memo with
+              | Some fp -> fp
+              | None ->
+                let fp = chain_fp chain in
+                memo := (chain, fp) :: !memo;
+                fp
+            in
+            Some (key_with ~spec_fp:t.spec_fp ~chain_fp:cfp e.ctx e.cand))
+          arr
+    in
+    let compute i = measure_one t keys.(i) (snd arr.(i)) in
+    (* Stage 1 — parallel: pure per-candidate work (lower, compile,
+       simulate; the simulator is deterministic, so values cannot depend
+       on scheduling).  One item per chunk: a measurement is orders of
+       magnitude above the deque-handoff cost. *)
+    let results =
+      if t.sequential || n = 1 then Array.init n compute
+      else begin
+        let anc = Trace.ancestry () in
+        Mcf_util.Pool.init ~min_chunk_work:1 (Mcf_util.Pool.get ()) n (fun i ->
+            Trace.with_ancestry anc (fun () -> compute i))
+      end
+    in
+    (* Stage 2 — sequential drain in rank order: all side effects the
+       determinism contract covers (virtual-clock charges in float
+       addition order, recorder emissions, the caller's table fills via
+       [commit]) happen here, so they are bit-identical to the
+       point-wise sequential path at any jobs count — and identical
+       whether a value came from the cache or a fresh simulation. *)
+    Array.iteri
+      (fun i (id, (_ : Space.entry)) ->
+        let r = results.(i) in
+        Mcf_gpu.Clock.charge_compile clock ~toolchain_s:compile_cost_s;
+        (match r with
+        | Some time_s -> Mcf_gpu.Clock.charge_measure clock ~kernel_time_s:time_s ~repeats
+        | None -> ());
+        commit id r)
+      arr

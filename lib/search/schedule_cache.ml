@@ -20,27 +20,29 @@ let empty = []
 
 let key e = (e.echain, e.edevice)
 
-let add t e = e :: List.filter (fun x -> key x <> key e) t
+(* The one replace path: keep the first (most recent) entry per
+   (chain, device) key, preserving list order.  Both [add] and [load]
+   funnel through it, so their latest-wins semantics cannot drift. *)
+let dedup_keep_first entries =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun e ->
+      let k = key e in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    entries
+
+let add t e = dedup_keep_first (e :: t)
 
 let size = List.length
 
-let serialize_candidate (cand : Candidate.t) =
-  let names axes =
-    String.concat "," (List.map (fun (a : Axis.t) -> a.name) axes)
-  in
-  let tiling =
-    match cand.tiling with
-    | Tiling.Deep axes -> "deep:" ^ names axes
-    | Tiling.Flat (prefix, groups) ->
-      "flat:" ^ names prefix ^ "/"
-      ^ String.concat "/" (List.map names groups)
-  in
-  let tiles =
-    cand.tiles
-    |> List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v)
-    |> String.concat ","
-  in
-  tiling ^ ";" ^ tiles
+(* The line format is [Candidate.serialize]'s — the same serialization
+   the measurement cache keys on — and is backward-compatible: files
+   written before the extraction parse unchanged. *)
+let serialize_candidate = Candidate.serialize
 
 let parse_candidate chain s =
   let ( let* ) r f = Result.bind r f in
@@ -135,13 +137,11 @@ let load ~chains path =
   if not (Sys.file_exists path) then empty
   else begin
     let ic = open_in path in
-    (* Dedup through a hashtable keyed by (chain, device) — the old
-       list-rebuilding [add] per line made loading O(n^2).  The result
-       keeps [add]'s semantics: latest occurrence per key wins, entries
-       ordered most-recently-seen first. *)
-    let by_key : (string * string, int * entry) Hashtbl.t =
-      Hashtbl.create 64
-    in
+    (* Entries are collected newest-first and deduplicated through the
+       same [dedup_keep_first] path as [add], so load keeps [add]'s
+       semantics by construction: latest occurrence per key wins,
+       entries ordered most-recently-seen first. *)
+    let entries = ref [] in
     let lineno = ref 0 in
     let malformed = ref 0 in
     Fun.protect
@@ -162,8 +162,7 @@ let load ~chains path =
               | Some chain, Some etime_s -> (
                 match parse_candidate chain cand_s with
                 | Ok ecand ->
-                  let e = { echain; edevice; ecand; etime_s } in
-                  Hashtbl.replace by_key (key e) (!lineno, e)
+                  entries := { echain; edevice; ecand; etime_s } :: !entries
                 | Error _ -> incr malformed)
               | None, Some _ ->
                 (* a record for a chain we were not asked about: well
@@ -178,9 +177,7 @@ let load ~chains path =
           m "%s: skipped %d malformed line%s out of %d" path !malformed
             (if !malformed = 1 then "" else "s")
             !lineno);
-    Hashtbl.fold (fun _ v acc -> v :: acc) by_key []
-    |> List.sort (fun (a, _) (b, _) -> compare (b : int) a)
-    |> List.map snd
+    dedup_keep_first !entries
   end
 
 let tune_with_cache ~cache_file (spec : Mcf_gpu.Spec.t) chain =

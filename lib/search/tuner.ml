@@ -25,8 +25,8 @@ module Log = (val Logs.src_log Explore.log_src : Logs.LOG)
 
 let c_tunes = Mcf_obs.Metrics.counter "tuner.tunes"
 
-let tune ?options ?params ?estimator ?seed ?reservoir (spec : Mcf_gpu.Spec.t)
-    (chain : Mcf_ir.Chain.t) =
+let tune ?options ?params ?estimator ?seed ?reservoir ?measure
+    (spec : Mcf_gpu.Spec.t) (chain : Mcf_ir.Chain.t) =
   let opts = Option.value options ~default:Space.default_options in
   let prm = Option.value params ~default:Explore.default_params in
   let seed =
@@ -104,10 +104,25 @@ let tune ?options ?params ?estimator ?seed ?reservoir (spec : Mcf_gpu.Spec.t)
           funnel.candidates_raw);
     (* Framework start-up: partitioning, space generation, IR round-trips. *)
     Mcf_gpu.Clock.charge clock 4.0;
-    match
-      phase "tuner.explore" (fun () ->
-          Explore.run ~params:prm ?estimator ~scores ~rng ~clock spec entries)
-    with
+    (* Like the enumeration above, the explore phase reports its measure
+       batches as a sub-phase (tuner.measure) carved out of its own
+       duration — this is where a warm measurement cache's wall-time
+       saving becomes visible in the breakdown. *)
+    let esub = ref [] in
+    Mcf_obs.Progress.set_phase "tuner.explore";
+    Mcf_obs.Resource.sample ();
+    let explored, explore_s =
+      Trace.timed "tuner.explore" (fun () ->
+          Explore.run ~params:prm ?estimator ~scores ?measure
+            ~on_phase:(fun name dur_s -> esub := (name, dur_s) :: !esub)
+            ~rng ~clock spec entries)
+    in
+    let esub = List.rev !esub in
+    let esub_total = Mcf_util.Listx.sum_by snd esub in
+    phases :=
+      ("tuner.explore", Float.max 0.0 (explore_s -. esub_total)) :: !phases;
+    List.iter (fun p -> phases := p :: !phases) esub;
+    match explored with
     | None -> Error No_viable_candidate
     | Some { best; best_time_s; stats } -> (
       match

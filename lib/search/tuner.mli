@@ -22,8 +22,10 @@ type outcome = {
       (** Non-overlapping wall-clock breakdown in execution order, in
           seconds: [tuner.enumerate] (with its [space.precheck]
           sub-phase carved out and listed right after it), then
-          [tuner.explore] and [tuner.codegen].  The entries sum to at
-          most [tuning_wall_s]; the remainder is untimed glue. *)
+          [tuner.explore] (likewise with its [tuner.measure] sub-phase —
+          the explorer's measurement batches — carved out and listed
+          after it) and [tuner.codegen].  The entries sum to at most
+          [tuning_wall_s]; the remainder is untimed glue. *)
 }
 
 type error =
@@ -37,11 +39,19 @@ val tune :
   ?estimator:(Mcf_gpu.Spec.t -> Space.entry -> float) ->
   ?seed:int ->
   ?reservoir:int ->
+  ?measure:Measure.t ->
   Mcf_gpu.Spec.t ->
   Mcf_ir.Chain.t ->
   (outcome, error) result
 (** Deterministic for a fixed [seed] (default derived from the chain
     name and device).
+
+    [measure] is the batched measurement engine handed to the explorer
+    (defaults to a fresh cache-less one); attach a
+    {!Measure.cache} there — or pass [--measure-cache FILE] on the CLI —
+    to reuse measurements across tuning runs.  Caching never changes the
+    outcome: cache hits return the deterministic simulator's value
+    bit-for-bit and charge the virtual clock identically.
 
     [reservoir] bounds how many enumerated candidates stay resident for
     exploration: only the [reservoir] best by analytical estimate are

@@ -192,7 +192,11 @@ let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 let min_items = 32
 
 let run_range ?(min_chunk_work = min_items) t n body =
-  let cutoff = max min_items min_chunk_work in
+  (* The sequential cutoff IS [min_chunk_work]: callers with expensive
+     per-item bodies (device measurement batches of ~top_k items) pass
+     [~min_chunk_work:1] to parallelize even tiny ranges, while the
+     default keeps the old [min_items] threshold for cheap bodies. *)
+  let cutoff = max 1 min_chunk_work in
   if n <= 0 then ()
   else if t.size = 1 || t.quit || n < cutoff || Domain.DLS.get in_task then
     body 0 n

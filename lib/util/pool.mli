@@ -59,7 +59,10 @@ val run_range : ?min_chunk_work:int -> t -> int -> (int -> int -> unit) -> unit
     with cheap per-item work (default 32): ranges shorter than it run
     inline in the caller, and parallel runs never deal chunks smaller
     than it, so deque handoff cannot dominate sub-microsecond items.
-    Results are bit-identical whatever its value. *)
+    Callers whose per-item body is expensive (a whole device
+    measurement) pass [~min_chunk_work:1] to parallelize even tiny
+    ranges one item per chunk.  Results are bit-identical whatever its
+    value. *)
 
 (** {1 The shared global pool}
 

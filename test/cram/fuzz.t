@@ -4,22 +4,24 @@ cases — and prints the same summary — on every machine:
 
   $ mcfuser fuzz --seed 42 --budget-s 2 --no-corpus
   fuzz: seed 42, 30 cases, 2.07 virtual s
-  oracle       runs   pass   skip   fail
-  interp         30     19     11      0
-  analytic       30     30      0      0
-  shmem          30     30      0      0
-  pruning        30     30      0      0
-  tuner           2      1      1      0
-  emit           30     21      9      0
+  oracle          runs   pass   skip   fail
+  interp            30     19     11      0
+  analytic          30     30      0      0
+  shmem             30     30      0      0
+  pruning           30     30      0      0
+  tuner              2      1      1      0
+  measure-cache      6      6      0      0
+  emit              30     21      9      0
   fuzz: PASS
 
   $ mcfuser fuzz --list-oracles
-  interp     Interp.run on the built schedule agrees with Interp.reference
-  analytic   closed-form Analytic equals the lowered walk bit-for-bit
-  shmem      Shmem precheck equals the lowered eq. (1) estimate exactly
-  pruning    no pruning precheck rejects what the lowered pipeline accepts
-  tuner      Tuner.tune is bit-identical across jobs 1/4 and recording on/off (every 25 cases)
-  emit       emitted Triton kernel is well-formed (scopes, def-before-use)
+  interp        Interp.run on the built schedule agrees with Interp.reference
+  analytic      closed-form Analytic equals the lowered walk bit-for-bit
+  shmem         Shmem precheck equals the lowered eq. (1) estimate exactly
+  pruning       no pruning precheck rejects what the lowered pipeline accepts
+  tuner         Tuner.tune is bit-identical across jobs 1/4 and recording on/off (every 25 cases)
+  measure-cache a cached measurement equals a fresh Sim.run bit-for-bit (every 5 cases)
+  emit          emitted Triton kernel is well-formed (scopes, def-before-use)
 
 Checked-in minimized regressions replay through their recorded oracle.
 This one (an epilogue once placed inside a loop feeding its accumulator

@@ -63,7 +63,7 @@ Diffing a recording against itself shows zero drift and exits 0:
   fidelity  MAPE 12.1% -> 12.1%, tau 0.010 -> 0.010, pairs 32 -> 32
   best      4.8us -> 4.8us (+0.00%, tolerance 5.0%)
   peakheap  +0.00% (tolerance 5.0%)
-  phases    tuner.enumerate +0.00%, space.precheck +0.00%, tuner.explore +0.00%, tuner.codegen +0.00% (informational)
+  phases    tuner.enumerate +0.00%, space.precheck +0.00%, tuner.explore +0.00%, tuner.measure +0.00%, tuner.codegen +0.00% (informational)
   verdict   OK
 
 A regression beyond tolerance fails the diff (the CI gate):

@@ -365,7 +365,8 @@ let test_tuner_metric_invariants () =
       <= o.tuning_wall_s +. 1e-6);
     Alcotest.(check (list string))
       "phases in execution order (space.precheck carved out)"
-      [ "tuner.enumerate"; "space.precheck"; "tuner.explore"; "tuner.codegen" ]
+      [ "tuner.enumerate"; "space.precheck"; "tuner.explore"; "tuner.measure";
+        "tuner.codegen" ]
       (List.map fst o.phases);
     List.iter
       (fun (name, d) ->
@@ -389,7 +390,8 @@ let test_tuner_trace_covers_pipeline () =
       if not (List.mem n names) then Alcotest.failf "span %S missing" n)
     [ "tuner.tune"; "tuner.enumerate"; "space.enumerate"; "space.tilings";
       "space.rule1"; "space.rule2"; "space.rule3"; "space.lower";
-      "tuner.explore"; "explore.generation"; "tuner.codegen" ];
+      "tuner.explore"; "explore.generation"; "tuner.measure"; "tuner.codegen"
+    ];
   (* every span nests under the root *)
   List.iter
     (fun (e : Trace.event) ->

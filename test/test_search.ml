@@ -338,7 +338,7 @@ let test_tuner_jobs_equality () =
               Alcotest.(check (list string))
                 (name ^ ": phase names")
                 [ "tuner.enumerate"; "space.precheck"; "tuner.explore";
-                  "tuner.codegen" ]
+                  "tuner.measure"; "tuner.codegen" ]
                 (List.map fst o.phases);
               Alcotest.(check bool)
                 (name ^ ": phases sum within wall clock")
