@@ -3,7 +3,7 @@
 .PHONY: all build test bench examples quick clean fmt trace-demo check \
 	ci-guard bench-search bench-search-smoke bench-estimate-smoke \
 	report-smoke fuzz-smoke perf-smoke bench-stream-smoke \
-	bench-measure-smoke
+	bench-measure-smoke telemetry-smoke
 
 all: build
 
@@ -105,7 +105,17 @@ bench-measure-smoke:
 	@test -s /tmp/mcfuser-bench-measure-smoke.json
 	@echo "bench-measure-smoke: warm-cache + throughput gates ok"
 
-check: build fmt test trace-demo ci-guard bench-search-smoke bench-estimate-smoke report-smoke fuzz-smoke perf-smoke bench-stream-smoke bench-measure-smoke
+# Live-telemetry smoke: tune with the HTTP listener on a kernel-assigned
+# port and let the process probe its own endpoints over a real socket
+# before shutting down — /healthz must answer, /status must parse with a
+# phase field, and /metrics must pass the exposition validator.  Exits
+# non-zero on any failure, so the listener lifecycle stays under tier-1.
+telemetry-smoke:
+	dune exec -- mcfuser tune G1 --jobs 2 --listen 127.0.0.1:0 \
+	  --listen-selfcheck > /dev/null
+	@echo "telemetry-smoke: serve + selfcheck + shutdown ok"
+
+check: build fmt test trace-demo ci-guard bench-search-smoke bench-estimate-smoke report-smoke fuzz-smoke perf-smoke bench-stream-smoke bench-measure-smoke telemetry-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -769,6 +769,9 @@ let () =
   let measure_only = ref false in
   let sample_ms = ref None in
   let history = ref None in
+  let listen = ref None in
+  let log_format = ref Mcf_obs.Logfmt.Text in
+  let verbose = ref 0 in
   let rec parse = function
     | [] -> ()
     | "--list" :: _ ->
@@ -835,11 +838,29 @@ let () =
     | "--history" :: path :: rest ->
       history := Some path;
       parse rest
+    | "--listen" :: addr :: rest ->
+      listen := Some addr;
+      parse rest
+    | "--log-format" :: fmt :: rest -> (
+      match Mcf_obs.Logfmt.format_of_string fmt with
+      | Ok f ->
+        log_format := f;
+        parse rest
+      | Error e ->
+        Printf.printf "%s\n" e;
+        exit 1)
+    | "-v" :: rest ->
+      incr verbose;
+      parse rest
     | arg :: _ ->
       Printf.printf "unknown argument %S (try --list)\n" arg;
       exit 1
   in
   parse args;
+  (* Same reporter/level setup as the CLI (Mcf_obs.Logfmt): the global
+     default covers per-library sources registered later. *)
+  Mcf_obs.Logfmt.setup ~format:!log_format
+    (match !verbose with 0 -> None | 1 -> Some Logs.Info | _ -> Some Logs.Debug);
   if !quick then Mcf_baselines.Ansor.trials := 200;
   if !profile then Mcf_obs.Profile.enable ();
   if !trace <> None then Mcf_obs.Trace.start ();
@@ -847,6 +868,20 @@ let () =
   (match !sample_ms with
   | Some ms -> Mcf_obs.Resource.start ~period_s:(ms *. 1e-3)
   | None -> ());
+  let server =
+    match !listen with
+    | None -> None
+    | Some addr -> (
+      match Mcf_obs.Export.serve ~listen:addr with
+      | Error e ->
+        Printf.eprintf "--listen: %s\n" e;
+        exit 1
+      | Ok t ->
+        Printf.eprintf
+          "telemetry: listening on %s/ (metrics, status, healthz)\n%!"
+          (Mcf_util.Httpd.url t);
+        Some t)
+  in
   let t0 = Unix.gettimeofday () in
   (match !mode with
   | `Search ->
@@ -861,6 +896,7 @@ let () =
     run_experiments ids;
     if !micro && !only = None then run_micro ());
   Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  Option.iter Mcf_obs.Export.shutdown server;
   (* Sampler down before the trace flushes so its closing counter events
      make it into the file. *)
   Mcf_obs.Resource.stop ();

@@ -91,19 +91,43 @@ let verbose_arg =
   let doc = "Log tuning progress (-v: per-tune summaries, -vv: per-generation)." in
   Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
 
-let setup_logs verbose =
+let log_format_conv =
+  let parse s =
+    match Mcf_obs.Logfmt.format_of_string s with
+    | Ok f -> Ok f
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf f =
+    Format.pp_print_string ppf
+      (match f with Mcf_obs.Logfmt.Text -> "text" | Mcf_obs.Logfmt.Json -> "json")
+  in
+  Arg.conv (parse, print)
+
+let log_format_arg =
+  let doc =
+    "Log line format: $(b,text) (timestamped, source-tagged lines) or \
+     $(b,json) (one JSON object per line, machine-parseable)."
+  in
+  Arg.(value & opt log_format_conv Mcf_obs.Logfmt.Text
+       & info [ "log-format" ] ~docv:"FMT" ~doc)
+
+let setup_logs verbose log_format =
   let level =
     match List.length verbose with
     | 0 -> None
     | 1 -> Some Logs.Info
     | _ -> Some Logs.Debug
   in
-  Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level level;
-  (* Each library registers its own source (mcfuser.space, mcfuser.search,
-     mcfuser.sim, mcfuser.codegen, mcfuser.cache, ...); apply the chosen
-     level to every one of them explicitly so none is left behind. *)
-  List.iter (fun src -> Logs.Src.set_level src level) (Logs.Src.list ())
+  (* [Logs.set_level] (inside [Logfmt.setup]) applies to every existing
+     source and becomes the default for sources registered later, so no
+     per-source loop is needed — the old [Logs.Src.list] iteration only
+     caught sources that already existed at startup and silently missed
+     every per-library source registered after it. *)
+  Mcf_obs.Logfmt.setup ~format:log_format level
+
+(* Evaluated for effect before every sub-command body; run functions
+   take the resulting [()] as their first argument. *)
+let setup_term = Term.(const setup_logs $ verbose_arg $ log_format_arg)
 
 type obs = {
   trace : string option;
@@ -113,6 +137,8 @@ type obs = {
   jobs : int option;
   sample_ms : float option;
   progress : bool;
+  listen : string option;
+  listen_selfcheck : bool;
 }
 
 let obs_term =
@@ -170,11 +196,36 @@ let obs_term =
     in
     Arg.(value & flag & info [ "progress" ] ~doc)
   in
+  let listen_arg =
+    let doc =
+      "Serve live telemetry on $(docv) (e.g. $(b,127.0.0.1:9464); port 0 \
+       picks a free one) for the duration of the run: $(b,/metrics) \
+       (Prometheus text exposition), $(b,/status) (JSON phase/funnel \
+       snapshot), $(b,/healthz), $(b,/readyz).  Off by default; the \
+       listener is strictly observational, so tuner results are \
+       bit-identical with it on or off."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"ADDR:PORT" ~doc)
+  in
+  let listen_selfcheck_arg =
+    let doc =
+      "With $(b,--listen): after the run, fetch $(b,/healthz), \
+       $(b,/status) and $(b,/metrics) from the live listener over its \
+       real socket, validate them (JSON well-formedness, Prometheus \
+       exposition structure) and fail the command if anything is off.  \
+       Used by $(b,make telemetry-smoke)."
+    in
+    Arg.(value & flag & info [ "listen-selfcheck" ] ~doc)
+  in
   Term.(
-    const (fun trace record metrics profile jobs sample_ms progress ->
-        { trace; record; metrics; profile; jobs; sample_ms; progress })
+    const
+      (fun trace record metrics profile jobs sample_ms progress listen
+           listen_selfcheck ->
+        { trace; record; metrics; profile; jobs; sample_ms; progress; listen;
+          listen_selfcheck })
     $ trace_arg $ record_arg $ metrics_arg $ profile_arg $ jobs_arg
-    $ sample_ms_arg $ progress_arg)
+    $ sample_ms_arg $ progress_arg $ listen_arg $ listen_selfcheck_arg)
 
 let write_trace path =
   Mcf_obs.Trace.stop ();
@@ -229,32 +280,64 @@ let with_obs obs f =
   | Some ms -> Mcf_obs.Resource.start ~period_s:(ms *. 1e-3)
   | None -> ());
   if obs.progress && Unix.isatty Unix.stdout then Mcf_obs.Progress.enable ();
-  let result = f () in
-  Mcf_obs.Progress.disable ();
-  (* Stop the sampler before the trace flushes: the closing sample still
-     lands in the counter-event buffer. *)
-  Mcf_obs.Resource.stop ();
-  let trace_result =
-    match obs.trace with None -> Ok () | Some path -> write_trace path
+  let server =
+    match obs.listen with
+    | None -> Ok None
+    | Some listen -> (
+      match Mcf_obs.Export.serve ~listen with
+      | Error e -> Error (`Msg ("--listen: " ^ e))
+      | Ok t ->
+        Printf.eprintf
+          "telemetry: listening on %s/ (metrics, status, healthz)\n%!"
+          (Mcf_util.Httpd.url t);
+        Ok (Some t))
   in
-  let record_result =
-    match obs.record with None -> Ok () | Some path -> write_record path
-  in
-  let metrics_result =
-    match obs.metrics with None -> Ok () | Some path -> write_metrics path
-  in
-  if obs.profile then begin
-    Mcf_obs.Poolstats.sync ();
-    Printf.printf "\n# per-phase wall-clock\n";
-    print_string (Mcf_obs.Profile.render ());
-    Printf.printf "\n# metrics\n";
-    print_string (Mcf_obs.Metrics.render_table ())
-  end;
-  match (result, trace_result, record_result) with
-  | (Error _ as e), _, _ -> e
-  | Ok (), (Error _ as e), _ -> e
-  | Ok (), Ok (), (Error _ as e) -> e
-  | Ok (), Ok (), Ok () -> metrics_result
+  match server with
+  | Error _ as e ->
+    Mcf_obs.Progress.disable ();
+    Mcf_obs.Resource.stop ();
+    e
+  | Ok server ->
+    let result = f () in
+    (* Probe the live listener before tearing it down: the selfcheck
+       exercises the same socket path an external curl would. *)
+    let selfcheck_result =
+      match server with
+      | Some t when obs.listen_selfcheck -> (
+        match Mcf_obs.Export.selfcheck t with
+        | Ok () ->
+          Printf.eprintf "telemetry: selfcheck ok (metrics, status, healthz)\n%!";
+          Ok ()
+        | Error e -> Error (`Msg ("telemetry selfcheck: " ^ e)))
+      | Some _ | None -> Ok ()
+    in
+    Option.iter Mcf_obs.Export.shutdown server;
+    Mcf_obs.Progress.disable ();
+    (* Stop the sampler before the trace flushes: the closing sample still
+       lands in the counter-event buffer. *)
+    Mcf_obs.Resource.stop ();
+    let trace_result =
+      match obs.trace with None -> Ok () | Some path -> write_trace path
+    in
+    let record_result =
+      match obs.record with None -> Ok () | Some path -> write_record path
+    in
+    let metrics_result =
+      match obs.metrics with None -> Ok () | Some path -> write_metrics path
+    in
+    if obs.profile then begin
+      Mcf_obs.Poolstats.sync ();
+      Printf.printf "\n# per-phase wall-clock\n";
+      print_string (Mcf_obs.Profile.render ());
+      Printf.printf "\n# metrics\n";
+      print_string (Mcf_obs.Metrics.render_table ())
+    end;
+    (match (result, trace_result, record_result, metrics_result) with
+    | (Error _ as e), _, _, _ -> e
+    | Ok (), (Error _ as e), _, _ -> e
+    | Ok (), Ok (), (Error _ as e), _ -> e
+    | Ok (), Ok (), Ok (), (Error _ as e) -> e
+    | Ok (), Ok (), Ok (), Ok () -> selfcheck_result)
 
 let with_setup device workload f =
   match spec_of_name device with
@@ -327,9 +410,8 @@ let tune_cmd =
     in
     Arg.(value & opt int 0 & info [ "measure-jobs" ] ~docv:"N" ~doc)
   in
-  let run verbose obs cache reservoir measure_cache measure_jobs device
+  let run () obs cache reservoir measure_cache measure_jobs device
       workload =
-    setup_logs verbose;
     with_obs obs (fun () ->
         with_setup device workload (fun spec chain ->
             match cache with
@@ -406,7 +488,7 @@ let tune_cmd =
                 Ok ())))
   in
   let term =
-    Term.(term_result (const run $ verbose_arg $ obs_term $ cache_arg
+    Term.(term_result (const run $ setup_term $ obs_term $ cache_arg
                        $ reservoir_arg $ measure_cache_arg $ measure_jobs_arg
                        $ device_arg $ workload_arg))
   in
@@ -426,8 +508,7 @@ let chain_cmd =
   let p_arg =
     Arg.(value & opt int 64 & info [ "p" ] ~doc:"Third output dim (gemm3 only).")
   in
-  let run verbose obs device kind batch m n k h p =
-    setup_logs verbose;
+  let run () obs device kind batch m n k h p =
     with_obs obs (fun () ->
         match spec_of_name device with
         | Error e -> Error e
@@ -460,7 +541,7 @@ let chain_cmd =
   let term =
     Term.(
       term_result
-        (const run $ verbose_arg $ obs_term $ device_arg $ kind_arg $ batch_arg
+        (const run $ setup_term $ obs_term $ device_arg $ kind_arg $ batch_arg
         $ dim "m" "M dimension." $ dim "n" "N dimension."
         $ dim "k" "K dimension." $ dim "h" "H dimension." $ p_arg))
   in
@@ -471,8 +552,7 @@ let chain_cmd =
 (* --- dot ------------------------------------------------------------------ *)
 
 let dot_cmd =
-  let run verbose obs device workload =
-    setup_logs verbose;
+  let run () obs device workload =
     with_obs obs (fun () ->
         with_setup device workload (fun spec chain ->
             match Mcf_search.Tuner.tune spec chain with
@@ -483,7 +563,7 @@ let dot_cmd =
               Ok ()))
   in
   let term =
-    Term.(term_result (const run $ verbose_arg $ obs_term $ device_arg
+    Term.(term_result (const run $ setup_term $ obs_term $ device_arg
                        $ workload_arg))
   in
   Cmd.v
@@ -494,8 +574,7 @@ let dot_cmd =
 (* --- explain ---------------------------------------------------------------- *)
 
 let explain_cmd =
-  let run verbose obs device workload =
-    setup_logs verbose;
+  let run () obs device workload =
     with_obs obs (fun () ->
         with_setup device workload (fun spec chain ->
             match Mcf_search.Tuner.tune spec chain with
@@ -515,7 +594,7 @@ let explain_cmd =
               Ok ()))
   in
   let term =
-    Term.(term_result (const run $ verbose_arg $ obs_term $ device_arg
+    Term.(term_result (const run $ setup_term $ obs_term $ device_arg
                        $ workload_arg))
   in
   Cmd.v
@@ -529,8 +608,7 @@ let partition_cmd =
     let doc = "Model whose encoder layer to partition (bert-small/base/large, vit-base/large)." in
     Arg.(value & opt string "bert-base" & info [ "model" ] ~docv:"MODEL" ~doc)
   in
-  let run verbose obs device model =
-    setup_logs verbose;
+  let run () obs device model =
     with_obs obs (fun () ->
         match spec_of_name device with
         | Error e -> Error e
@@ -560,7 +638,7 @@ let partition_cmd =
             Ok ()))
   in
   let term =
-    Term.(term_result (const run $ verbose_arg $ obs_term $ device_arg
+    Term.(term_result (const run $ setup_term $ obs_term $ device_arg
                        $ model_arg))
   in
   Cmd.v
@@ -572,8 +650,7 @@ let partition_cmd =
 (* --- schedule ------------------------------------------------------------ *)
 
 let schedule_cmd =
-  let run verbose obs device workload =
-    setup_logs verbose;
+  let run () obs device workload =
     with_obs obs (fun () ->
         with_setup device workload (fun spec chain ->
             match Mcf_search.Tuner.tune spec chain with
@@ -593,7 +670,7 @@ let schedule_cmd =
               Ok ()))
   in
   let term =
-    Term.(term_result (const run $ verbose_arg $ obs_term $ device_arg
+    Term.(term_result (const run $ setup_term $ obs_term $ device_arg
                        $ workload_arg))
   in
   Cmd.v
@@ -603,8 +680,7 @@ let schedule_cmd =
 (* --- compare ------------------------------------------------------------- *)
 
 let compare_cmd =
-  let run verbose obs device workload =
-    setup_logs verbose;
+  let run () obs device workload =
     with_obs obs (fun () ->
         with_setup device workload (fun spec chain ->
             let backends =
@@ -638,7 +714,7 @@ let compare_cmd =
             Ok ()))
   in
   let term =
-    Term.(term_result (const run $ verbose_arg $ obs_term $ device_arg
+    Term.(term_result (const run $ setup_term $ obs_term $ device_arg
                        $ workload_arg))
   in
   Cmd.v (Cmd.info "compare" ~doc:"Run every backend on one workload") term
@@ -650,8 +726,7 @@ let experiment_cmd =
     let doc = "Experiment id (fig2, fig7, fig8a-d, fig9, fig10, fig11, tab4, ablation)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run verbose obs id =
-    setup_logs verbose;
+  let run () obs id =
     with_obs obs (fun () ->
         match Mcf_experiments.Registry.find id with
         | None ->
@@ -663,7 +738,7 @@ let experiment_cmd =
           print_string (e.run ());
           Ok ())
   in
-  let term = Term.(term_result (const run $ verbose_arg $ obs_term $ id_arg)) in
+  let term = Term.(term_result (const run $ setup_term $ obs_term $ id_arg)) in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate one paper table/figure")
     term
@@ -671,8 +746,7 @@ let experiment_cmd =
 (* --- workloads ----------------------------------------------------------- *)
 
 let workloads_cmd =
-  let run verbose obs =
-    setup_logs verbose;
+  let run () obs =
     with_obs obs (fun () ->
         let tbl =
           Mcf_util.Table.create
@@ -704,14 +778,13 @@ let workloads_cmd =
         print_string (Mcf_util.Table.render tbl);
         Ok ())
   in
-  let term = Term.(term_result (const run $ verbose_arg $ obs_term)) in
+  let term = Term.(term_result (const run $ setup_term $ obs_term)) in
   Cmd.v (Cmd.info "workloads" ~doc:"List the built-in workloads") term
 
 (* --- verify -------------------------------------------------------------- *)
 
 let verify_cmd =
-  let run verbose obs device workload =
-    setup_logs verbose;
+  let run () obs device workload =
     with_obs obs (fun () ->
         with_setup device workload (fun spec chain ->
             (* Scale the chain down so the reference interpreter stays fast,
@@ -771,7 +844,7 @@ let verify_cmd =
               Ok ()))
   in
   let term =
-    Term.(term_result (const run $ verbose_arg $ obs_term $ device_arg
+    Term.(term_result (const run $ setup_term $ obs_term $ device_arg
                        $ workload_arg))
   in
   Cmd.v
@@ -830,9 +903,8 @@ let fuzz_cmd =
     let doc = "List the available oracles and exit." in
     Arg.(value & flag & info [ "list-oracles" ] ~doc)
   in
-  let run verbose obs seed budget_s cases oracle_names corpus no_corpus
+  let run () obs seed budget_s cases oracle_names corpus no_corpus
       replay list_oracles =
-    setup_logs verbose;
     if list_oracles then begin
       List.iter
         (fun (o : Mcf_fuzz.Oracle.t) ->
@@ -892,7 +964,7 @@ let fuzz_cmd =
               else Error (`Msg "fuzzing found failures (corpus updated)")))
   in
   let term =
-    Term.(term_result (const run $ verbose_arg $ obs_term $ seed_arg
+    Term.(term_result (const run $ setup_term $ obs_term $ seed_arg
                        $ budget_arg $ cases_arg $ oracle_arg $ corpus_arg
                        $ no_corpus_arg $ replay_arg $ list_arg))
   in
@@ -931,8 +1003,7 @@ let report_cmd =
     | Ok [] -> Error (`Msg (path ^ ": empty recording"))
     | Ok events -> Ok events
   in
-  let run verbose do_diff tolerance files =
-    setup_logs verbose;
+  let run () do_diff tolerance files =
     match (do_diff, files) with
     | false, [ path ] -> (
       match load path with
@@ -961,7 +1032,7 @@ let report_cmd =
     | true, _ -> Error (`Msg "report --diff expects exactly two FILEs")
   in
   let term =
-    Term.(term_result (const run $ verbose_arg $ diff_arg $ tolerance_arg
+    Term.(term_result (const run $ setup_term $ diff_arg $ tolerance_arg
                        $ files_arg))
   in
   Cmd.v
@@ -1011,8 +1082,7 @@ let perf_cmd =
     Arg.(value & opt (some string) None
          & info [ "from-search" ] ~docv:"FILE" ~doc)
   in
-  let run verbose history workload gate tolerance window from_search =
-    setup_logs verbose;
+  let run () history workload gate tolerance window from_search =
     let seed_result =
       match from_search with
       | None -> Ok ()
@@ -1055,13 +1125,257 @@ let perf_cmd =
       end
   in
   let term =
-    Term.(term_result (const run $ verbose_arg $ history_arg $ workload_arg
+    Term.(term_result (const run $ setup_term $ history_arg $ workload_arg
                        $ gate_arg $ tolerance_arg $ window_arg
                        $ from_search_arg))
   in
   Cmd.v
     (Cmd.info "perf"
        ~doc:"Render cross-run performance trends, or gate on regressions")
+    term
+
+(* --- top ------------------------------------------------------------------ *)
+
+let jget j path =
+  List.fold_left
+    (fun acc k ->
+      match acc with Some j -> Mcf_util.Json.member k j | None -> None)
+    (Some j) path
+
+let jnum j path =
+  match jget j path with Some (Mcf_util.Json.Num v) -> v | _ -> 0.0
+
+let jstr j path =
+  match jget j path with Some (Mcf_util.Json.Str s) -> s | _ -> ""
+
+(* One dashboard frame.  Every figure comes from the [/status] document
+   (and the previous poll's document, for rates) — never from the local
+   clock — so rendering is deterministic for fixed inputs and the cram
+   test can pin a frame byte-for-byte. *)
+let top_frame ~source ~poll ~prev ~heaps status =
+  let num path = jnum status path in
+  let buf = Buffer.create 512 in
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  add "mcfuser top - %s (poll %d)" source poll;
+  add "";
+  let phase = match jstr status [ "phase" ] with "" -> "(idle)" | p -> p in
+  let info = jstr status [ "info" ] in
+  add "phase     %s%s" phase (if info = "" then "" else " | " ^ info);
+  let max_gen = num [ "generation"; "max_gen" ] in
+  (if max_gen > 0.0 then begin
+     let eta =
+       match jget status [ "generation"; "eta_s" ] with
+       | Some (Mcf_util.Json.Num v) -> Printf.sprintf ", ETA %.1fs" v
+       | _ -> ""
+     in
+     add "progress  gen %.0f/%.0f, %.0f measured%s, elapsed %.1fs"
+       (num [ "generation"; "gen" ])
+       max_gen
+       (num [ "generation"; "measured" ])
+       eta
+       (num [ "elapsed_s" ])
+   end
+   else add "progress  elapsed %.1fs" (num [ "elapsed_s" ]));
+  (match prev with
+  | Some (t0, prev_status) when num [ "server"; "time" ] -. t0 > 0.0 ->
+    let dt = num [ "server"; "time" ] -. t0 in
+    let rate path = (num path -. jnum prev_status path) /. dt in
+    add "rates     valid %.1f/s, estimates %.1f/s, measures %.1f/s"
+      (rate [ "funnel"; "candidates_valid" ])
+      (rate [ "funnel"; "estimated" ])
+      (rate [ "funnel"; "measured" ])
+  | Some _ | None -> add "rates     -");
+  add "heap      %.1f Mw (peak %.1f Mw), alloc %.1f Mw/s  %s"
+    (num [ "rsrc"; "heap_words" ] /. 1e6)
+    (num [ "rsrc"; "heap_words_peak" ] /. 1e6)
+    (num [ "rsrc"; "alloc_words_per_s" ] /. 1e6)
+    (Mcf_util.Chart.sparkline heaps);
+  add "pool      busy %.0f/%.0f domains, %.0f%% utilization"
+    (num [ "pool"; "busy" ])
+    (num [ "pool"; "domains" ])
+    (num [ "pool"; "utilization" ] *. 100.0);
+  let cache_cell name h m =
+    let tot = h +. m in
+    if tot <= 0.0 then Printf.sprintf "%s -" name
+    else Printf.sprintf "%s %.0f%% (%.0f/%.0f)" name (h /. tot *. 100.0) h tot
+  in
+  add "caches    %s, %s, %s"
+    (cache_cell "measure"
+       (num [ "caches"; "measure"; "hits" ])
+       (num [ "caches"; "measure"; "misses" ]))
+    (cache_cell "schedule"
+       (num [ "caches"; "schedule"; "hits" ])
+       (num [ "caches"; "schedule"; "misses" ]))
+    (cache_cell "memo"
+       (num [ "caches"; "model_memo"; "hits" ])
+       (num [ "caches"; "model_memo"; "misses" ]));
+  add "funnel    enum %.0f, raw %.0f, lowered %.0f, valid %.0f, estimated \
+       %.0f, measured %.0f"
+    (num [ "funnel"; "enumerations" ])
+    (num [ "funnel"; "tilings_raw" ])
+    (num [ "funnel"; "candidates_lowered" ])
+    (num [ "funnel"; "candidates_valid" ])
+    (num [ "funnel"; "estimated" ])
+    (num [ "funnel"; "measured" ]);
+  Buffer.contents buf
+
+let top_cmd =
+  let url_arg =
+    let doc =
+      "Telemetry URL of a running mcfuser process — the address printed by \
+       $(b,--listen), e.g. http://127.0.0.1:9464.  Optional with \
+       $(b,--status-file)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"URL" ~doc)
+  in
+  let once_arg =
+    let doc = "Render a single frame and exit (no screen clearing)." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let interval_arg =
+    let doc = "Polling interval in milliseconds." in
+    Arg.(value & opt float 1000.0 & info [ "interval-ms" ] ~docv:"MS" ~doc)
+  in
+  let raw_arg =
+    let doc =
+      "Print the raw $(b,/status) JSON and $(b,/metrics) exposition instead \
+       of the dashboard."
+    in
+    Arg.(value & flag & info [ "raw" ] ~doc)
+  in
+  let status_file_arg =
+    let doc =
+      "Render from a saved $(b,/status) JSON document instead of polling a \
+       live server (implies $(b,--once); used by the cram tests)."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "status-file" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_file_arg =
+    let doc =
+      "With $(b,--status-file): also validate a saved $(b,/metrics) \
+       exposition before rendering."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "metrics-file" ] ~docv:"FILE" ~doc)
+  in
+  let read_file path =
+    try Ok (In_channel.with_open_text path In_channel.input_all)
+    with Sys_error e -> Error (`Msg e)
+  in
+  let run () url once interval_ms raw status_file metrics_file =
+    match status_file with
+    | Some path -> (
+      (* Offline mode: deterministic rendering from saved documents. *)
+      match read_file path with
+      | Error _ as e -> e
+      | Ok text -> (
+        match Mcf_util.Json.parse (String.trim text) with
+        | Error e -> Error (`Msg (path ^ ": " ^ e))
+        | Ok status -> (
+          let metrics_check =
+            match metrics_file with
+            | None -> Ok ()
+            | Some mpath -> (
+              match read_file mpath with
+              | Error _ as e -> e
+              | Ok mtext -> (
+                match Mcf_obs.Export.validate_metrics_text mtext with
+                | Error e -> Error (`Msg (mpath ^ ": " ^ e))
+                | Ok () -> Ok ()))
+          in
+          match metrics_check with
+          | Error _ as e -> e
+          | Ok () ->
+            if raw then print_string (Mcf_util.Json.to_string status ^ "\n")
+            else
+              print_string
+                (top_frame ~source:path ~poll:1 ~prev:None
+                   ~heaps:[ jnum status [ "rsrc"; "heap_words" ] ]
+                   status);
+            Ok ())))
+    | None -> (
+      match url with
+      | None ->
+        Error (`Msg "URL required (or render offline with --status-file)")
+      | Some url ->
+        let url =
+          let u =
+            if String.length url >= 7 && String.sub url 0 7 = "http://" then
+              url
+            else "http://" ^ url
+          in
+          if u.[String.length u - 1] = '/' then
+            String.sub u 0 (String.length u - 1)
+          else u
+        in
+        let fetch () =
+          match Mcf_util.Httpd.Client.get (url ^ "/status") with
+          | Error _ as e -> e
+          | Ok (status, _) when status <> 200 ->
+            Error (Printf.sprintf "/status: HTTP %d" status)
+          | Ok (_, body) -> (
+            match Mcf_util.Json.parse (String.trim body) with
+            | Error e -> Error ("/status: " ^ e)
+            | Ok status -> (
+              match Mcf_util.Httpd.Client.get (url ^ "/metrics") with
+              | Error _ as e -> e
+              | Ok (200, text) -> (
+                match Mcf_obs.Export.validate_metrics_text text with
+                | Error e -> Error ("/metrics: " ^ e)
+                | Ok () -> Ok (status, text))
+              | Ok (code, _) -> Error (Printf.sprintf "/metrics: HTTP %d" code)))
+        in
+        let interval_s = Float.max 0.05 (interval_ms /. 1000.0) in
+        let clear () =
+          if Unix.isatty Unix.stdout then print_string "\027[H\027[2J"
+        in
+        let rec loop n prev heaps =
+          match fetch () with
+          | Error e ->
+            if n = 0 then Error (`Msg e)
+            else begin
+              (* The tune we were watching finished and took its listener
+                 with it: a clean exit, not an error. *)
+              Printf.printf "top: server went away (%s)\n%!" e;
+              Ok ()
+            end
+          | Ok (status, metrics_text) ->
+            let heaps = heaps @ [ jnum status [ "rsrc"; "heap_words" ] ] in
+            if raw then begin
+              print_string (Mcf_util.Json.to_string status ^ "\n");
+              print_string metrics_text
+            end
+            else begin
+              if not once then clear ();
+              print_string
+                (top_frame ~source:url ~poll:(n + 1) ~prev ~heaps status)
+            end;
+            flush stdout;
+            if once then Ok ()
+            else begin
+              Thread.delay interval_s;
+              loop (n + 1)
+                (Some (jnum status [ "server"; "time" ], status))
+                heaps
+            end
+        in
+        loop 0 None [])
+  in
+  let term =
+    Term.(term_result (const run $ setup_term $ url_arg $ once_arg
+                       $ interval_arg $ raw_arg $ status_file_arg
+                       $ metrics_file_arg))
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live terminal dashboard for a running tune's telemetry endpoint")
     term
 
 let () =
@@ -1075,4 +1389,4 @@ let () =
        (Cmd.group info
           [ tune_cmd; chain_cmd; schedule_cmd; dot_cmd; explain_cmd;
             compare_cmd; partition_cmd; experiment_cmd; workloads_cmd;
-            verify_cmd; fuzz_cmd; report_cmd; perf_cmd ]))
+            verify_cmd; fuzz_cmd; report_cmd; perf_cmd; top_cmd ]))

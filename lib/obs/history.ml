@@ -53,28 +53,11 @@ let append ~path e =
     (fun () -> output_string oc (Json.to_string (to_json e) ^ "\n"))
 
 let load path =
-  if not (Sys.file_exists path) then ([], 0)
-  else begin
-    let ic = open_in path in
-    let entries = ref [] in
-    let skipped = ref 0 in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        (try
-           while true do
-             let line = input_line ic in
-             if String.trim line <> "" then
-               match Json.parse line with
-               | Ok j -> (
-                 match of_json j with
-                 | Some e -> entries := e :: !entries
-                 | None -> incr skipped)
-               | Error _ -> incr skipped
-           done
-         with End_of_file -> ());
-        (List.rev !entries, !skipped))
-  end
+  let rev_entries, skipped =
+    Json.fold_jsonl ~path ~init:[] ~f:(fun acc j ->
+        match of_json j with Some e -> Some (e :: acc) | None -> None)
+  in
+  (List.rev rev_entries, skipped)
 
 let current_rev () =
   match Sys.getenv_opt "MCFUSER_GIT_REV" with

@@ -1,0 +1,61 @@
+(* Shared structured-log reporter.  See logfmt.mli for the contract. *)
+
+type format =
+  | Text
+  | Json
+
+let format_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "text" -> Ok Text
+  | "json" -> Ok Json
+  | other ->
+    Error (Printf.sprintf "invalid log format %S (expected text or json)" other)
+
+let timestamp () =
+  let t = Unix.gettimeofday () in
+  let tm = Unix.gmtime t in
+  let ms = int_of_float (Float.rem t 1.0 *. 1000.0) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec ms
+
+let level_label = function
+  | Logs.App -> "app"
+  | Logs.Error -> "error"
+  | Logs.Warning -> "warn"
+  | Logs.Info -> "info"
+  | Logs.Debug -> "debug"
+
+let reporter ?(ppf = Format.err_formatter) format =
+  let report src level ~over k msgf =
+    msgf (fun ?header ?tags fmt ->
+        ignore header;
+        ignore tags;
+        Format.kasprintf
+          (fun msg ->
+            let time = timestamp () in
+            let src_name = Logs.Src.name src in
+            (match format with
+            | Text ->
+              Format.fprintf ppf "%s %-5s [%s] %s@." time
+                (String.uppercase_ascii (level_label level))
+                src_name msg
+            | Json ->
+              let open Mcf_util.Json in
+              Format.fprintf ppf "%s@."
+                (to_string
+                   (Obj
+                      [ ("time", Str time);
+                        ("level", Str (level_label level));
+                        ("src", Str src_name);
+                        ("msg", Str msg);
+                      ])));
+            over ();
+            k ())
+          fmt)
+  in
+  { Logs.report }
+
+let setup ?ppf ?(format = Text) level =
+  Logs.set_reporter (reporter ?ppf format);
+  Logs.set_level ~all:true level

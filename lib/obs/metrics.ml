@@ -197,6 +197,20 @@ let sorted_metrics () =
   with_lock (fun () -> Hashtbl.fold (fun k m acc -> (k, m) :: acc) registry [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+type snapshot_item =
+  | Scounter of int
+  | Sgauge of float
+  | Shist of hist_summary
+
+let snapshot () =
+  List.map
+    (fun (name, m) ->
+      match m with
+      | Counter c -> (name, Scounter (Atomic.get c))
+      | Gauge g -> (name, Sgauge (Atomic.get g))
+      | Histogram h -> (name, Shist (summary h)))
+    (sorted_metrics ())
+
 let to_json () =
   let open Mcf_util.Json in
   let counters, gauges, histograms =

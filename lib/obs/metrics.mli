@@ -55,6 +55,17 @@ val summary : histogram -> hist_summary
 val counter_value : string -> int
 (** By name; [0] when the counter was never registered. *)
 
+type snapshot_item =
+  | Scounter of int
+  | Sgauge of float
+  | Shist of hist_summary
+
+val snapshot : unit -> (string * snapshot_item) list
+(** Point-in-time registry dump, sorted by name.  Counters and gauges
+    are single atomic reads; histograms are summarized under their own
+    lock.  The whole snapshot is not one atomic cut across metrics —
+    fine for exposition, not for invariant checking. *)
+
 val reset : unit -> unit
 (** Zero every registered metric (registrations survive). *)
 

@@ -37,3 +37,28 @@ val generation : gen:int -> max_gen:int -> measured:int -> unit
     [measured] schedules measured so far.  From the second call on, the
     line includes a worst-case ETA extrapolated from the mean generation
     time ([max_gen] is an upper bound — convergence may stop earlier). *)
+
+val track : unit -> unit
+(** Start recording phase/generation state {e without} drawing anything:
+    the telemetry listener enables tracking so [/status] can report the
+    live phase even when [--progress] is off.  Independent of
+    {!enable}/{!disable}; resets state unless a TTY line is already
+    recording.  When neither tracking nor the TTY line is on, every
+    update entry point stays at two atomic loads. *)
+
+val untrack : unit -> unit
+
+type snapshot = {
+  sphase : string;  (** [""] before the first {!set_phase}. *)
+  sinfo : string;
+  sgen : int;
+  smax_gen : int;  (** [0] outside the exploration loop. *)
+  smeasured : int;
+  selapsed_s : float;  (** Since {!enable}/{!track}; [0.] if neither ran. *)
+  seta_s : float option;
+      (** Worst-case ETA (same extrapolation as the TTY line); [None]
+          before the second generation. *)
+}
+
+val snapshot : unit -> snapshot
+(** Point-in-time copy of the recorded state, for [/status]. *)

@@ -51,6 +51,12 @@ val sample : unit -> unit
     sampler is running (no-op otherwise — safe on hot-ish paths such as
     phase boundaries). *)
 
+val sample_now : unit -> unit
+(** Take one sample unconditionally, whether or not the periodic sampler
+    is running.  The telemetry [/status] endpoint forces a sample per
+    request so the [rsrc.*] gauges are fresh even without
+    [--sample-ms]. *)
+
 val peak_heap_words : unit -> float
 (** Heap high-water mark in words: the sampler's session peak if it ran,
     combined with [Gc.quick_stat]'s process-lifetime [top_heap_words]

@@ -48,15 +48,12 @@ let entry_to_line key v =
        [ ("key", Str key);
          ("time_s", match v with Some t -> Num t | None -> Null) ])
 
-let entry_of_line line =
+let entry_of_json j =
   let open Mcf_util.Json in
-  match parse line with
-  | Error _ -> None
-  | Ok j -> (
-    match (member "key" j, member "time_s" j) with
-    | Some (Str k), Some (Num t) -> Some (k, Some t)
-    | Some (Str k), Some Null -> Some (k, None)
-    | _ -> None)
+  match (member "key" j, member "time_s" j) with
+  | Some (Str k), Some (Num t) -> Some (k, Some t)
+  | Some (Str k), Some Null -> Some (k, None)
+  | _ -> None
 
 let cache_save (cache : cache) path =
   let entries = Mcf_util.Shardmap.fold cache (fun k v acc -> (k, v) :: acc) [] in
@@ -78,32 +75,12 @@ let cache_save (cache : cache) path =
   List.length entries
 
 let cache_load (cache : cache) path =
-  if not (Sys.file_exists path) then (0, 0)
-  else begin
-    let ic = open_in path in
-    let loaded = ref 0 in
-    let malformed = ref 0 in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        try
-          while true do
-            let line = input_line ic in
-            if String.trim line <> "" then begin
-              match entry_of_line line with
-              | Some (k, v) ->
-                Mcf_util.Shardmap.set cache k v;
-                incr loaded
-              | None -> incr malformed
-            end
-          done
-        with End_of_file -> ());
-    if !malformed > 0 then
-      Log.warn (fun m ->
-          m "%s: skipped %d malformed measurement line%s" path !malformed
-            (if !malformed = 1 then "" else "s"));
-    (!loaded, !malformed)
-  end
+  Mcf_util.Json.fold_jsonl ~path ~init:0 ~f:(fun loaded j ->
+      match entry_of_json j with
+      | Some (k, v) ->
+        Mcf_util.Shardmap.set cache k v;
+        Some (loaded + 1)
+      | None -> None)
 
 (* --- engine ------------------------------------------------------------ *)
 

@@ -134,51 +134,33 @@ let save t path =
   Sys.rename tmp path
 
 let load ~chains path =
-  if not (Sys.file_exists path) then empty
-  else begin
-    let ic = open_in path in
-    (* Entries are collected newest-first and deduplicated through the
-       same [dedup_keep_first] path as [add], so load keeps [add]'s
-       semantics by construction: latest occurrence per key wins,
-       entries ordered most-recently-seen first. *)
-    let entries = ref [] in
-    let lineno = ref 0 in
-    let malformed = ref 0 in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        try
-          while true do
-            let line = input_line ic in
-            incr lineno;
-            match String.split_on_char '|' line with
-            | [ echain; edevice; cand_s; time_s ] -> (
-              match
-                ( List.find_opt
-                    (fun (c : Chain.t) -> c.cname = echain)
-                    chains,
-                  float_of_string_opt time_s )
-              with
-              | Some chain, Some etime_s -> (
-                match parse_candidate chain cand_s with
-                | Ok ecand ->
-                  entries := { echain; edevice; ecand; etime_s } :: !entries
-                | Error _ -> incr malformed)
-              | None, Some _ ->
-                (* a record for a chain we were not asked about: well
-                   formed, just out of scope for this load *)
-                ()
-              | _, None -> incr malformed)
-            | _ -> incr malformed
-          done
-        with End_of_file -> ());
-    if !malformed > 0 then
-      Log.warn (fun m ->
-          m "%s: skipped %d malformed line%s out of %d" path !malformed
-            (if !malformed = 1 then "" else "s")
-            !lineno);
-    dedup_keep_first !entries
-  end
+  (* Entries are collected newest-first and deduplicated through the
+     same [dedup_keep_first] path as [add], so load keeps [add]'s
+     semantics by construction: latest occurrence per key wins, entries
+     ordered most-recently-seen first.  The line format is pipe-
+     separated, not JSON, so this rides [fold_lines] (count-and-skip
+     plus the shared "skipped N malformed lines" warning) rather than
+     [fold_jsonl]. *)
+  let entries, _skipped =
+    Mcf_util.Json.fold_lines ~path ~init:[] ~f:(fun acc line ->
+        match String.split_on_char '|' line with
+        | [ echain; edevice; cand_s; time_s ] -> (
+          match
+            ( List.find_opt (fun (c : Chain.t) -> c.cname = echain) chains,
+              float_of_string_opt time_s )
+          with
+          | Some chain, Some etime_s -> (
+            match parse_candidate chain cand_s with
+            | Ok ecand -> Some ({ echain; edevice; ecand; etime_s } :: acc)
+            | Error _ -> None)
+          | None, Some _ ->
+            (* a record for a chain we were not asked about: well
+               formed, just out of scope for this load *)
+            Some acc
+          | _, None -> None)
+        | _ -> None)
+  in
+  dedup_keep_first entries
 
 let tune_with_cache ~cache_file (spec : Mcf_gpu.Spec.t) chain =
   let module Trace = Mcf_obs.Trace in

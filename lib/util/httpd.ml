@@ -1,0 +1,393 @@
+(* Minimal HTTP/1.1 server + client.  See httpd.mli for the contract.
+
+   Accept loop design: the listener thread polls the listen socket with
+   a short select timeout instead of blocking in accept, so [stop] only
+   has to flip an atomic and join — no self-pipe, no signal games, and
+   it works the same on every Unix.  Connections are handled on
+   short-lived threads (one request, Connection: close); a mutex-guarded
+   in-flight count bounds concurrency and lets [stop] drain gracefully. *)
+
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+}
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8")
+    body =
+  { status; content_type; body }
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+type t = {
+  sock : Unix.file_descr;
+  taddr : string;
+  tport : int;
+  stopping : bool Atomic.t;
+  stopped : bool Atomic.t;
+  mutable acceptor : Thread.t option;
+  lock : Mutex.t;
+  drained : Condition.t;
+  mutable in_flight : int;
+  max_connections : int;
+}
+
+let port t = t.tport
+let url t = Printf.sprintf "http://%s:%d" t.taddr t.tport
+let running t = not (Atomic.get t.stopping)
+
+(* --- request parsing --------------------------------------------------- *)
+
+let head_limit = 16 * 1024
+
+(* Read until the blank line ending the header block (we never read
+   bodies: the telemetry surface is GET-only).  Returns the raw head. *)
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > head_limit then None
+    else begin
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        (* The terminator can straddle reads; scanning the whole buffer
+           each time is fine at these sizes. *)
+        if
+          String.length s >= 4
+          &&
+          let rec find i =
+            i + 4 <= String.length s
+            && (String.sub s i 4 = "\r\n\r\n" || find (i + 1))
+          in
+          find 0
+        then Some s
+        else go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        (* Receive timeout: give up on this connection. *)
+        None
+    end
+  in
+  go ()
+
+let split_lines s =
+  String.split_on_char '\n' s
+  |> List.map (fun l ->
+         let n = String.length l in
+         if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+
+let parse_query q =
+  if q = "" then []
+  else
+    String.split_on_char '&' q
+    |> List.filter_map (fun kv ->
+           match String.index_opt kv '=' with
+           | Some i ->
+             Some
+               ( String.sub kv 0 i,
+                 String.sub kv (i + 1) (String.length kv - i - 1) )
+           | None -> if kv = "" then None else Some (kv, ""))
+
+let parse_request head =
+  match split_lines head with
+  | [] -> None
+  | req_line :: rest -> (
+    match String.split_on_char ' ' req_line with
+    | [ meth; target; version ]
+      when String.length version >= 5 && String.sub version 0 5 = "HTTP/" ->
+      let path, query =
+        match String.index_opt target '?' with
+        | Some i ->
+          ( String.sub target 0 i,
+            parse_query
+              (String.sub target (i + 1) (String.length target - i - 1)) )
+        | None -> (target, [])
+      in
+      let headers =
+        List.filter_map
+          (fun line ->
+            match String.index_opt line ':' with
+            | Some i ->
+              Some
+                ( String.lowercase_ascii (String.sub line 0 i),
+                  String.trim
+                    (String.sub line (i + 1) (String.length line - i - 1)) )
+            | None -> None)
+          rest
+      in
+      Some { meth = String.uppercase_ascii meth; path; query; headers }
+    | _ -> None)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then begin
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+    end
+  in
+  go 0
+
+let send_response fd (r : response) =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      r.status (reason_phrase r.status) r.content_type
+      (String.length r.body)
+  in
+  write_all fd (head ^ r.body)
+
+(* --- server ------------------------------------------------------------- *)
+
+let handle_conn t handler fd =
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Mutex.lock t.lock;
+      t.in_flight <- t.in_flight - 1;
+      Condition.broadcast t.drained;
+      Mutex.unlock t.lock)
+    (fun () ->
+      (* A stuck client must not wedge a bounded handler slot forever. *)
+      (try Unix.setsockopt_float fd SO_RCVTIMEO 5.0
+       with Unix.Unix_error _ -> ());
+      match read_head fd with
+      | None -> ()
+      | Some head -> (
+        match parse_request head with
+        | None -> send_response fd (response ~status:400 "bad request\n")
+        | Some req ->
+          let resp =
+            try handler req
+            with e ->
+              response ~status:500
+                (Printf.sprintf "handler error: %s\n" (Printexc.to_string e))
+          in
+          (try send_response fd resp with Unix.Unix_error _ -> ())))
+
+let accept_loop t handler () =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ t.sock ] [] [] 0.05 with
+    | [], _, _ | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept ~cloexec:true t.sock with
+      | exception Unix.Unix_error (_, _, _) -> ()
+      | fd, _peer ->
+        Mutex.lock t.lock;
+        let admitted = t.in_flight < t.max_connections in
+        if admitted then t.in_flight <- t.in_flight + 1;
+        Mutex.unlock t.lock;
+        if admitted then
+          ignore (Thread.create (fun () -> handle_conn t handler fd) ())
+        else begin
+          (try send_response fd (response ~status:503 "server busy\n")
+           with Unix.Unix_error _ -> ());
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end)
+  done
+
+let start ?(max_connections = 16) ?(backlog = 32) ~addr ~port ~handler () =
+  match Unix.inet_addr_of_string addr with
+  | exception _ -> Error (Printf.sprintf "invalid listen address %S" addr)
+  | inet -> (
+    let sock = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+    Unix.setsockopt sock SO_REUSEADDR true;
+    match
+      Unix.bind sock (ADDR_INET (inet, port));
+      Unix.listen sock backlog
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot listen on %s:%d: %s" addr port
+           (Unix.error_message e))
+    | () ->
+      let bound_port =
+        match Unix.getsockname sock with
+        | ADDR_INET (_, p) -> p
+        | ADDR_UNIX _ -> port
+      in
+      let t =
+        { sock;
+          taddr = addr;
+          tport = bound_port;
+          stopping = Atomic.make false;
+          stopped = Atomic.make false;
+          acceptor = None;
+          lock = Mutex.create ();
+          drained = Condition.create ();
+          in_flight = 0;
+          max_connections }
+      in
+      t.acceptor <- Some (Thread.create (accept_loop t handler) ());
+      Ok t)
+
+let stop t =
+  Atomic.set t.stopping true;
+  if not (Atomic.exchange t.stopped true) then begin
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    Mutex.lock t.lock;
+    while t.in_flight > 0 do
+      Condition.wait t.drained t.lock
+    done;
+    Mutex.unlock t.lock;
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end
+
+(* --- client ------------------------------------------------------------- *)
+
+module Client = struct
+  let parse_url url =
+    let prefix = "http://" in
+    let plen = String.length prefix in
+    if String.length url <= plen || String.sub url 0 plen <> prefix then
+      Error (Printf.sprintf "unsupported URL %S (expected http://...)" url)
+    else begin
+      let rest = String.sub url plen (String.length url - plen) in
+      let hostport, path =
+        match String.index_opt rest '/' with
+        | Some i ->
+          (String.sub rest 0 i, String.sub rest i (String.length rest - i))
+        | None -> (rest, "/")
+      in
+      match String.rindex_opt hostport ':' with
+      | Some i -> (
+        let host = String.sub hostport 0 i in
+        let port_s =
+          String.sub hostport (i + 1) (String.length hostport - i - 1)
+        in
+        match int_of_string_opt port_s with
+        | Some p when p > 0 && p < 65536 -> Ok (host, p, path)
+        | Some _ | None ->
+          Error (Printf.sprintf "bad port in URL %S" url))
+      | None -> Ok (hostport, 80, path)
+    end
+
+  let resolve host =
+    match Unix.inet_addr_of_string host with
+    | inet -> Ok inet
+    | exception _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        Error (Printf.sprintf "cannot resolve host %S" host)
+      | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0))
+
+  let read_to_eof fd =
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Ok (Buffer.contents buf)
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        Error "read timed out"
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    in
+    go ()
+
+  let parse_response raw =
+    let header_end =
+      let n = String.length raw in
+      let rec find i =
+        if i + 4 > n then None
+        else if String.sub raw i 4 = "\r\n\r\n" then Some i
+        else find (i + 1)
+      in
+      find 0
+    in
+    match header_end with
+    | None -> Error "malformed HTTP response (no header terminator)"
+    | Some i -> (
+      let head = String.sub raw 0 i in
+      let body = String.sub raw (i + 4) (String.length raw - i - 4) in
+      match split_lines head with
+      | status_line :: header_lines -> (
+        match String.split_on_char ' ' status_line with
+        | version :: code :: _
+          when String.length version >= 5 && String.sub version 0 5 = "HTTP/"
+          -> (
+          match int_of_string_opt code with
+          | None -> Error "malformed HTTP status code"
+          | Some status ->
+            (* Trust Content-Length when present: a well-behaved peer may
+               close late, but the body boundary is authoritative. *)
+            let content_length =
+              List.find_map
+                (fun line ->
+                  match String.index_opt line ':' with
+                  | Some j
+                    when String.lowercase_ascii (String.sub line 0 j)
+                         = "content-length" ->
+                    int_of_string_opt
+                      (String.trim
+                         (String.sub line (j + 1)
+                            (String.length line - j - 1)))
+                  | _ -> None)
+                header_lines
+            in
+            let body =
+              match content_length with
+              | Some n when n >= 0 && n <= String.length body ->
+                String.sub body 0 n
+              | _ -> body
+            in
+            Ok (status, body))
+        | _ -> Error "malformed HTTP status line")
+      | [] -> Error "empty HTTP response")
+
+  let get ?(timeout_s = 5.0) url =
+    match parse_url url with
+    | Error _ as e -> e
+    | Ok (host, port, path) -> (
+      match resolve host with
+      | Error _ as e -> e
+      | Ok inet -> (
+        let sock = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+        let finally () =
+          try Unix.close sock with Unix.Unix_error _ -> ()
+        in
+        Fun.protect ~finally (fun () ->
+            (try
+               Unix.setsockopt_float sock SO_RCVTIMEO timeout_s;
+               Unix.setsockopt_float sock SO_SNDTIMEO timeout_s
+             with Unix.Unix_error _ -> ());
+            match Unix.connect sock (ADDR_INET (inet, port)) with
+            | exception Unix.Unix_error (e, _, _) ->
+              Error
+                (Printf.sprintf "connect %s:%d: %s" host port
+                   (Unix.error_message e))
+            | () -> (
+              let req =
+                Printf.sprintf
+                  "GET %s HTTP/1.1\r\nHost: %s:%d\r\nConnection: close\r\n\r\n"
+                  path host port
+              in
+              match write_all sock req with
+              | exception Unix.Unix_error (e, _, _) ->
+                Error (Printf.sprintf "send: %s" (Unix.error_message e))
+              | () -> (
+                match read_to_eof sock with
+                | Error _ as e -> e
+                | Ok raw -> parse_response raw)))))
+end

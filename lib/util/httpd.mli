@@ -1,0 +1,75 @@
+(** Minimal dependency-free HTTP/1.1 server and client over Unix sockets.
+
+    Just enough HTTP for the live telemetry surface ([/metrics],
+    [/status], [/healthz]) and the future [mcfuser serve] daemon: an
+    accept loop on a dedicated thread, one short-lived handler thread per
+    connection with a hard bound on concurrency, [Connection: close]
+    semantics (no keep-alive, no chunked encoding, no TLS), and a
+    graceful shutdown that drains in-flight requests before returning.
+
+    The server is strictly observational infrastructure: handlers run on
+    their own threads and nothing in the search pipeline ever blocks on
+    or reads from them, so tuner results are bit-identical with a
+    listener on or off. *)
+
+type request = {
+  meth : string;  (** Upper-case method, e.g. ["GET"]. *)
+  path : string;  (** Request target with the query string stripped. *)
+  query : (string * string) list;
+      (** Decoded [k=v] pairs, file order.  No percent-decoding — the
+          telemetry endpoints are plain ASCII. *)
+  headers : (string * string) list;
+      (** Header names lower-cased, values trimmed. *)
+}
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+val response : ?status:int -> ?content_type:string -> string -> response
+(** [response body] with status [200] and content type
+    ["text/plain; charset=utf-8"] unless overridden. *)
+
+type t
+
+val start :
+  ?max_connections:int ->
+  ?backlog:int ->
+  addr:string ->
+  port:int ->
+  handler:(request -> response) ->
+  unit ->
+  (t, string) result
+(** Bind [addr:port] (numeric address; port [0] asks the kernel for a
+    free one — read it back with {!port}) and start the accept loop on a
+    dedicated thread.  Each connection is served by its own thread; at
+    most [max_connections] (default 16) run at once and excess
+    connections are answered [503] inline.  A handler exception becomes
+    a [500] carrying the exception text.  Errors (bad address, port in
+    use) are returned, never raised. *)
+
+val port : t -> int
+(** The actually-bound port (resolves a requested port [0]). *)
+
+val url : t -> string
+(** ["http://<addr>:<port>"] — no trailing slash. *)
+
+val running : t -> bool
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, join the accept thread, wait for
+    every in-flight handler to finish, then close the listen socket.
+    Idempotent. *)
+
+(** Tiny blocking HTTP/1.1 client for loopback telemetry fetches — used
+    by [mcfuser top], the [--listen-selfcheck] probe and the lifecycle
+    tests.  [http://] only, no redirects, no keep-alive. *)
+module Client : sig
+  val get : ?timeout_s:float -> string -> (int * string, string) result
+  (** [get "http://host:port/path"] returns [(status, body)].  The
+      response is read to EOF (the server side of this module always
+      closes), honouring [Content-Length] when present; [timeout_s]
+      (default 5s) bounds both connect and read. *)
+end

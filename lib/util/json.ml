@@ -294,3 +294,39 @@ let parse s =
 let member k = function
   | Obj kvs -> List.assoc_opt k kvs
   | Null | Bool _ | Num _ | Str _ | List _ -> None
+
+(* --- JSONL stores ----------------------------------------------------------- *)
+
+let jsonl_src =
+  Logs.Src.create "mcfuser.jsonl" ~doc:"Line-oriented store loading"
+
+module Log = (val Logs.src_log jsonl_src : Logs.LOG)
+
+let fold_lines ~path ~init ~f =
+  if not (Sys.file_exists path) then (init, 0)
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let acc = ref init in
+        let skipped = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match f !acc line with
+               | Some acc' -> acc := acc'
+               | None -> incr skipped
+           done
+         with End_of_file -> ());
+        if !skipped > 0 then
+          Log.warn (fun m ->
+              m "%s: skipped %d malformed line%s" path !skipped
+                (if !skipped = 1 then "" else "s"));
+        (!acc, !skipped))
+  end
+
+let fold_jsonl ~path ~init ~f =
+  fold_lines ~path ~init ~f:(fun acc line ->
+      match parse line with Ok j -> f acc j | Error _ -> None)

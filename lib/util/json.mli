@@ -31,3 +31,20 @@ val parse : string -> (t, string) result
 val member : string -> t -> t option
 (** [member k (Obj ...)] finds the first binding of [k]; [None] for
     non-objects or missing keys. *)
+
+val fold_lines :
+  path:string -> init:'a -> f:('a -> string -> 'a option) -> 'a * int
+(** Count-and-skip fold over a line-oriented store.  Every non-blank
+    line of [path] is passed to [f]; [None] marks the line malformed —
+    it is counted and skipped, and the fold continues.  Returns the
+    final accumulator and the number of malformed lines, after logging
+    one ["skipped N malformed lines"] warning on the [mcfuser.jsonl]
+    source when N > 0.  A missing file is empty: [(init, 0)]. *)
+
+val fold_jsonl :
+  path:string -> init:'a -> f:('a -> t -> 'a option) -> 'a * int
+(** {!fold_lines} with each line run through {!parse} first; parse
+    failures count as malformed, as do lines [f] rejects with [None].
+    This is the one shared loader for every append-only JSONL store
+    (history, caches) — truncated tails cost exactly the damaged
+    lines. *)

@@ -1,0 +1,97 @@
+The `mcfuser top` dashboard renders exclusively from /status documents
+(and the previous poll's document, for rates) — never from the local
+clock — so a frame is byte-for-byte deterministic for fixed inputs.
+`--status-file` feeds it a saved document instead of polling a live
+server, which is how this test pins the layout.
+
+  $ cat > status.json <<'EOF'
+  > {"phase":"tuner.explore","info":"1724 candidates",
+  >  "generation":{"gen":3,"max_gen":20,"measured":57,"eta_s":4.25},
+  >  "elapsed_s":2.5,
+  >  "funnel":{"enumerations":1,"tilings_raw":26,"candidates_lowered":5000,
+  >            "pruned_rule1":21,"pruned_rule2":3,"pruned_rule4":100,
+  >            "pruned_invalid":40,"candidates_valid":1724,
+  >            "estimated":4200,"measured":57,"generations":3},
+  >  "rsrc":{"heap_words":6800000,"heap_words_peak":9200000,
+  >          "minor_collections":120,"major_collections":8,
+  >          "promoted_words":400000,"alloc_words_per_s":12500000,"samples":25},
+  >  "pool":{"domains":4,"busy":3,"utilization":0.75,
+  >          "jobs":4,"chunks":64,"steals":7},
+  >  "caches":{"schedule":{"hits":0,"misses":1},
+  >            "measure":{"hits":40,"misses":17,"inflight_waits":2},
+  >            "model_memo":{"hits":9900,"misses":100}},
+  >  "server":{"time":1754500000,"pid":4242}}
+  > EOF
+
+  $ mcfuser top --status-file status.json
+  mcfuser top - status.json (poll 1)
+  
+  phase     tuner.explore | 1724 candidates
+  progress  gen 3/20, 57 measured, ETA 4.2s, elapsed 2.5s
+  rates     -
+  heap      6.8 Mw (peak 9.2 Mw), alloc 12.5 Mw/s  -
+  pool      busy 3/4 domains, 75% utilization
+  caches    measure 70% (40/57), schedule 0% (0/1), memo 99% (9900/10000)
+  funnel    enum 1, raw 26, lowered 5000, valid 1724, estimated 4200, measured 57
+
+
+An idle process (no phase yet, outside the exploration loop, empty
+caches) degrades gracefully rather than printing zeros as progress:
+
+  $ cat > idle.json <<'EOF'
+  > {"phase":"","info":"","generation":{"gen":0,"max_gen":0,"measured":0,"eta_s":null},
+  >  "elapsed_s":0.2,
+  >  "funnel":{"enumerations":0,"tilings_raw":0,"candidates_lowered":0,
+  >            "pruned_rule1":0,"pruned_rule2":0,"pruned_rule4":0,
+  >            "pruned_invalid":0,"candidates_valid":0,
+  >            "estimated":0,"measured":0,"generations":0},
+  >  "rsrc":{"heap_words":500000,"heap_words_peak":500000,
+  >          "minor_collections":1,"major_collections":0,
+  >          "promoted_words":0,"alloc_words_per_s":0,"samples":1},
+  >  "pool":{"domains":1,"busy":0,"utilization":0,"jobs":1,"chunks":0,"steals":0},
+  >  "caches":{"schedule":{"hits":0,"misses":0},
+  >            "measure":{"hits":0,"misses":0,"inflight_waits":0},
+  >            "model_memo":{"hits":0,"misses":0}},
+  >  "server":{"time":1754500001,"pid":4242}}
+  > EOF
+
+  $ mcfuser top --status-file idle.json
+  mcfuser top - idle.json (poll 1)
+  
+  phase     (idle)
+  progress  elapsed 0.2s
+  rates     -
+  heap      0.5 Mw (peak 0.5 Mw), alloc 0.0 Mw/s  -
+  pool      busy 0/1 domains, 0% utilization
+  caches    measure -, schedule -, memo -
+  funnel    enum 0, raw 0, lowered 0, valid 0, estimated 0, measured 0
+
+
+`--metrics-file` additionally runs the saved /metrics exposition through
+the structural validator (same checks the live poll applies):
+
+  $ cat > metrics.txt <<'EOF'
+  > # TYPE mcfuser_cache_hits counter
+  > mcfuser_cache_hits 0
+  > # TYPE mcfuser_explore_estimate_s histogram
+  > mcfuser_explore_estimate_s_bucket{le="0.000244140625"} 3
+  > mcfuser_explore_estimate_s_bucket{le="+Inf"} 4
+  > mcfuser_explore_estimate_s_sum 0.0009
+  > mcfuser_explore_estimate_s_count 4
+  > EOF
+  $ mcfuser top --status-file status.json --metrics-file metrics.txt > frame.out; echo "exit=$?"
+  exit=0
+
+A broken exposition (cumulative bucket counts must never decrease) is
+rejected before any frame is drawn:
+
+  $ printf 'x_bucket{le="1"} 5\nx_bucket{le="2"} 3\nx_bucket{le="+Inf"} 5\nx_sum 1\nx_count 5\n' > bad.txt
+  $ mcfuser top --status-file status.json --metrics-file bad.txt
+  mcfuser: bad.txt: x: cumulative bucket counts decrease
+  [124]
+
+Without a URL or a saved document there is nothing to watch:
+
+  $ mcfuser top
+  mcfuser: URL required (or render offline with --status-file)
+  [124]
