@@ -3,7 +3,7 @@
 .PHONY: all build test bench examples quick clean fmt trace-demo check \
 	ci-guard bench-search bench-search-smoke bench-estimate-smoke \
 	report-smoke fuzz-smoke perf-smoke bench-stream-smoke \
-	bench-measure-smoke telemetry-smoke
+	bench-measure-smoke telemetry-smoke serve-smoke bench-serve-smoke
 
 all: build
 
@@ -115,7 +115,48 @@ telemetry-smoke:
 	  --listen-selfcheck > /dev/null
 	@echo "telemetry-smoke: serve + selfcheck + shutdown ok"
 
-check: build fmt test trace-demo ci-guard bench-search-smoke bench-estimate-smoke report-smoke fuzz-smoke perf-smoke bench-stream-smoke bench-measure-smoke telemetry-smoke
+# Tuning-service smoke: daemon up on a kernel-assigned port, selfcheck
+# over a real socket, one cold tune round-trip, then the identical
+# request again — which must be answered from the warm schedule cache —
+# and a graceful shutdown that must drain (the `wait` fails if the
+# daemon exits non-zero).
+serve-smoke:
+	rm -f /tmp/mcfuser-serve-url.txt /tmp/mcfuser-serve-sched.jsonl
+	dune build bin/mcfuser_cli.exe
+	_build/default/bin/mcfuser_cli.exe serve --listen 127.0.0.1:0 \
+	  --workers 1 --port-file /tmp/mcfuser-serve-url.txt \
+	  --schedule-cache /tmp/mcfuser-serve-sched.jsonl > /dev/null & \
+	for _ in $$(seq 1 200); do \
+	  [ -s /tmp/mcfuser-serve-url.txt ] && break; sleep 0.05; done; \
+	url=$$(cat /tmp/mcfuser-serve-url.txt); \
+	_build/default/bin/mcfuser_cli.exe submit "$$url" --selfcheck && \
+	_build/default/bin/mcfuser_cli.exe submit "$$url" G1 \
+	  | grep -q "(tuned)" && \
+	_build/default/bin/mcfuser_cli.exe submit "$$url" G1 \
+	  | grep -q "(cache hit)" && \
+	_build/default/bin/mcfuser_cli.exe submit "$$url" --shutdown && \
+	wait
+	@test -s /tmp/mcfuser-serve-sched.jsonl
+	@echo "serve-smoke: daemon + selfcheck + tune + warm cache + drain ok"
+
+# Serve-throughput smoke: two serve bench runs (each with its own
+# in-bench gates — >90% warm-cache hit rate and bit-identity against a
+# one-shot tune) feed a fresh temp history, then the perf gate must
+# explicitly check the smoke-serve requests/s row.
+bench-serve-smoke:
+	rm -f /tmp/mcfuser-history-serve.jsonl
+	dune exec bench/main.exe -- --mode serve --smoke --jobs 4 \
+	  --history /tmp/mcfuser-history-serve.jsonl \
+	  --out /tmp/mcfuser-bench-serve-smoke.json > /dev/null
+	dune exec bench/main.exe -- --mode serve --smoke --jobs 4 \
+	  --history /tmp/mcfuser-history-serve.jsonl \
+	  --out /tmp/mcfuser-bench-serve-smoke.json > /dev/null
+	dune exec -- mcfuser perf --history /tmp/mcfuser-history-serve.jsonl \
+	  --gate --tolerance 0.5 > /tmp/mcfuser-serve-gate.txt
+	grep -q "smoke-serve requests_per_s" /tmp/mcfuser-serve-gate.txt
+	@echo "bench-serve-smoke: throughput + warm-cache + identity gates ok"
+
+check: build fmt test trace-demo ci-guard bench-search-smoke bench-estimate-smoke report-smoke fuzz-smoke perf-smoke bench-stream-smoke bench-measure-smoke telemetry-smoke serve-smoke bench-serve-smoke
 
 bench:
 	dune exec bench/main.exe

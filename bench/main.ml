@@ -709,6 +709,248 @@ let run_search_bench ~jobs ~smoke ~estimate_only ~measure_only ~history ~out =
     measure_gate ()
   end
 
+(* --- serve-throughput benchmark (--mode serve) --------------------------- *)
+
+(* Drives a real [Mcf_serve.Server] over its HTTP socket with concurrent
+   client threads: a cold phase establishing the schedule cache (with
+   duplicate submissions that should coalesce onto running sessions),
+   then a warm phase replaying the same requests, which must be answered
+   from the cache.  Reports requests/s and p50/p99 round-trip latency
+   per phase, plus the warm-phase cache hit rate that `make
+   bench-serve-smoke` gates on. *)
+
+let serve_request_body ~m =
+  Mcf_util.Json.to_string
+    (Mcf_util.Json.Obj
+       [ ( "chain",
+           Mcf_util.Json.Obj
+             [ ("kind", Mcf_util.Json.Str "gemm");
+               ("m", Mcf_util.Json.num_of_int m);
+               ("n", Mcf_util.Json.num_of_int 64);
+               ("k", Mcf_util.Json.num_of_int 32);
+               ("h", Mcf_util.Json.num_of_int 32);
+             ] );
+         ("device", Mcf_util.Json.Str "A100");
+       ])
+
+(* POST one tune request and poll it to completion; returns the wall
+   latency, the submit-time source and the final job document. *)
+let serve_round_trip url body =
+  let t0 = Unix.gettimeofday () in
+  match Mcf_util.Httpd.Client.post (url ^ "/tune") ~body with
+  | Error e ->
+    Printf.eprintf "serve bench: POST /tune: %s\n%!" e;
+    exit 1
+  | Ok (code, resp) when code <> 200 && code <> 202 ->
+    Printf.eprintf "serve bench: POST /tune: HTTP %d %s\n%!" code resp;
+    exit 1
+  | Ok (_, resp) -> (
+    match Mcf_util.Json.parse (String.trim resp) with
+    | Error e ->
+      Printf.eprintf "serve bench: bad /tune response: %s\n%!" e;
+      exit 1
+    | Ok job ->
+      let jstr path j =
+        match
+          List.fold_left
+            (fun acc k ->
+              match acc with
+              | Some j -> Mcf_util.Json.member k j
+              | None -> None)
+            (Some j) path
+        with
+        | Some (Mcf_util.Json.Str s) -> s
+        | _ -> ""
+      in
+      let jid = jstr [ "job" ] job in
+      let source = jstr [ "source" ] job in
+      let rec poll job =
+        match jstr [ "state" ] job with
+        | "done" -> (Unix.gettimeofday () -. t0, source, job)
+        | "failed" ->
+          Printf.eprintf "serve bench: job %s failed: %s\n%!" jid
+            (jstr [ "error" ] job);
+          exit 1
+        | _ -> (
+          Thread.delay 0.01;
+          match Mcf_util.Httpd.Client.get (url ^ "/jobs/" ^ jid) with
+          | Error e ->
+            Printf.eprintf "serve bench: GET /jobs/%s: %s\n%!" jid e;
+            exit 1
+          | Ok (200, body) -> (
+            match Mcf_util.Json.parse (String.trim body) with
+            | Ok job -> poll job
+            | Error e ->
+              Printf.eprintf "serve bench: bad job document: %s\n%!" e;
+              exit 1)
+          | Ok (code, body) ->
+            Printf.eprintf "serve bench: GET /jobs/%s: HTTP %d %s\n%!" jid
+              code body;
+            exit 1)
+      in
+      poll job)
+
+(* Run [bodies] through [clients] threads; returns per-request
+   (latency, source) in completion order and the phase wall time. *)
+let serve_phase url ~clients bodies =
+  let results = ref [] in
+  let lock = Mutex.create () in
+  let next = Atomic.make 0 in
+  let bodies = Array.of_list bodies in
+  let t0 = Unix.gettimeofday () in
+  let worker () =
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < Array.length bodies then begin
+        let r = serve_round_trip url bodies.(i) in
+        Mutex.lock lock;
+        results := r :: !results;
+        Mutex.unlock lock;
+        go ()
+      end
+    in
+    go ()
+  in
+  let threads = List.init clients (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads;
+  (!results, Unix.gettimeofday () -. t0)
+
+let serve_phase_json name (results, wall) =
+  let lats = List.map (fun (l, _, _) -> l) results in
+  let n = List.length results in
+  let count src =
+    List.length (List.filter (fun (_, s, _) -> s = src) results)
+  in
+  let rps = if wall > 0.0 then float_of_int n /. wall else 0.0 in
+  let open Mcf_util.Json in
+  let num = num_of_int in
+  ( Obj
+      [ ("phase", Str name);
+        ("requests", num n);
+        ("wall_s", Num wall);
+        ("requests_per_s", Num rps);
+        ("latency_p50_s", Num (Mcf_util.Stats.percentile 50.0 lats));
+        ("latency_p99_s", Num (Mcf_util.Stats.percentile 99.0 lats));
+        ("tuned", num (count "tuned"));
+        ("coalesced", num (count "coalesced"));
+        ("cached", num (count "cached"));
+      ],
+    rps,
+    Mcf_util.Stats.percentile 50.0 lats,
+    Mcf_util.Stats.percentile 99.0 lats,
+    float_of_int (count "cached") /. float_of_int (max 1 n) )
+
+let run_serve_bench ~jobs ~smoke ~history ~out =
+  Mcf_util.Pool.set_jobs jobs;
+  let spec = Mcf_gpu.Spec.a100 in
+  let distinct = if smoke then 4 else 8 in
+  let dups = 2 in
+  let clients = 4 in
+  let workers = 2 in
+  let config = { Mcf_serve.Server.default_config with workers } in
+  match Mcf_serve.Server.start ~config () with
+  | Error e ->
+    Printf.eprintf "serve bench: %s\n%!" e;
+    exit 1
+  | Ok t ->
+    let url = Mcf_serve.Server.url t in
+    let ms = List.init distinct (fun i -> 96 + (16 * i)) in
+    let bodies = List.map (fun m -> serve_request_body ~m) ms in
+    (* Cold: every distinct chain [dups] times, interleaved so duplicate
+       submissions land while their session is still in flight. *)
+    let cold_bodies = List.concat (List.init dups (fun _ -> bodies)) in
+    let cold = serve_phase url ~clients cold_bodies in
+    let warm = serve_phase url ~clients cold_bodies in
+    (* Bit-identity spot check: the served schedule for the first chain
+       must equal a direct one-shot tune of the same request. *)
+    let direct_chain =
+      Mcf_ir.Chain.gemm_chain ~m:(List.hd ms) ~n:64 ~k:32 ~h:32 ()
+    in
+    let served_cand, served_time =
+      let _, _, job = serve_round_trip url (List.hd bodies) in
+      ( (match
+           Option.bind
+             (Mcf_util.Json.member "result" job)
+             (Mcf_util.Json.member "candidate")
+         with
+        | Some (Mcf_util.Json.Str s) -> s
+        | _ -> ""),
+        match
+          Option.bind
+            (Mcf_util.Json.member "result" job)
+            (Mcf_util.Json.member "kernel_time_s")
+        with
+        | Some (Mcf_util.Json.Num v) -> v
+        | _ -> nan )
+    in
+    (match Mcf_search.Tuner.tune spec direct_chain with
+    | Error _ ->
+      Printf.eprintf "serve bench: direct tune found no candidate\n%!";
+      exit 1
+    | Ok o ->
+      let direct_cand = Mcf_ir.Candidate.serialize o.best.cand in
+      if direct_cand <> served_cand || o.kernel_time_s <> served_time then begin
+        Printf.eprintf
+          "FAIL: served schedule differs from one-shot tune (%s at %.17g vs \
+           %s at %.17g)\n%!"
+          served_cand served_time direct_cand o.kernel_time_s;
+        exit 1
+      end);
+    Mcf_serve.Server.stop t;
+    let cold_json, cold_rps, _, _, _ = serve_phase_json "cold" cold in
+    let warm_json, warm_rps, warm_p50, warm_p99, warm_hit_rate =
+      serve_phase_json "warm" warm
+    in
+    let doc =
+      let open Mcf_util.Json in
+      let num = num_of_int in
+      Obj
+        [ ("bench", Str "serve");
+          ("device", Str spec.name);
+          ("smoke", Bool smoke);
+          ("jobs", num jobs);
+          ("workers", num workers);
+          ("clients", num clients);
+          ("distinct_chains", num distinct);
+          ("duplicates_per_chain", num dups);
+          ("cold", cold_json);
+          ("warm", warm_json);
+          ("warm_hit_rate", Num warm_hit_rate);
+        ]
+    in
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Mcf_util.Json.to_string doc);
+        output_char oc '\n');
+    (match history with
+    | None -> ()
+    | Some path ->
+      let entry =
+        { Mcf_obs.History.time = Unix.gettimeofday ();
+          rev = Mcf_obs.History.current_rev ();
+          device = spec.name;
+          workload = (if smoke then "smoke-serve" else "serve");
+          metrics =
+            [ ("requests_per_s", warm_rps);
+              ("latency_p50_s", warm_p50);
+              ("latency_p99_s", warm_p99);
+            ] }
+      in
+      Mcf_obs.History.append ~path entry;
+      Printf.printf "appended 1 history entry to %s (rev %s)\n" path
+        (Mcf_obs.History.current_rev ()));
+    Printf.printf
+      "\nwrote %s (cold %.1f req/s, warm %.1f req/s, warm hit rate %.0f%%)\n"
+      out cold_rps warm_rps (100.0 *. warm_hit_rate);
+    if smoke && warm_hit_rate <= 0.9 then begin
+      Printf.eprintf
+        "FAIL: warm-phase cache hit rate %.1f%% (threshold 90%%)\n%!"
+        (100.0 *. warm_hit_rate);
+      exit 1
+    end
+
 let write_trace path =
   Mcf_obs.Trace.stop ();
   let doc = Mcf_util.Json.to_string (Mcf_obs.Trace.to_chrome_json ()) in
@@ -804,8 +1046,11 @@ let () =
     | "--mode" :: "search" :: rest ->
       mode := `Search;
       parse rest
+    | "--mode" :: "serve" :: rest ->
+      mode := `Serve;
+      parse rest
     | "--mode" :: m :: _ ->
-      Printf.printf "unknown mode %S (available: search)\n" m;
+      Printf.printf "unknown mode %S (available: search, serve)\n" m;
       exit 1
     | "--out" :: path :: rest ->
       out := path;
@@ -887,6 +1132,11 @@ let () =
   | `Search ->
     run_search_bench ~jobs:!jobs ~smoke:!smoke ~estimate_only:!estimate_only
       ~measure_only:!measure_only ~history:!history ~out:!out
+  | `Serve ->
+    let out =
+      if !out = "BENCH_search.json" then "BENCH_serve.json" else !out
+    in
+    run_serve_bench ~jobs:!jobs ~smoke:!smoke ~history:!history ~out
   | `Experiments ->
     let ids =
       match !only with

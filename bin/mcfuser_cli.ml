@@ -141,7 +141,9 @@ type obs = {
   listen_selfcheck : bool;
 }
 
-let obs_term =
+(* [~listener:false] drops the --listen/--listen-selfcheck flags: the
+   serve daemon owns its listener and reuses the names. *)
+let obs_term_gen ~listener =
   let trace_arg =
     let doc =
       "Write a Chrome trace_event JSON of this run to $(docv) (load it in \
@@ -218,6 +220,11 @@ let obs_term =
     in
     Arg.(value & flag & info [ "listen-selfcheck" ] ~doc)
   in
+  let listen_arg =
+    if listener then listen_arg else Term.const None
+  and listen_selfcheck_arg =
+    if listener then listen_selfcheck_arg else Term.const false
+  in
   Term.(
     const
       (fun trace record metrics profile jobs sample_ms progress listen
@@ -226,6 +233,8 @@ let obs_term =
           listen_selfcheck })
     $ trace_arg $ record_arg $ metrics_arg $ profile_arg $ jobs_arg
     $ sample_ms_arg $ progress_arg $ listen_arg $ listen_selfcheck_arg)
+
+let obs_term = obs_term_gen ~listener:true
 
 let write_trace path =
   Mcf_obs.Trace.stop ();
@@ -1378,6 +1387,318 @@ let top_cmd =
        ~doc:"Live terminal dashboard for a running tune's telemetry endpoint")
     term
 
+(* --- serve ----------------------------------------------------------------- *)
+
+let serve_cmd =
+  let listen_arg =
+    let doc =
+      "Listen address, $(b,ADDR:PORT) ($(b,PORT) alone means 127.0.0.1; \
+       port 0 asks the kernel — pair with $(b,--port-file))."
+    in
+    Arg.(value & opt string "127.0.0.1:0"
+         & info [ "listen" ] ~docv:"ADDR:PORT" ~doc)
+  in
+  let workers_arg =
+    let doc = "Concurrent tuner sessions (worker threads)." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let schedule_cache_arg =
+    let doc =
+      "Schedule-cache file (JSONL): warm-start served schedules from \
+       $(docv) and persist the cache back on graceful shutdown."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "schedule-cache" ] ~docv:"FILE" ~doc)
+  in
+  let measure_cache_arg =
+    let doc =
+      "Measurement-cache file (JSONL): warm-start the per-candidate \
+       measurement cache shared by all sessions, persist on shutdown."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "measure-cache" ] ~docv:"FILE" ~doc)
+  in
+  let port_file_arg =
+    let doc =
+      "Write the daemon's bound URL to $(docv) once listening (how \
+       scripts discover a kernel-assigned port)."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "port-file" ] ~docv:"FILE" ~doc)
+  in
+  let read_timeout_arg =
+    let doc = "Per-connection receive timeout in seconds." in
+    Arg.(value & opt float 5.0 & info [ "read-timeout-s" ] ~docv:"S" ~doc)
+  in
+  let max_body_arg =
+    let doc = "Largest accepted request body in bytes (413 beyond)." in
+    Arg.(value & opt int (1024 * 1024)
+         & info [ "max-body-bytes" ] ~docv:"N" ~doc)
+  in
+  let run () obs listen workers schedule_cache measure_cache port_file
+      read_timeout_s max_body_bytes =
+    with_obs obs (fun () ->
+        match Mcf_obs.Export.parse_listen listen with
+        | Error e -> Error (`Msg e)
+        | Ok (addr, port) -> (
+          let config =
+            { Mcf_serve.Server.default_config with
+              addr;
+              port;
+              workers;
+              read_timeout_s;
+              max_body_bytes;
+              schedule_cache_file = schedule_cache;
+              measure_cache_file = measure_cache }
+          in
+          match Mcf_serve.Server.start ~config () with
+          | Error e -> Error (`Msg e)
+          | Ok t ->
+            Printf.printf "serve: listening on %s (POST /tune, GET /jobs)\n%!"
+              (Mcf_serve.Server.url t);
+            Option.iter
+              (fun path ->
+                let oc = open_out path in
+                output_string oc (Mcf_serve.Server.url t);
+                output_char oc '\n';
+                close_out oc)
+              port_file;
+            let on_signal _ = Mcf_serve.Server.request_shutdown t in
+            (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+             with Invalid_argument _ | Sys_error _ -> ());
+            (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+             with Invalid_argument _ | Sys_error _ -> ());
+            Mcf_serve.Server.wait_shutdown t;
+            Printf.printf "serve: shutdown requested, draining\n%!";
+            Mcf_serve.Server.stop t;
+            let vs = Mcf_serve.Server.jobs t in
+            let count src =
+              List.length
+                (List.filter
+                   (fun (v : Mcf_serve.Server.job_view) -> v.vsource = src)
+                   vs)
+            in
+            Printf.printf
+              "serve: drained; %d jobs (%d tuned, %d cached, %d coalesced); \
+               schedule cache: %d entries\n%!"
+              (List.length vs)
+              (count Mcf_serve.Server.Tuned)
+              (count Mcf_serve.Server.Cached)
+              (count Mcf_serve.Server.Coalesced)
+              (Mcf_serve.Server.cache_size t);
+            Ok ()))
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ setup_term $ obs_term_gen ~listener:false $ listen_arg
+        $ workers_arg $ schedule_cache_arg $ measure_cache_arg
+        $ port_file_arg $ read_timeout_arg $ max_body_arg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the tuning-as-a-service daemon (POST /tune, GET /jobs/:id, \
+             coalesced sessions, sharded schedule cache)")
+    term
+
+(* --- submit ---------------------------------------------------------------- *)
+
+let submit_cmd =
+  let url_arg =
+    let doc =
+      "Base URL of a running $(b,mcfuser serve) daemon, e.g. \
+       http://127.0.0.1:9464."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"URL" ~doc)
+  in
+  let workload_arg =
+    let doc = "Workload to tune (G1-G12, S1-S9, D5-D8, network names)." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let seed_arg =
+    let doc = "Tuner seed (default: derived from chain name + device)." in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let reservoir_arg =
+    let doc = "Enumeration reservoir bound forwarded to the daemon." in
+    Arg.(value & opt (some int) None & info [ "reservoir" ] ~docv:"N" ~doc)
+  in
+  let poll_ms_arg =
+    let doc = "Polling interval while waiting for the job, milliseconds." in
+    Arg.(value & opt float 50.0 & info [ "poll-ms" ] ~docv:"MS" ~doc)
+  in
+  let no_wait_arg =
+    let doc = "Submit and print the job id without waiting for the result." in
+    Arg.(value & flag & info [ "no-wait" ] ~doc)
+  in
+  let list_arg =
+    let doc = "List the daemon's job queue ($(b,GET /jobs)) and exit." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let selfcheck_arg =
+    let doc =
+      "Probe $(b,/healthz), $(b,/status) and $(b,/metrics) on the daemon \
+       and validate them, then exit."
+    in
+    Arg.(value & flag & info [ "selfcheck" ] ~doc)
+  in
+  let shutdown_arg =
+    let doc = "Request a graceful drain ($(b,POST /shutdown)) and exit." in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  let normalize_url url =
+    let u =
+      if String.length url >= 7 && String.sub url 0 7 = "http://" then url
+      else "http://" ^ url
+    in
+    if u.[String.length u - 1] = '/' then String.sub u 0 (String.length u - 1)
+    else u
+  in
+  let source_human = function
+    | "cached" -> "cache hit"
+    | s -> s
+  in
+  let print_result job =
+    let state = jstr job [ "state" ] in
+    Printf.printf "job       %s %s (%s)\n" (jstr job [ "job" ]) state
+      (source_human (jstr job [ "source" ]));
+    Printf.printf "workload  %s on %s\n"
+      (jstr job [ "workload" ])
+      (jstr job [ "device" ]);
+    match state with
+    | "done" ->
+      Printf.printf "best      %s\n" (jstr job [ "result"; "candidate" ]);
+      Printf.printf "kernel    %s\n"
+        (Mcf_util.Table.fmt_time_s (jnum job [ "result"; "kernel_time_s" ]));
+      Printf.printf "tuning    %s virtual, %.0f measured, %.0f generations\n"
+        (Mcf_util.Table.fmt_time_s (jnum job [ "result"; "tuning_virtual_s" ]))
+        (jnum job [ "result"; "measured" ])
+        (jnum job [ "result"; "generations" ]);
+      Ok ()
+    | "failed" -> Error (`Msg (jstr job [ "error" ]))
+    | _ -> Ok ()
+  in
+  let parse_json body =
+    match Mcf_util.Json.parse (String.trim body) with
+    | Ok j -> Ok j
+    | Error e -> Error (`Msg ("invalid response JSON: " ^ e))
+  in
+  let run () url workload device seed reservoir poll_ms no_wait list
+      selfcheck shutdown =
+    let url = normalize_url url in
+    if selfcheck then
+      match Mcf_obs.Export.selfcheck_url url with
+      | Ok () ->
+        Printf.printf "selfcheck ok: %s (healthz, status, metrics)\n" url;
+        Ok ()
+      | Error e -> Error (`Msg ("selfcheck: " ^ e))
+    else if shutdown then
+      match Mcf_util.Httpd.Client.post (url ^ "/shutdown") ~body:"{}" with
+      | Ok (202, _) ->
+        Printf.printf "shutdown requested\n";
+        Ok ()
+      | Ok (code, body) ->
+        Error (`Msg (Printf.sprintf "POST /shutdown: HTTP %d %s" code body))
+      | Error e -> Error (`Msg ("POST /shutdown: " ^ e))
+    else if list then
+      match Mcf_util.Httpd.Client.get (url ^ "/jobs") with
+      | Error e -> Error (`Msg ("GET /jobs: " ^ e))
+      | Ok (code, body) when code <> 200 ->
+        Error (`Msg (Printf.sprintf "GET /jobs: HTTP %d %s" code body))
+      | Ok (_, body) -> (
+        match parse_json body with
+        | Error _ as e -> e
+        | Ok doc ->
+          (match jget doc [ "jobs" ] with
+          | Some (Mcf_util.Json.List jobs) ->
+            List.iter
+              (fun job ->
+                Printf.printf "%-6s %-8s %-10s %s on %s\n"
+                  (jstr job [ "job" ])
+                  (jstr job [ "state" ])
+                  (source_human (jstr job [ "source" ]))
+                  (jstr job [ "workload" ])
+                  (jstr job [ "device" ]))
+              jobs
+          | _ -> ());
+          Printf.printf
+            "counts    %.0f queued, %.0f running, %.0f done, %.0f failed\n"
+            (jnum doc [ "counts"; "queued" ])
+            (jnum doc [ "counts"; "running" ])
+            (jnum doc [ "counts"; "done" ])
+            (jnum doc [ "counts"; "failed" ]);
+          Ok ())
+    else
+      match workload with
+      | None ->
+        Error
+          (`Msg
+            "WORKLOAD required (or use --list, --selfcheck or --shutdown)")
+      | Some workload -> (
+        let body =
+          Mcf_util.Json.to_string
+            (Mcf_util.Json.Obj
+               ([ ("workload", Mcf_util.Json.Str workload);
+                  ("device", Mcf_util.Json.Str device);
+                ]
+               @ (match seed with
+                 | Some s -> [ ("seed", Mcf_util.Json.num_of_int s) ]
+                 | None -> [])
+               @
+               match reservoir with
+               | Some r -> [ ("reservoir", Mcf_util.Json.num_of_int r) ]
+               | None -> []))
+        in
+        match Mcf_util.Httpd.Client.post (url ^ "/tune") ~body with
+        | Error e -> Error (`Msg ("POST /tune: " ^ e))
+        | Ok (code, body) when code <> 200 && code <> 202 ->
+          Error (`Msg (Printf.sprintf "POST /tune: HTTP %d %s" code body))
+        | Ok (_, body) -> (
+          match parse_json body with
+          | Error _ as e -> e
+          | Ok job -> (
+            let jid = jstr job [ "job" ] in
+            if no_wait then begin
+              Printf.printf "job       %s %s (%s)\n" jid
+                (jstr job [ "state" ])
+                (source_human (jstr job [ "source" ]));
+              Ok ()
+            end
+            else
+              let rec poll job =
+                match jstr job [ "state" ] with
+                | "done" | "failed" -> print_result job
+                | _ -> (
+                  Thread.delay (Float.max 0.01 (poll_ms /. 1000.0));
+                  match
+                    Mcf_util.Httpd.Client.get (url ^ "/jobs/" ^ jid)
+                  with
+                  | Error e -> Error (`Msg ("GET /jobs/" ^ jid ^ ": " ^ e))
+                  | Ok (code, body) when code <> 200 ->
+                    Error
+                      (`Msg
+                        (Printf.sprintf "GET /jobs/%s: HTTP %d %s" jid code
+                           body))
+                  | Ok (_, body) -> (
+                    match parse_json body with
+                    | Error _ as e -> e
+                    | Ok job -> poll job))
+              in
+              poll job)))
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ setup_term $ url_arg $ workload_arg $ device_arg
+        $ seed_arg $ reservoir_arg $ poll_ms_arg $ no_wait_arg $ list_arg
+        $ selfcheck_arg $ shutdown_arg))
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a tuning request to a running mcfuser serve daemon and \
+             wait for the schedule")
+    term
+
 let () =
   let info =
     Cmd.info "mcfuser" ~version:"1.0.0"
@@ -1389,4 +1710,5 @@ let () =
        (Cmd.group info
           [ tune_cmd; chain_cmd; schedule_cmd; dot_cmd; explain_cmd;
             compare_cmd; partition_cmd; experiment_cmd; workloads_cmd;
-            verify_cmd; fuzz_cmd; report_cmd; perf_cmd; top_cmd ]))
+            verify_cmd; fuzz_cmd; report_cmd; perf_cmd; top_cmd; serve_cmd;
+            submit_cmd ]))

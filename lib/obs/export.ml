@@ -449,8 +449,7 @@ let validate_metrics_text text =
 
 (* --- selfcheck -------------------------------------------------------------- *)
 
-let selfcheck t =
-  let url = Httpd.url t in
+let selfcheck_url url =
   let get path =
     match Httpd.Client.get (url ^ path) with
     | Ok (200, body) -> Ok body
@@ -475,3 +474,5 @@ let selfcheck t =
           match validate_metrics_text body with
           | Error msg -> Error (Printf.sprintf "/metrics: %s" msg)
           | Ok () -> Ok ()))))
+
+let selfcheck t = selfcheck_url (Httpd.url t)

@@ -42,6 +42,11 @@ val handler : Mcf_util.Httpd.request -> Mcf_util.Httpd.response
 (** Request router for the endpoints above; 404 for unknown paths, 405
     for non-GET methods.  Exposed so [mcfuser serve] can wrap it. *)
 
+val parse_listen : string -> (string * int, string) result
+(** Parse ["ADDR:PORT"] (or ["PORT"], meaning [127.0.0.1:PORT]) — the
+    shared [--listen] syntax of the telemetry listener and the serve
+    daemon. *)
+
 val serve : listen:string -> (Mcf_util.Httpd.t, string) result
 (** Parse [listen] as ["ADDR:PORT"] (["PORT"] alone means
     [127.0.0.1:PORT]; port [0] asks the kernel) and start the listener
@@ -56,6 +61,11 @@ val selfcheck : Mcf_util.Httpd.t -> (unit, string) result
     [/status] (must parse as JSON with a ["phase"] field) and
     [/metrics] (must pass {!validate_metrics_text}).  Backs
     [--listen-selfcheck] and [make telemetry-smoke]. *)
+
+val selfcheck_url : string -> (unit, string) result
+(** {!selfcheck} against an arbitrary base URL (no trailing slash) —
+    lets [mcfuser submit --selfcheck] probe a remote daemon it did not
+    start. *)
 
 val validate_metrics_text : string -> (unit, string) result
 (** Structural validator for Prometheus text exposition, used by the

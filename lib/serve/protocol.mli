@@ -1,0 +1,55 @@
+(** Wire format of the tuning service: request parsing, the served
+    schedule record, and the coalescing-key derivation.
+
+    A [POST /tune] body is one JSON object:
+
+    {v
+    { "workload": "G1",            // a built-in workload name, or
+      "chain": { "kind": "gemm",   // gemm | mlp | attention | gemm3
+                 "batch": 1, "m": 256, "n": 128, "k": 64, "h": 64,
+                 "p": 64 },        // gemm3 only
+      "device": "A100",            // optional, default A100
+      "seed": 7,                   // optional tuner seed
+      "reservoir": 512 }           // optional enumeration bound
+    v}
+
+    exactly one of ["workload"] / ["chain"] must be present.  The full
+    schema (including responses) is documented in DESIGN.md. *)
+
+type tune_request = {
+  workload : string;  (** Display label: workload name or chain name. *)
+  chain : Mcf_ir.Chain.t;
+  spec : Mcf_gpu.Spec.t;
+  seed : int option;
+  reservoir : int option;
+}
+
+(** The served result of one tuning session — everything a client needs
+    to deploy the schedule plus the session's funnel accounting.  This
+    is also the schedule cache's value type, so a cache hit replays the
+    original session's answer bit-for-bit. *)
+type sched = {
+  cand : string;  (** {!Mcf_ir.Candidate.serialize} spelling. *)
+  time_s : float;  (** Measured (simulated) kernel time. *)
+  virtual_s : float;  (** Tuning cost on the virtual clock. *)
+  estimated : int;
+  measured : int;
+  generations : int;
+}
+
+val chain_of_workload : string -> (Mcf_ir.Chain.t, string) result
+(** Resolve a built-in workload name (G1-G12, S1-S9, D5-D8, network
+    names, mha aliases) — the serve-side twin of the CLI's resolver. *)
+
+val parse_tune_request : string -> (tune_request, string) result
+(** Parse a [POST /tune] body.  All errors are client errors (400). *)
+
+val key : tune_request -> string
+(** Coalescing/cache key: device name + spec fingerprint hash + chain
+    fingerprint hash + seed + reservoir.  Requests with equal keys are
+    guaranteed to produce bit-identical schedules, so they share one
+    tuner session (in-flight) or one cache entry (completed). *)
+
+val sched_json : sched -> Mcf_util.Json.t
+val sched_of_json : Mcf_util.Json.t -> sched option
+val sched_of_outcome : Mcf_search.Tuner.outcome -> sched

@@ -1,0 +1,105 @@
+(** The [mcfuser serve] daemon: a long-lived tuning service over
+    {!Mcf_util.Httpd}.
+
+    Endpoints (on top of the {!Mcf_obs.Export} telemetry surface, which
+    keeps answering [/metrics], [/healthz], [/readyz] and [/]):
+
+    - [POST /tune] — body per {!Protocol.parse_tune_request}.  Answers
+      [200] with a completed job when the schedule cache already holds
+      the key, else [202] with a queued/coalesced job.  Malformed
+      requests are [400]; submissions during shutdown are [503].
+    - [GET /jobs/:id] — one job document (state, source, result).
+    - [GET /jobs] — every job this daemon has accepted, in submission
+      order, plus per-state counts.
+    - [POST /shutdown] — request a graceful drain ([202]).
+    - [GET /status] — the telemetry status document extended with a
+      ["serve"] section (lifecycle, queue depth, cache size).
+
+    Requests whose {!Protocol.key} matches an in-flight session attach
+    to it (coalescing: one tuner run, N answers); completed keys are
+    served from a {!Mcf_util.Shardmap}-backed schedule cache with
+    per-shard LRU eviction, warm-started from and persisted to JSONL.
+    All sessions share one content-addressed measurement cache, which
+    never changes results — a served schedule is bit-identical to a
+    one-shot [Tuner.tune] of the same request.
+
+    [serve.*] counters: [requests], [coalesced], [cache.hits],
+    [cache.misses] (new sessions), [rejected], [sessions], [jobs_done],
+    plus the [serve.latency_s] histogram. *)
+
+type config = {
+  addr : string;
+  port : int;  (** 0 asks the kernel; read back with {!port}. *)
+  workers : int;  (** Tuner worker threads (≥ 1). *)
+  max_connections : int;
+  read_timeout_s : float;
+  max_body_bytes : int;
+  cache_shards : int;
+  cache_capacity : int;  (** Per-shard completed-entry LRU bound. *)
+  schedule_cache_file : string option;
+      (** Warm-start source and graceful-shutdown sink (JSONL). *)
+  measure_cache_file : string option;
+      (** Shared measurement cache warm-start/persist (JSONL). *)
+}
+
+val default_config : config
+(** 127.0.0.1:0, 2 workers, 16 connections, 5s read timeout, 1 MiB
+    bodies, 16×65536 cache, no persistence. *)
+
+type source = Tuned | Cached | Coalesced
+
+val source_string : source -> string
+
+type job_status =
+  | Queued
+  | Running
+  | Done of Protocol.sched
+  | Failed of string
+
+type job_view = {
+  vid : string;
+  vkey : string;
+  vworkload : string;
+  vdevice : string;
+  vsource : source;
+  vstatus : job_status;
+}
+
+type t
+
+val start : ?config:config -> unit -> (t, string) result
+(** Warm-start the caches, bind the listener and spawn the workers. *)
+
+val url : t -> string
+val port : t -> int
+
+val submit : t -> Protocol.tune_request -> (string * source, string) result
+(** In-process submission (the [POST /tune] handler and the tests use
+    this path): returns the new job id and how it was satisfied —
+    [Cached] (already done), [Coalesced] (attached to an in-flight
+    session) or [Tuned] (a fresh session was queued).  [Error] once
+    shutdown has begun. *)
+
+val job : t -> string -> job_view option
+val jobs : t -> job_view list  (** Submission order. *)
+
+val await : t -> string -> job_view option
+(** Block until the job completes ([None] for unknown ids). *)
+
+val cache_size : t -> int
+
+val request_shutdown : t -> unit
+(** Async shutdown trigger (signal handlers, [POST /shutdown]). *)
+
+val shutdown_requested : t -> bool
+
+val wait_shutdown : t -> unit
+(** Block the calling thread until {!request_shutdown} fires. *)
+
+val stop : t -> unit
+(** Graceful stop: refuse new submissions, drain every queued and
+    running session to completion, stop the listener, then persist the
+    caches.  Idempotent. *)
+
+val handler : t -> Mcf_util.Httpd.request -> Mcf_util.Httpd.response
+(** The daemon's request router (exposed for direct-handler tests). *)

@@ -12,6 +12,7 @@ type request = {
   path : string;
   query : (string * string) list;
   headers : (string * string) list;
+  body : string;
 }
 
 type response = {
@@ -26,9 +27,12 @@ let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8")
 
 let reason_phrase = function
   | 200 -> "OK"
+  | 202 -> "Accepted"
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Payload Too Large"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
   | _ -> "Status"
@@ -44,6 +48,8 @@ type t = {
   drained : Condition.t;
   mutable in_flight : int;
   max_connections : int;
+  read_timeout_s : float;
+  max_body_bytes : int;
 }
 
 let port t = t.tport
@@ -54,8 +60,17 @@ let running t = not (Atomic.get t.stopping)
 
 let head_limit = 16 * 1024
 
-(* Read until the blank line ending the header block (we never read
-   bodies: the telemetry surface is GET-only).  Returns the raw head. *)
+let find_terminator s =
+  let n = String.length s in
+  let rec find i =
+    if i + 4 > n then None
+    else if String.sub s i 4 = "\r\n\r\n" then Some i
+    else find (i + 1)
+  in
+  find 0
+
+(* Read until the blank line ending the header block.  Returns the head
+   plus any body bytes that arrived in the same reads. *)
 let read_head fd =
   let buf = Buffer.create 512 in
   let chunk = Bytes.create 512 in
@@ -63,22 +78,18 @@ let read_head fd =
     if Buffer.length buf > head_limit then None
     else begin
       match Unix.read fd chunk 0 (Bytes.length chunk) with
-      | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
-      | n ->
+      | 0 -> None
+      | n -> (
         Buffer.add_subbytes buf chunk 0 n;
         let s = Buffer.contents buf in
         (* The terminator can straddle reads; scanning the whole buffer
            each time is fine at these sizes. *)
-        if
-          String.length s >= 4
-          &&
-          let rec find i =
-            i + 4 <= String.length s
-            && (String.sub s i 4 = "\r\n\r\n" || find (i + 1))
-          in
-          find 0
-        then Some s
-        else go ()
+        match find_terminator s with
+        | Some i ->
+          let after = i + 4 in
+          Some
+            (String.sub s 0 after, String.sub s after (String.length s - after))
+        | None -> go ())
       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
         (* Receive timeout: give up on this connection. *)
         None
@@ -131,8 +142,57 @@ let parse_request head =
             | None -> None)
           rest
       in
-      Some { meth = String.uppercase_ascii meth; path; query; headers }
+      Some
+        { meth = String.uppercase_ascii meth; path; query; headers; body = "" }
     | _ -> None)
+
+(* Outcome of reading one full request off a connection.  [`Gone] covers
+   receive timeouts and peers that vanished mid-request: nothing sane can
+   be sent back, so the connection is dropped silently. *)
+type read_outcome =
+  | Req of request
+  | Bad_request
+  | Too_large
+  | Gone
+
+let read_request fd ~max_body_bytes =
+  match read_head fd with
+  | None -> Gone
+  | Some (head, extra) -> (
+    match parse_request head with
+    | None -> Bad_request
+    | Some req -> (
+      let content_length =
+        match List.assoc_opt "content-length" req.headers with
+        | None -> Some 0
+        | Some v -> int_of_string_opt (String.trim v)
+      in
+      match content_length with
+      | None -> Bad_request
+      | Some n when n < 0 -> Bad_request
+      | Some n when n > max_body_bytes -> Too_large
+      | Some n ->
+        if String.length extra >= n then Req { req with body = String.sub extra 0 n }
+        else begin
+          let buf = Buffer.create (max n 64) in
+          Buffer.add_string buf extra;
+          let chunk = Bytes.create 4096 in
+          let rec go () =
+            let missing = n - Buffer.length buf in
+            if missing <= 0 then Req { req with body = Buffer.contents buf }
+            else begin
+              match Unix.read fd chunk 0 (min (Bytes.length chunk) missing) with
+              | 0 -> Gone
+              | k ->
+                Buffer.add_subbytes buf chunk 0 k;
+                go ()
+              | exception Unix.Unix_error (EINTR, _, _) -> go ()
+              | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+                Gone
+            end
+          in
+          go ()
+        end))
 
 let write_all fd s =
   let n = String.length s in
@@ -167,21 +227,41 @@ let handle_conn t handler fd =
       Mutex.unlock t.lock)
     (fun () ->
       (* A stuck client must not wedge a bounded handler slot forever. *)
-      (try Unix.setsockopt_float fd SO_RCVTIMEO 5.0
+      (try Unix.setsockopt_float fd SO_RCVTIMEO t.read_timeout_s
        with Unix.Unix_error _ -> ());
-      match read_head fd with
-      | None -> ()
-      | Some head -> (
-        match parse_request head with
-        | None -> send_response fd (response ~status:400 "bad request\n")
-        | Some req ->
-          let resp =
-            try handler req
-            with e ->
-              response ~status:500
-                (Printf.sprintf "handler error: %s\n" (Printexc.to_string e))
-          in
-          (try send_response fd resp with Unix.Unix_error _ -> ())))
+      match read_request fd ~max_body_bytes:t.max_body_bytes with
+      | Gone -> ()
+      | Bad_request -> (
+        try send_response fd (response ~status:400 "bad request\n")
+        with Unix.Unix_error _ -> ())
+      | Too_large ->
+        (try send_response fd (response ~status:413 "payload too large\n")
+         with Unix.Unix_error _ -> ());
+        (* Drain what the client already sent (bounded by a short
+           receive timeout and a byte cap): closing with unread data
+           pending sends a TCP RST that can destroy the 413 before the
+           client reads it.  The timeout is short so the client — which
+           reads until EOF — sees the close promptly. *)
+        (try Unix.setsockopt_float fd SO_RCVTIMEO 0.2
+         with Unix.Unix_error _ -> ());
+        let chunk = Bytes.create 4096 in
+        let rec drain budget =
+          if budget > 0 then
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | k -> drain (budget - k)
+            | exception Unix.Unix_error (EINTR, _, _) -> drain budget
+            | exception Unix.Unix_error _ -> ()
+        in
+        drain (4 * 1024 * 1024)
+      | Req req ->
+        let resp =
+          try handler req
+          with e ->
+            response ~status:500
+              (Printf.sprintf "handler error: %s\n" (Printexc.to_string e))
+        in
+        (try send_response fd resp with Unix.Unix_error _ -> ()))
 
 let accept_loop t handler () =
   while not (Atomic.get t.stopping) do
@@ -204,10 +284,15 @@ let accept_loop t handler () =
         end)
   done
 
-let start ?(max_connections = 16) ?(backlog = 32) ~addr ~port ~handler () =
+let start ?(max_connections = 16) ?(backlog = 32) ?(read_timeout_s = 5.0)
+    ?(max_body_bytes = 1024 * 1024) ~addr ~port ~handler () =
   match Unix.inet_addr_of_string addr with
   | exception _ -> Error (Printf.sprintf "invalid listen address %S" addr)
   | inet -> (
+    (* A peer that closes mid-response must surface as EPIPE on write,
+       not kill the whole process. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ());
     let sock = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
     Unix.setsockopt sock SO_REUSEADDR true;
     match
@@ -235,7 +320,9 @@ let start ?(max_connections = 16) ?(backlog = 32) ~addr ~port ~handler () =
           lock = Mutex.create ();
           drained = Condition.create ();
           in_flight = 0;
-          max_connections }
+          max_connections;
+          read_timeout_s;
+          max_body_bytes }
       in
       t.acceptor <- Some (Thread.create (accept_loop t handler) ());
       Ok t)
@@ -356,7 +443,7 @@ module Client = struct
         | _ -> Error "malformed HTTP status line")
       | [] -> Error "empty HTTP response")
 
-  let get ?(timeout_s = 5.0) url =
+  let request ?(timeout_s = 5.0) ~meth ?body url =
     match parse_url url with
     | Error _ as e -> e
     | Ok (host, port, path) -> (
@@ -378,10 +465,21 @@ module Client = struct
                 (Printf.sprintf "connect %s:%d: %s" host port
                    (Unix.error_message e))
             | () -> (
+              let body_headers, payload =
+                match body with
+                | None -> ("", "")
+                | Some b ->
+                  ( Printf.sprintf
+                      "Content-Type: application/json\r\n\
+                       Content-Length: %d\r\n"
+                      (String.length b),
+                    b )
+              in
               let req =
                 Printf.sprintf
-                  "GET %s HTTP/1.1\r\nHost: %s:%d\r\nConnection: close\r\n\r\n"
-                  path host port
+                  "%s %s HTTP/1.1\r\nHost: %s:%d\r\n%sConnection: close\r\n\r\n\
+                   %s"
+                  meth path host port body_headers payload
               in
               match write_all sock req with
               | exception Unix.Unix_error (e, _, _) ->
@@ -390,4 +488,7 @@ module Client = struct
                 match read_to_eof sock with
                 | Error _ as e -> e
                 | Ok raw -> parse_response raw)))))
+
+  let get ?timeout_s url = request ?timeout_s ~meth:"GET" url
+  let post ?timeout_s url ~body = request ?timeout_s ~meth:"POST" ~body url
 end

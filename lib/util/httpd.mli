@@ -1,11 +1,12 @@
 (** Minimal dependency-free HTTP/1.1 server and client over Unix sockets.
 
     Just enough HTTP for the live telemetry surface ([/metrics],
-    [/status], [/healthz]) and the future [mcfuser serve] daemon: an
-    accept loop on a dedicated thread, one short-lived handler thread per
-    connection with a hard bound on concurrency, [Connection: close]
-    semantics (no keep-alive, no chunked encoding, no TLS), and a
-    graceful shutdown that drains in-flight requests before returning.
+    [/status], [/healthz]) and the [mcfuser serve] daemon: an accept
+    loop on a dedicated thread, one short-lived handler thread per
+    connection with a hard bound on concurrency, [Content-Length]
+    request bodies with a hard size cap, [Connection: close] semantics
+    (no keep-alive, no chunked encoding, no TLS), and a graceful
+    shutdown that drains in-flight requests before returning.
 
     The server is strictly observational infrastructure: handlers run on
     their own threads and nothing in the search pipeline ever blocks on
@@ -20,6 +21,10 @@ type request = {
           telemetry endpoints are plain ASCII. *)
   headers : (string * string) list;
       (** Header names lower-cased, values trimmed. *)
+  body : string;
+      (** Request body, read per [Content-Length] (empty when absent).
+          Bodies over the server's [max_body_bytes] are answered [413]
+          before the handler ever runs. *)
 }
 
 type response = {
@@ -37,6 +42,8 @@ type t
 val start :
   ?max_connections:int ->
   ?backlog:int ->
+  ?read_timeout_s:float ->
+  ?max_body_bytes:int ->
   addr:string ->
   port:int ->
   handler:(request -> response) ->
@@ -46,8 +53,12 @@ val start :
     free one — read it back with {!port}) and start the accept loop on a
     dedicated thread.  Each connection is served by its own thread; at
     most [max_connections] (default 16) run at once and excess
-    connections are answered [503] inline.  A handler exception becomes
-    a [500] carrying the exception text.  Errors (bad address, port in
+    connections are answered [503] inline.  [read_timeout_s] (default
+    5s) is the per-connection receive timeout: a stalled client is
+    dropped and its slot freed, so it cannot pin the bounded pool.
+    Request bodies larger than [max_body_bytes] (default 1 MiB) are
+    answered [413] without being read.  A handler exception becomes a
+    [500] carrying the exception text.  Errors (bad address, port in
     use) are returned, never raised. *)
 
 val port : t -> int
@@ -72,4 +83,10 @@ module Client : sig
       response is read to EOF (the server side of this module always
       closes), honouring [Content-Length] when present; [timeout_s]
       (default 5s) bounds both connect and read. *)
+
+  val post :
+    ?timeout_s:float -> string -> body:string -> (int * string, string) result
+  (** [post url ~body] sends [body] as [application/json] with a
+      [Content-Length] header and returns [(status, body)] like
+      {!get}. *)
 end

@@ -1,0 +1,53 @@
+The tuning service end to end: start a daemon on a kernel-assigned port
+(written to --port-file), probe it, round-trip a G1 tune over HTTP, hit
+the warm schedule cache with the same request, list the jobs, then drain
+gracefully.  Everything below the port (normalized to URL) is
+deterministic: the tuner is seeded from the (chain, device) fingerprint
+and the daemon serves bit-identical schedules.
+
+  $ mcfuser serve --listen 127.0.0.1:0 --workers 1 --port-file url.txt \
+  >   --schedule-cache sched.jsonl > serve.log 2>&1 &
+  $ for _ in $(seq 1 200); do [ -s url.txt ] && break; sleep 0.05; done
+
+The telemetry surface answers on the same socket:
+
+  $ mcfuser submit "$(cat url.txt)" --selfcheck \
+  >   | sed -E 's,http://127\.0\.0\.1:[0-9]+,URL,'
+  selfcheck ok: URL (healthz, status, metrics)
+
+A cold tune runs a fresh session:
+
+  $ mcfuser submit "$(cat url.txt)" G1
+  job       j1 done (tuned)
+  workload  G1 on A100
+  best      deep:m,n,k,h;h=32,k=32,m=16,n=256
+  kernel    4.8us
+  tuning    23.27s virtual, 32 measured, 7 generations
+
+The identical request is answered from the schedule cache — same
+schedule, no second tuner session:
+
+  $ mcfuser submit "$(cat url.txt)" G1
+  job       j2 done (cache hit)
+  workload  G1 on A100
+  best      deep:m,n,k,h;h=32,k=32,m=16,n=256
+  kernel    4.8us
+  tuning    23.27s virtual, 32 measured, 7 generations
+
+  $ mcfuser submit "$(cat url.txt)" --list
+  j1     done     tuned      G1 on A100
+  j2     done     cache hit  G1 on A100
+  counts    0 queued, 0 running, 2 done, 0 failed
+
+Graceful drain: the daemon finishes its jobs, persists the cache and
+exits; one distinct key means one persisted entry:
+
+  $ mcfuser submit "$(cat url.txt)" --shutdown
+  shutdown requested
+  $ wait
+  $ sed -E 's,http://127\.0\.0\.1:[0-9]+,URL,' serve.log
+  serve: listening on URL (POST /tune, GET /jobs)
+  serve: shutdown requested, draining
+  serve: drained; 2 jobs (1 tuned, 1 cached, 0 coalesced); schedule cache: 1 entries
+  $ wc -l < sched.jsonl | tr -d ' '
+  1
